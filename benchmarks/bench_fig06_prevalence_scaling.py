@@ -1,0 +1,84 @@
+"""Fig. 6 / Obs 1-3: distribution of the time to the first ColumnDisturb
+bitflip per subarray, for every die revision of every manufacturer.
+
+Reproduction targets:
+* Obs 1 — every module shows ColumnDisturb bitflips;
+* Obs 2 — newer die revisions have lower times (SK Hynix 8Gb A->D: 5.06x,
+  16Gb A->C: 1.29x; Micron 16Gb B->F: 2.98x; Samsung 16Gb A->C: 2.50x);
+* Obs 3 — the minimum across Micron F-die modules lands near 63.6 ms.
+"""
+
+from collections import defaultdict
+
+from _common import emit, iter_populations, run_once
+from repro.analysis import DistributionSummary, boxplot, seconds, table
+from repro.chip import DDR4
+from repro.core import SubarrayRole, WORST_CASE, disturb_outcome
+
+
+def run_fig06():
+    times = defaultdict(list)
+    for spec, subarray, population in iter_populations():
+        outcome = disturb_outcome(
+            population, WORST_CASE, DDR4, SubarrayRole.AGGRESSOR,
+            aggressor_local_row=population.rows // 2,
+        )
+        # Fig. 6 reports the raw search result; keep sub-window times and
+        # mark >512 ms subarrays as censored.
+        times[(spec.manufacturer, spec.die_label)].append(
+            outcome.time_to_first_flip()
+        )
+    return dict(times)
+
+
+def render(times) -> str:
+    rows = []
+    lo, hi = 0.02, 0.6
+    for (manufacturer, die_label), values in sorted(times.items()):
+        summary = DistributionSummary.from_values(values)
+        rows.append([
+            manufacturer, die_label,
+            seconds(summary.minimum) if summary.count else ">window",
+            seconds(summary.median) if summary.count else "-",
+            summary.censored,
+            boxplot(summary, lo, hi, width=40) if summary.count else "",
+        ])
+    body = table(
+        ["manufacturer", "die", "min time", "median", ">512ms",
+         f"distribution [{seconds(lo)} .. {seconds(hi)}] (log)"],
+        rows,
+    )
+    checks = []
+    def min_of(mfr, die):
+        vals = [v for v in times[(mfr, die)] if v != float("inf")]
+        return min(vals) if vals else float("inf")
+
+    for mfr, old, new, paper in [
+        ("SK Hynix", "8Gb-A", "8Gb-D", 5.06),
+        ("SK Hynix", "16Gb-A", "16Gb-C", 1.29),
+        ("Micron", "16Gb-B", "16Gb-F", 2.98),
+        ("Samsung", "16Gb-A", "16Gb-C", 2.50),
+    ]:
+        ratio = min_of(mfr, old) / min_of(mfr, new)
+        checks.append(f"  {mfr} {old} -> {new}: measured {ratio:.2f}x "
+                      f"(paper {paper:.2f}x)")
+    checks.append(
+        f"  Micron F-die minimum: {seconds(min_of('Micron', '16Gb-F'))} "
+        f"(paper 63.6 ms)"
+    )
+    return body + "\n\nObs 2/3 die-generation ratios:\n" + "\n".join(checks)
+
+
+def test_fig06_prevalence_scaling(benchmark):
+    times = run_once(benchmark, run_fig06)
+    emit("fig06_prevalence_scaling", render(times))
+    # Obs 1: every die generation has at least one measurable subarray.
+    finite = {
+        key: [v for v in values if v != float("inf")]
+        for key, values in times.items()
+    }
+    assert all(len(v) > 0 for v in finite.values())
+    # Obs 2: newer dies are strictly more vulnerable within a density.
+    assert min(finite[("SK Hynix", "8Gb-D")]) < min(finite[("SK Hynix", "8Gb-A")])
+    assert min(finite[("Micron", "16Gb-F")]) < min(finite[("Micron", "16Gb-B")])
+    assert min(finite[("Samsung", "16Gb-C")]) < min(finite[("Samsung", "16Gb-A")])

@@ -1,0 +1,81 @@
+"""Fig. 9 / Obs 11: effect of aggressor-row-on time on the fraction of
+cells with ColumnDisturb bitflips (36 ns vs 70.2 us vs retention).
+
+Paper at 16 s: 70.2 us induces 1.20x / 2.12x / 2.45x more bitflips than
+36 ns for SK Hynix / Micron / Samsung.
+"""
+
+from _common import emit, iter_populations, run_once
+from repro.analysis import fold, percent, table
+from repro.chip import DDR4, REPRESENTATIVE_SERIALS
+from repro.core import (
+    REFRESH_INTERVALS_LONG,
+    SubarrayRole,
+    WORST_CASE,
+    disturb_outcome,
+    retention_outcome,
+)
+
+T_FAST = 36e-9
+T_SLOW = 70.2e-6
+
+
+def run_fig09():
+    data = {}
+    for spec, subarray, population in iter_populations(
+        list(REPRESENTATIVE_SERIALS)
+    ):
+        entry = data.setdefault(
+            spec.manufacturer, {"fast": [], "slow": [], "ret": []}
+        )
+        for key, t_agg_on in (("fast", T_FAST), ("slow", T_SLOW)):
+            outcome = disturb_outcome(
+                population, WORST_CASE.with_t_agg_on(t_agg_on), DDR4,
+                SubarrayRole.AGGRESSOR,
+                aggressor_local_row=population.rows // 2,
+            )
+            entry[key].append(
+                {t: outcome.raw_fraction_with_flips(t) for t in REFRESH_INTERVALS_LONG}
+            )
+        ret = retention_outcome(population, 85.0)
+        entry["ret"].append(
+            {t: ret.fraction_with_flips(t) for t in REFRESH_INTERVALS_LONG}
+        )
+    return data
+
+
+def render(data) -> str:
+    sections = []
+    for manufacturer, entry in sorted(data.items()):
+        rows = []
+        for interval in REFRESH_INTERVALS_LONG:
+            mean = lambda key: sum(r[interval] for r in entry[key]) / len(
+                entry[key]
+            )
+            fast, slow, ret = mean("fast"), mean("slow"), mean("ret")
+            rows.append([
+                f"{interval:.0f}s",
+                percent(fast, 3), percent(slow, 3), percent(ret, 3),
+                fold(slow / fast) if fast else "inf-x",
+            ])
+        sections.append(
+            f"{manufacturer}:\n" + table(
+                ["interval", "tAggOn=36ns", "tAggOn=70.2us", "RET",
+                 "70.2us/36ns"],
+                rows,
+            )
+        )
+    return (
+        "Fraction of cells with ColumnDisturb bitflips per subarray\n\n"
+        + "\n\n".join(sections)
+        + "\n\nPaper at 16 s: 70.2us/36ns = 1.20x (H) / 2.12x (M) / 2.45x (S)"
+    )
+
+
+def test_fig09_taggon_fraction(benchmark):
+    data = run_once(benchmark, run_fig09)
+    emit("fig09_taggon_fraction", render(data))
+    for manufacturer, entry in data.items():
+        fast = sum(r[16.0] for r in entry["fast"])
+        slow = sum(r[16.0] for r in entry["slow"])
+        assert slow > fast, manufacturer  # Obs 11

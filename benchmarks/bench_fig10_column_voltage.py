@@ -1,0 +1,88 @@
+"""Fig. 10 / Obs 12: fraction of cells with ColumnDisturb bitflips as the
+average voltage on the perturbed columns sweeps from GND to VDD.
+
+The sweep is realized the way the experiment realizes it: duty-cycling the
+columns between a driven level (GND or VDD) and the precharge level, so
+the time-averaged voltage hits each target.  Reproduction target: reducing
+the average column voltage from VDD to GND increases the affected-cell
+fraction by 1.65x / 26.31x / 7.50x for SK Hynix / Micron / Samsung at 16 s.
+"""
+
+import numpy as np
+
+from _common import emit, iter_populations, run_once
+from repro.analysis import fold, percent, table
+from repro.chip import REPRESENTATIVE_SERIALS
+from repro.core import REFRESH_INTERVALS_LONG
+from repro.physics import (
+    duty_cycled_waveform,
+    mean_coupling_multiplier,
+    total_leakage_rates,
+)
+
+VOLTAGES = (0.0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0)
+PERIOD = 70.2e-6 + 14e-9
+
+
+def run_fig10():
+    data = {}
+    for spec, subarray, population in iter_populations(
+        list(REPRESENTATIVE_SERIALS)
+    ):
+        profile = spec.profile
+        entry = data.setdefault(spec.manufacturer, {v: [] for v in VOLTAGES})
+        for v_avg in VOLTAGES:
+            driven = 0.0 if v_avg <= 0.5 else 1.0
+            waveform = duty_cycled_waveform(driven, v_avg, PERIOD)
+            multiplier = mean_coupling_multiplier(profile, waveform)
+            rates = total_leakage_rates(
+                population.lambda_int, population.kappa, multiplier,
+                profile, 85.0,
+            )
+            entry[v_avg].append(
+                {t: float((rates * t >= 1.0).mean())
+                 for t in REFRESH_INTERVALS_LONG}
+            )
+    return data
+
+
+def render(data) -> str:
+    sections = []
+    for manufacturer, entry in sorted(data.items()):
+        rows = []
+        for v_avg in VOLTAGES:
+            fractions = entry[v_avg]
+            row = [f"{v_avg:.3f}*VDD"]
+            for interval in REFRESH_INTERVALS_LONG:
+                row.append(percent(np.mean([f[interval] for f in fractions]), 3))
+            rows.append(row)
+        gnd = np.mean([f[16.0] for f in entry[0.0]])
+        vdd = np.mean([f[16.0] for f in entry[1.0]])
+        sections.append(
+            f"{manufacturer} (GND vs VDD at 16 s: "
+            f"{fold(gnd / vdd) if vdd else 'inf-x'}):\n"
+            + table(
+                ["AVG(V_COL)"] + [f"{t:.0f}s" for t in REFRESH_INTERVALS_LONG],
+                rows,
+            )
+        )
+    return (
+        "Fraction of cells with bitflips vs average perturbed-column "
+        "voltage\n\n" + "\n\n".join(sections)
+        + "\n\nPaper Obs 12 (GND vs VDD at 16 s): 1.65x (H) / 26.31x (M) / "
+        "7.50x (S)"
+    )
+
+
+def test_fig10_column_voltage(benchmark):
+    data = run_once(benchmark, run_fig10)
+    emit("fig10_column_voltage", render(data))
+    for manufacturer, entry in data.items():
+        series = [
+            np.mean([f[16.0] for f in entry[v]]) for v in VOLTAGES
+        ]
+        # Obs 12: monotone non-increasing in the average column voltage.
+        assert all(a >= b - 1e-12 for a, b in zip(series, series[1:])), (
+            manufacturer, series,
+        )
+        assert series[0] > series[-1]

@@ -1,0 +1,85 @@
+"""Fig. 11 / Obs 13-14: blast radius (rows with at least one bitflip) of
+ColumnDisturb vs retention at 65C across 64 ms - 1024 ms refresh intervals.
+
+Reproduction targets:
+* ColumnDisturb reaches far more rows than retention (paper at 1024 ms:
+  up to 52 / 353 / 1022 rows for SK Hynix / Micron / Samsung vs 20 / 34 /
+  29 for retention);
+* the gap widens with the refresh interval (Obs 14).
+"""
+
+from collections import defaultdict
+
+import numpy as np
+
+from _common import emit, iter_populations, run_once
+from repro.analysis import table
+from repro.chip import DDR4
+from repro.core import (
+    REFRESH_INTERVALS_SHORT,
+    SubarrayRole,
+    WORST_CASE,
+    disturb_outcome,
+    retention_outcome,
+)
+
+TEMPERATURE = 65.0
+
+
+def run_fig11():
+    data = defaultdict(lambda: {"cd": [], "ret": []})
+    config = WORST_CASE.at_temperature(TEMPERATURE)
+    for spec, subarray, population in iter_populations():
+        outcome = disturb_outcome(
+            population, config, DDR4, SubarrayRole.AGGRESSOR,
+            aggressor_local_row=population.rows // 2,
+        )
+        retention = retention_outcome(population, TEMPERATURE)
+        data[spec.manufacturer]["cd"].append(
+            {t: outcome.rows_with_flips(t) for t in REFRESH_INTERVALS_SHORT}
+        )
+        data[spec.manufacturer]["ret"].append(
+            {t: retention.rows_with_flips(t) for t in REFRESH_INTERVALS_SHORT}
+        )
+    return dict(data)
+
+
+def render(data) -> str:
+    sections = []
+    for manufacturer, entry in sorted(data.items()):
+        rows = []
+        for interval in REFRESH_INTERVALS_SHORT:
+            cd = [r[interval] for r in entry["cd"]]
+            ret = [r[interval] for r in entry["ret"]]
+            rows.append([
+                f"{interval * 1000:.0f}ms",
+                f"{np.mean(cd):.1f}", int(np.max(cd)),
+                f"{np.mean(ret):.1f}", int(np.max(ret)),
+            ])
+        sections.append(
+            f"{manufacturer}:\n"
+            + table(
+                ["interval", "CD rows (mean)", "CD rows (max)",
+                 "RET rows (mean)", "RET rows (max)"],
+                rows,
+            )
+        )
+    return (
+        f"Blast radius at {TEMPERATURE:.0f}C (rows with >= 1 bitflip per "
+        f"subarray)\n\n" + "\n\n".join(sections)
+        + "\n\nPaper at 1024 ms: CD up to 52 (H) / 353 (M) / 1022 (S) rows; "
+        "RET up to 20 / 34 / 29.  At 512 ms CD averages 2 / 6 / 232 rows."
+    )
+
+
+def test_fig11_blast_radius(benchmark):
+    data = run_once(benchmark, run_fig11)
+    emit("fig11_blast_radius", render(data))
+    for manufacturer, entry in data.items():
+        cd_max = max(r[1.024] for r in entry["cd"])
+        ret_max = max(r[1.024] for r in entry["ret"])
+        assert cd_max >= ret_max, manufacturer  # Obs 13
+    # Samsung shows the widest blast radius (paper ordering).
+    samsung = max(r[1.024] for r in data["Samsung"]["cd"])
+    hynix = max(r[1.024] for r in data["SK Hynix"]["cd"])
+    assert samsung > hynix

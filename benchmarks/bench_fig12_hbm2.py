@@ -1,0 +1,59 @@
+"""Fig. 12 / Obs 15: ColumnDisturb on HBM2 chips.
+
+Number of ColumnDisturb vs retention bitflips per subarray at 1/2/4 s on
+the Samsung HBM2 stack.  Reproduction target: ColumnDisturb exceeds
+retention by 1.61x / 2.08x / 2.43x at 1 / 2 / 4 s.
+"""
+
+import numpy as np
+
+from _common import BENCH_GEOMETRY, emit, run_once
+from repro.analysis import fold, table
+from repro.chip import SimulatedModule, get_module
+from repro.core import SubarrayRole, WORST_CASE, disturb_outcome, retention_outcome
+
+INTERVALS = (1.0, 2.0, 4.0)
+
+
+def run_fig12():
+    spec = get_module("HBM0")
+    module = SimulatedModule(spec, geometry=BENCH_GEOMETRY, sim_chips=3)
+    cd, ret = [], []
+    for chip in range(module.sim_chips):
+        bank = module.bank(chip, 0)
+        for subarray in range(BENCH_GEOMETRY.subarrays):
+            population = bank.population(subarray)
+            outcome = disturb_outcome(
+                population, WORST_CASE, module.timing, SubarrayRole.AGGRESSOR,
+                aggressor_local_row=population.rows // 2,
+            )
+            retention = retention_outcome(population, 85.0)
+            cd.append({t: outcome.raw_flip_count(t) for t in INTERVALS})
+            ret.append({t: retention.flip_count(t) for t in INTERVALS})
+    return cd, ret
+
+
+def render(cd, ret) -> str:
+    rows = []
+    for interval in INTERVALS:
+        cd_counts = [r[interval] for r in cd]
+        ret_counts = [r[interval] for r in ret]
+        rows.append([
+            f"{interval:.0f}s",
+            f"{np.mean(cd_counts):.0f} [{min(cd_counts)}-{max(cd_counts)}]",
+            f"{np.mean(ret_counts):.0f} [{min(ret_counts)}-{max(ret_counts)}]",
+            fold(np.mean(cd_counts) / max(np.mean(ret_counts), 1e-9)),
+        ])
+    return (
+        "Samsung HBM2 stack, bitflips per subarray\n\n"
+        + table(["interval", "ColumnDisturb (mean [min-max])",
+                 "Retention (mean [min-max])", "CD/RET"], rows)
+        + "\n\nPaper Obs 15: CD/RET = 1.61x / 2.08x / 2.43x at 1 / 2 / 4 s"
+    )
+
+
+def test_fig12_hbm2(benchmark):
+    cd, ret = run_once(benchmark, run_fig12)
+    emit("fig12_hbm2", render(cd, ret))
+    for interval in INTERVALS:
+        assert sum(r[interval] for r in cd) > sum(r[interval] for r in ret)

@@ -1,0 +1,82 @@
+"""Fig. 14 / Obs 17: fraction of cells with ColumnDisturb vs retention
+bitflips at four temperatures, 512 ms refresh interval.
+
+Reproduction targets: ColumnDisturb exceeds retention at every temperature
+(paper: e.g. 152.66x for Samsung at 65C) and gains far more bitflips per
+temperature step than retention does.
+"""
+
+from collections import defaultdict
+
+import numpy as np
+
+from _common import emit, iter_populations, run_once
+from repro.analysis import percent, table
+from repro.chip import DDR4
+from repro.core import (
+    SubarrayRole,
+    WORST_CASE,
+    disturb_outcome,
+    retention_outcome,
+)
+from repro.physics import TEMPERATURES_C
+
+INTERVAL = 0.512
+
+
+def run_fig14():
+    data = defaultdict(lambda: defaultdict(lambda: {"cd": [], "ret": []}))
+    for spec, subarray, population in iter_populations():
+        for temperature in TEMPERATURES_C:
+            outcome = disturb_outcome(
+                population, WORST_CASE.at_temperature(temperature), DDR4,
+                SubarrayRole.AGGRESSOR,
+                aggressor_local_row=population.rows // 2,
+            )
+            retention = retention_outcome(population, temperature)
+            bucket = data[spec.manufacturer][temperature]
+            bucket["cd"].append(outcome.fraction_with_flips(INTERVAL))
+            bucket["ret"].append(retention.fraction_with_flips(INTERVAL))
+    return {k: {t: dict(v) for t, v in temps.items()}
+            for k, temps in data.items()}
+
+
+def render(data) -> str:
+    sections = []
+    for manufacturer, per_temp in sorted(data.items()):
+        rows = []
+        for temperature in TEMPERATURES_C:
+            cd = np.mean(per_temp[temperature]["cd"])
+            ret = np.mean(per_temp[temperature]["ret"])
+            ratio = cd / ret if ret > 0 else float("inf")
+            rows.append([
+                f"{temperature:.0f}C",
+                percent(cd, 4),
+                percent(ret, 4),
+                f"{ratio:.1f}x" if np.isfinite(ratio) else "inf-x",
+            ])
+        sections.append(
+            f"{manufacturer}:\n"
+            + table(["temp", "CD fraction", "RET fraction", "CD/RET"], rows)
+        )
+    return (
+        f"Fraction of cells with bitflips at {INTERVAL * 1000:.0f} ms\n\n"
+        + "\n\n".join(sections)
+        + "\n\nPaper: CD > RET at all temperatures (e.g. 152.66x for "
+        "Samsung at 65C); 85C -> 95C adds CD bitflips much faster than "
+        "retention failures (Obs 17)."
+    )
+
+
+def test_fig14_temperature_fraction(benchmark):
+    data = run_once(benchmark, run_fig14)
+    emit("fig14_temperature_fraction", render(data))
+    for manufacturer, per_temp in data.items():
+        for temperature in (65.0, 85.0, 95.0):
+            cd = np.mean(per_temp[temperature]["cd"])
+            ret = np.mean(per_temp[temperature]["ret"])
+            assert cd >= ret, (manufacturer, temperature)
+        # Obs 17 (absolute-growth form): CD gains more than retention.
+        cd_gain = np.mean(per_temp[95.0]["cd"]) - np.mean(per_temp[85.0]["cd"])
+        ret_gain = np.mean(per_temp[95.0]["ret"]) - np.mean(per_temp[85.0]["ret"])
+        assert cd_gain > ret_gain, manufacturer

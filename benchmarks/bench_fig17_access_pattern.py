@@ -1,0 +1,69 @@
+"""Fig. 17 / Obs 21: single-aggressor vs two-aggressor access pattern.
+
+The two-aggressor pattern alternates complementary data (GND -> VDD/2 ->
+VDD -> VDD/2 on the columns).  Reproduction target: the single-aggressor
+pattern reaches the first bitflip 1.83x / 1.92x / 2.16x faster (SK Hynix /
+Micron / Samsung) — the phase-integrated damage model predicts almost
+exactly 2x (DESIGN.md §3).
+"""
+
+from collections import defaultdict
+
+import numpy as np
+
+from _common import emit, iter_populations, run_once
+from repro.analysis import DistributionSummary, boxplot, seconds, table
+from repro.chip import DDR4
+from repro.core import DisturbConfig, SubarrayRole, WORST_CASE, disturb_outcome
+
+TWO_AGGRESSOR = DisturbConfig(
+    aggressor_pattern=0x00, victim_pattern=0xFF, second_aggressor_pattern=0xFF
+)
+
+
+def run_fig17():
+    data = defaultdict(lambda: {"single": [], "double": []})
+    for spec, subarray, population in iter_populations():
+        for key, config in (("single", WORST_CASE), ("double", TWO_AGGRESSOR)):
+            outcome = disturb_outcome(
+                population, config, DDR4, SubarrayRole.AGGRESSOR,
+                aggressor_local_row=population.rows // 2,
+            )
+            data[spec.manufacturer][key].append(float(outcome.cd_times.min()))
+    return dict(data)
+
+
+def render(data) -> str:
+    rows = []
+    for manufacturer, entry in sorted(data.items()):
+        single = DistributionSummary.from_values(entry["single"])
+        double = DistributionSummary.from_values(entry["double"])
+        rows.append([
+            manufacturer, "single", seconds(single.mean),
+            boxplot(single, 0.02, 5.0, width=30),
+        ])
+        rows.append([
+            manufacturer, "two-aggressor", seconds(double.mean),
+            boxplot(double, 0.02, 5.0, width=30),
+        ])
+        rows.append([
+            "", f"ratio {double.mean / single.mean:.2f}x", "", "",
+        ])
+    return (
+        "Time to first ColumnDisturb bitflip by access pattern\n\n"
+        + table(["manufacturer", "pattern", "mean",
+                 "distribution [20ms .. 5s] (log)"], rows)
+        + "\n\nPaper Obs 21: single faster by 1.83x (H) / 1.92x (M) / "
+        "2.16x (S)"
+    )
+
+
+def test_fig17_access_pattern(benchmark):
+    data = run_once(benchmark, run_fig17)
+    emit("fig17_access_pattern", render(data))
+    for manufacturer, entry in data.items():
+        ratio = np.mean(entry["double"]) / np.mean(entry["single"])
+        # Obs 21 band (paper: 1.83x-2.16x).  The weakest cells' intrinsic
+        # leakage (unaffected by halving the coupling exposure) pulls the
+        # ratio slightly below 2 for the least-coupled manufacturer.
+        assert 1.4 < ratio < 2.5, (manufacturer, ratio)

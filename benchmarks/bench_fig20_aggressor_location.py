@@ -1,0 +1,72 @@
+"""Fig. 20 / Obs 24: aggressor-row location (beginning/middle/end of the
+subarray) has only a marginal effect on the time to the first bitflip.
+
+Paper: at most 1.08x variation on average across manufacturers.
+"""
+
+from collections import defaultdict
+
+import numpy as np
+
+from _common import emit, iter_populations, run_once
+from repro.analysis import seconds, table
+from repro.chip import DDR4
+from repro.core import (
+    AGGRESSOR_LOCATIONS,
+    DisturbConfig,
+    SubarrayRole,
+    disturb_outcome,
+)
+
+
+def run_fig20():
+    data = defaultdict(lambda: defaultdict(list))
+    for spec, subarray, population in iter_populations():
+        for location in AGGRESSOR_LOCATIONS:
+            config = DisturbConfig(aggressor_location=location)
+            if location == "beginning":
+                local = 0
+            elif location == "end":
+                local = population.rows - 1
+            else:
+                local = population.rows // 2
+            outcome = disturb_outcome(
+                population, config, DDR4, SubarrayRole.AGGRESSOR,
+                aggressor_local_row=local,
+            )
+            data[spec.manufacturer][location].append(
+                float(outcome.cd_times.min())
+            )
+    return {k: dict(v) for k, v in data.items()}
+
+
+def render(data) -> str:
+    rows = []
+    variations = []
+    for manufacturer, per_location in sorted(data.items()):
+        means = {
+            loc: float(np.mean(per_location[loc]))
+            for loc in AGGRESSOR_LOCATIONS
+        }
+        variation = max(means.values()) / min(means.values())
+        variations.append(f"  {manufacturer}: {variation:.3f}x")
+        rows.append([
+            manufacturer,
+            *[seconds(means[loc]) for loc in AGGRESSOR_LOCATIONS],
+            f"{variation:.3f}x",
+        ])
+    return (
+        "Mean time to first ColumnDisturb bitflip by aggressor location\n\n"
+        + table(["manufacturer", *AGGRESSOR_LOCATIONS, "max/min"], rows)
+        + "\n\nPaper Obs 24: at most 1.08x average variation"
+    )
+
+
+def test_fig20_aggressor_location(benchmark):
+    data = run_once(benchmark, run_fig20)
+    emit("fig20_aggressor_location", render(data))
+    for manufacturer, per_location in data.items():
+        means = [
+            np.mean(per_location[loc]) for loc in AGGRESSOR_LOCATIONS
+        ]
+        assert max(means) / min(means) < 1.12, manufacturer  # Obs 24

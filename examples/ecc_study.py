@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Can ECC save us from ColumnDisturb? (§5.6, Fig. 21, Obs 25-27.)
+
+1. Runs a worst-case ColumnDisturb experiment on a vulnerable module and
+   histograms the bitflips per 8-byte dataword — the protection granularity
+   of rank-level SECDED and on-die SEC ECC.
+2. Monte-Carlo measures the (136,128) on-die SEC code's miscorrection rate
+   on double-bit errors.
+
+Run:  python examples/ecc_study.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import table
+from repro.chip import BankGeometry, DDR4, SimulatedModule, get_module
+from repro.core import SubarrayRole, WORST_CASE, disturb_outcome
+from repro.ecc import (
+    ChunkProtectionSummary,
+    ONDIE_SEC_136_128,
+    SECDED_72_64,
+    chunk_flip_histogram,
+    double_error_miscorrection,
+)
+
+GEOMETRY = BankGeometry(subarrays=4, rows_per_subarray=512, columns=1024)
+SERIAL = "M8"
+INTERVAL = 1.024
+
+
+def main() -> None:
+    spec = get_module(SERIAL)
+    module = SimulatedModule(spec, geometry=GEOMETRY)
+    population = module.bank().population(1)
+    outcome = disturb_outcome(
+        population, WORST_CASE, DDR4, SubarrayRole.AGGRESSOR,
+        aggressor_local_row=GEOMETRY.rows_per_subarray // 2,
+    )
+    flips = outcome._cd_flips(INTERVAL)
+    histogram = chunk_flip_histogram(flips)
+    summary = ChunkProtectionSummary.from_histogram(histogram)
+
+    print(f"{SERIAL} ({spec.manufacturer} {spec.die_label}), worst-case "
+          f"ColumnDisturb for {INTERVAL * 1000:.0f} ms:")
+    print(table(
+        ["bitflips per 8-byte word", "words"],
+        [[k, histogram[k]] for k in sorted(histogram)],
+    ))
+    print(f"\nSEC-correctable words (1 flip):      {summary.sec_correctable}")
+    print(f"SECDED-detectable words (2 flips):   {summary.secded_detectable}")
+    print(f"Beyond SECDED (>= 3 flips, silent!): {summary.beyond_secded}")
+    print(f"Worst word: {summary.max_flips_in_chunk} bitflips "
+          f"(Obs 25 reports up to 15)\n")
+
+    result = double_error_miscorrection(ONDIE_SEC_136_128, trials=10_000)
+    print(f"(136,128) on-die SEC, 10K random double-bit-error codewords:")
+    print(f"  miscorrected (2 flips -> 3): {result.miscorrection_rate:.1%} "
+          f"(Obs 27 reports 88.5%)")
+    print(f"  detected uncorrectable:      {result.detected / result.trials:.1%}")
+
+    secded = double_error_miscorrection(SECDED_72_64, trials=10_000)
+    print(f"(72,64) SECDED on the same errors: "
+          f"{secded.detected / secded.trials:.1%} detected, "
+          f"{secded.miscorrection_rate:.1%} miscorrected")
+    print("\nTakeaway 10: conventional DRAM ECC cannot protect against "
+          "ColumnDisturb; covering 15-bitflip words needs (7,4)-Hamming-"
+          "class overheads (75% extra storage).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Shim for environments without the ``wheel`` package (offline editable
+installs): ``pip install -e . --no-build-isolation`` requires bdist_wheel,
+so fall back to ``python setup.py develop``.  Configuration lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""ColumnDisturb: column-based DRAM read disturbance — reproduction library.
+
+Reproduces Yüksel et al., "ColumnDisturb: Understanding Column-based Read
+Disturbance in Real DRAM Chips and Implications for Future Systems"
+(MICRO 2025) as a pure-Python system: a device-level DRAM array simulator
+substitutes for the paper's FPGA-tested real chips (see DESIGN.md).
+
+Public packages:
+
+* ``repro.chip``      — simulated DRAM devices and the Table 1 catalog.
+* ``repro.physics``   — retention / ColumnDisturb / RowHammer models.
+* ``repro.bender``    — DRAM Bender-style command-level test interface.
+* ``repro.core``      — the paper's characterization methodology.
+* ``repro.ecc``       — Hamming/SECDED codes and ECC analyses.
+* ``repro.refresh``   — Bloom filter, RAIDR, refresh cost models, PRVR.
+* ``repro.sim``       — cycle-level memory-system simulator.
+* ``repro.workloads`` — synthetic memory-intensive workload mixes.
+* ``repro.analysis``  — distribution statistics and text rendering.
+"""
+
+__version__ = "1.0.0"
+
+from repro import analysis, bender, chip, core, ecc, physics, refresh, sim, workloads
+
+__all__ = [
+    "__version__",
+    "analysis",
+    "bender",
+    "chip",
+    "core",
+    "ecc",
+    "physics",
+    "refresh",
+    "sim",
+    "workloads",
+]

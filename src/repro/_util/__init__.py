@@ -1,0 +1,26 @@
+"""Internal utilities: deterministic RNG derivation, units, and validation."""
+
+from repro._util.rng import derive_rng, derive_seed
+from repro._util.units import (
+    KILO,
+    MEGA,
+    MILLI,
+    MICRO,
+    NANO,
+    format_seconds,
+    from_milliseconds,
+    to_milliseconds,
+)
+
+__all__ = [
+    "derive_rng",
+    "derive_seed",
+    "KILO",
+    "MEGA",
+    "MILLI",
+    "MICRO",
+    "NANO",
+    "format_seconds",
+    "from_milliseconds",
+    "to_milliseconds",
+]

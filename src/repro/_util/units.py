@@ -1,0 +1,34 @@
+"""Unit helpers.  All simulator-internal times are seconds (float)."""
+
+from __future__ import annotations
+
+NANO = 1e-9
+MICRO = 1e-6
+MILLI = 1e-3
+KILO = 1e3
+MEGA = 1e6
+
+
+def to_milliseconds(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds / MILLI
+
+
+def from_milliseconds(milliseconds: float) -> float:
+    """Convert milliseconds to seconds."""
+    return milliseconds * MILLI
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration with an appropriate SI prefix (for reports/figures)."""
+    if seconds < 0:
+        return "-" + format_seconds(-seconds)
+    if seconds == 0:
+        return "0s"
+    if seconds < MICRO:
+        return f"{seconds / NANO:.1f}ns"
+    if seconds < MILLI:
+        return f"{seconds / MICRO:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds / MILLI:.1f}ms"
+    return f"{seconds:.2f}s"

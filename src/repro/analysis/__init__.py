@@ -1,0 +1,24 @@
+"""Result analysis: distribution statistics and text rendering."""
+
+from repro.analysis.render import boxplot, fold, hbar, percent, seconds, table
+from repro.analysis.report import module_datasheet
+from repro.analysis.stats import (
+    DistributionSummary,
+    fold_change,
+    geometric_mean,
+    ratio,
+)
+
+__all__ = [
+    "boxplot",
+    "fold",
+    "hbar",
+    "percent",
+    "seconds",
+    "table",
+    "module_datasheet",
+    "DistributionSummary",
+    "fold_change",
+    "geometric_mean",
+    "ratio",
+]

@@ -1,0 +1,95 @@
+"""Plain-text rendering of experiment results (tables, bars, box plots).
+
+Benchmarks print the same rows/series the paper's figures plot; these
+helpers keep that output aligned and readable in a terminal or a log file.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro._util.units import format_seconds
+from repro.analysis.stats import DistributionSummary
+
+
+def table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def hbar(value: float, scale: float, width: int = 40, fill: str = "#") -> str:
+    """A horizontal bar of ``value`` relative to ``scale``."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    units = 0 if value <= 0 else max(1, round(width * min(value / scale, 1.0)))
+    bar = fill * units
+    if value > scale:
+        bar = bar[:-1] + ">"
+    return bar
+
+
+def boxplot(
+    summary: DistributionSummary, lo: float, hi: float, width: int = 48
+) -> str:
+    """One-line box plot: ``|--[==M==]--|`` scaled into [lo, hi].
+
+    Uses a log scale when the range spans more than two decades.
+    """
+    if summary.count == 0:
+        return "(no finite observations)".ljust(width)
+    if hi <= lo:
+        raise ValueError("hi must exceed lo")
+    log_scale = lo > 0 and hi / lo > 100
+
+    def position(value: float) -> int:
+        value = min(max(value, lo), hi)
+        if log_scale:
+            fraction = (math.log(value) - math.log(lo)) / (math.log(hi) - math.log(lo))
+        else:
+            fraction = (value - lo) / (hi - lo)
+        return min(width - 1, max(0, round(fraction * (width - 1))))
+
+    line = [" "] * width
+    p_min, p_q1 = position(summary.minimum), position(summary.q1)
+    p_med, p_q3, p_max = (
+        position(summary.median),
+        position(summary.q3),
+        position(summary.maximum),
+    )
+    for i in range(p_min, p_max + 1):
+        line[i] = "-"
+    for i in range(p_q1, p_q3 + 1):
+        line[i] = "="
+    line[p_min] = "|"
+    line[p_max] = "|"
+    line[p_med] = "M"
+    return "".join(line)
+
+
+def seconds(value: float) -> str:
+    """Format a duration, tolerating inf/nan."""
+    if math.isinf(value):
+        return ">window"
+    if math.isnan(value):
+        return "n/a"
+    return format_seconds(value)
+
+
+def percent(value: float, digits: int = 2) -> str:
+    """Format a fraction as a percentage."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def fold(value: float, digits: int = 2) -> str:
+    """Format a fold-change ratio, tolerating inf."""
+    if math.isinf(value):
+        return "inf-x"
+    return f"{value:.{digits}f}x"

@@ -1,0 +1,88 @@
+"""Distribution summaries and ratio helpers for experiment reporting.
+
+Characterization results are distributions over subarrays; the paper
+reports them as violins (Fig. 6), box-and-whiskers (Fig. 13), and min/max
+bands.  `DistributionSummary` captures the quartile statistics with
+explicit handling of censored values (subarrays with no bitflip within the
+search window report ``inf``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Five-number summary plus mean of a finite sample.
+
+    Attributes:
+        count: finite observations summarized.
+        censored: observations that were infinite (e.g. no bitflip found
+            within the bisection search window) and excluded.
+    """
+
+    count: int
+    censored: int
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+
+    @classmethod
+    def from_values(cls, values) -> "DistributionSummary":
+        array = np.asarray(list(values), dtype=np.float64)
+        finite = array[np.isfinite(array)]
+        censored = int(array.size - finite.size)
+        if finite.size == 0:
+            nan = float("nan")
+            return cls(0, censored, nan, nan, nan, nan, nan, nan)
+        return cls(
+            count=int(finite.size),
+            censored=censored,
+            minimum=float(finite.min()),
+            q1=float(np.percentile(finite, 25)),
+            median=float(np.percentile(finite, 50)),
+            q3=float(np.percentile(finite, 75)),
+            maximum=float(finite.max()),
+            mean=float(finite.mean()),
+        )
+
+    @property
+    def iqr(self) -> float:
+        """Interquartile range."""
+        return self.q3 - self.q1
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean of positive values."""
+    array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0:
+        raise ValueError("need at least one value")
+    if np.any(array <= 0):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(array))))
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe ratio: ``inf`` for a zero denominator with nonzero numerator,
+    1.0 for 0/0 (no change)."""
+    if denominator == 0:
+        return float("inf") if numerator != 0 else 1.0
+    return numerator / denominator
+
+
+def fold_change(new: float, old: float) -> str:
+    """Human-readable fold change, e.g. '5.06x lower'."""
+    if new == old:
+        return "unchanged"
+    r = ratio(old, new) if new < old else ratio(new, old)
+    direction = "lower" if new < old else "higher"
+    if math.isinf(r):
+        return f"infinitely {direction}"
+    return f"{r:.2f}x {direction}"

@@ -1,0 +1,53 @@
+"""DRAM Bender-style command-level test interface (§3.1 substitution)."""
+
+from repro.bender.commands import (
+    Act,
+    Instruction,
+    Loop,
+    Pre,
+    Read,
+    Refresh,
+    TestProgram,
+    Wait,
+    Write,
+)
+from repro.bender.executor import DramBender, ExecutionResult, ReadRecord
+from repro.bender.text import (
+    ProgramSyntaxError,
+    format_program,
+    parse_duration,
+    parse_program,
+)
+from repro.bender.program import (
+    hammer_program,
+    initialize_rows_program,
+    multi_aggressor_program,
+    readout_program,
+    retention_program,
+    rowclone_program,
+)
+
+__all__ = [
+    "Act",
+    "Instruction",
+    "Loop",
+    "Pre",
+    "Read",
+    "Refresh",
+    "TestProgram",
+    "Wait",
+    "Write",
+    "DramBender",
+    "ExecutionResult",
+    "ReadRecord",
+    "hammer_program",
+    "initialize_rows_program",
+    "multi_aggressor_program",
+    "readout_program",
+    "retention_program",
+    "rowclone_program",
+    "ProgramSyntaxError",
+    "format_program",
+    "parse_duration",
+    "parse_program",
+]

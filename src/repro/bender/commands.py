@@ -1,0 +1,97 @@
+"""DRAM command ISA for test programs.
+
+Mirrors the DRAM Bender / SoftMC programming model (§3.1): a test program is
+a sequence of DDR commands with explicit inter-command delays, plus a LOOP
+construct for hammer patterns.  Row addresses in programs are LOGICAL; the
+executor translates them through the module's row mapping, exactly as a real
+tester drives logical addresses into a chip with an unknown internal layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+
+@dataclass(frozen=True)
+class Act:
+    """Activate (open) a logical row."""
+
+    row: int
+
+
+@dataclass(frozen=True)
+class Pre:
+    """Precharge (close) the open row."""
+
+
+@dataclass(frozen=True)
+class Wait:
+    """Hold the current state for ``duration`` seconds."""
+
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError("duration must be non-negative")
+
+
+@dataclass(frozen=True)
+class Write:
+    """Write a data pattern to a logical row (ACT + column writes + PRE)."""
+
+    row: int
+    pattern: Union[int, tuple]  # pattern byte or bit tuple
+
+
+@dataclass(frozen=True)
+class Read:
+    """Read a logical row's content into the result buffer."""
+
+    row: int
+    tag: str = ""
+
+
+@dataclass(frozen=True)
+class Refresh:
+    """Issue one all-bank refresh (REF) command."""
+
+
+@dataclass(frozen=True)
+class Loop:
+    """Repeat a body of instructions ``count`` times."""
+
+    body: tuple
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError("count must be non-negative")
+
+
+Instruction = Union[Act, Pre, Wait, Write, Read, Refresh, Loop]
+
+
+@dataclass
+class TestProgram:
+    """An ordered DRAM command sequence targeting one bank.
+
+    Attributes:
+        instructions: the command list.
+        name: label used in logs/results.
+    """
+
+    __test__ = False  # not a pytest class, despite the name
+
+    instructions: list = field(default_factory=list)
+    name: str = "program"
+
+    def append(self, instruction: Instruction) -> "TestProgram":
+        """Append one instruction (chainable)."""
+        self.instructions.append(instruction)
+        return self
+
+    def extend(self, instructions: list) -> "TestProgram":
+        """Append several instructions (chainable)."""
+        self.instructions.extend(instructions)
+        return self

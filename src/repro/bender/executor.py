@@ -1,0 +1,202 @@
+"""The DRAM Bender executor: runs test programs against simulated banks.
+
+Semantics follow a real FPGA tester driving one bank:
+
+* Row addresses in programs are LOGICAL; the executor translates them
+  through the module's (normally undocumented) row mapping.
+* ``Act`` opens a row; time passes only through ``Wait``; ``Pre`` closes the
+  row, at which point the accumulated open interval is applied to the device
+  physics as one activation.
+* Two consecutive ``Act`` commands without a full precharge are the
+  RowClone idiom: if both rows share a subarray, the first row's content is
+  copied into the second through the shared sense amplifiers; if they do
+  not, the second activation simply restores the second row (no copy) —
+  which is precisely the observable the subarray-boundary reverse
+  engineering relies on (§3.2).
+* Hammer loops (``Loop`` bodies of the canonical ACT/Wait/PRE/Wait form)
+  are executed through the bank's aggregate fast path, so million-iteration
+  programs take milliseconds of host time.
+
+The executor never reaches into bank internals beyond the public device
+operations, keeping the methodology honest: everything the characterization
+core learns, it learns from command sequences and read-back data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bender.commands import (
+    Act,
+    Instruction,
+    Loop,
+    Pre,
+    Read,
+    Refresh,
+    TestProgram,
+    Wait,
+    Write,
+)
+from repro.chip.module import SimulatedModule
+
+
+@dataclass
+class ReadRecord:
+    """One row read-back: logical address, optional tag, and data bits."""
+
+    row: int
+    tag: str
+    bits: np.ndarray
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one program execution."""
+
+    program_name: str
+    reads: list[ReadRecord] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    def bits_by_row(self) -> dict[int, np.ndarray]:
+        """Map of logical row -> last read-back bits."""
+        return {record.row: record.bits for record in self.reads}
+
+
+class DramBender:
+    """Command-level interface to one simulated bank.
+
+    Args:
+        module: the simulated module under test.
+        chip: chip index within the module.
+        bank: bank index within the chip.
+    """
+
+    def __init__(self, module: SimulatedModule, chip: int = 0, bank: int = 0) -> None:
+        self.module = module
+        self.bank = module.bank(chip, bank)
+        self._open_row: int | None = None  # physical address
+        self._open_duration = 0.0
+
+    # ------------------------------------------------------------------
+    # Program execution
+    # ------------------------------------------------------------------
+    def execute(self, program: TestProgram) -> ExecutionResult:
+        """Run a test program and return its read-backs."""
+        result = ExecutionResult(program_name=program.name)
+        start = self.bank.now
+        for instruction in program.instructions:
+            self._dispatch(instruction, result)
+        self._close_open_row()
+        result.elapsed = self.bank.now - start
+        return result
+
+    def _dispatch(self, instruction: Instruction, result: ExecutionResult) -> None:
+        if isinstance(instruction, Loop):
+            self._run_loop(instruction, result)
+        elif isinstance(instruction, Act):
+            self._act(self.module.to_physical(instruction.row))
+        elif isinstance(instruction, Pre):
+            self._close_open_row()
+        elif isinstance(instruction, Wait):
+            self._wait(instruction.duration)
+        elif isinstance(instruction, Write):
+            self._close_open_row()
+            pattern = instruction.pattern
+            if isinstance(pattern, tuple):
+                pattern = np.asarray(pattern, dtype=np.uint8)
+            self.bank.write_row(self.module.to_physical(instruction.row), pattern)
+        elif isinstance(instruction, Read):
+            self._close_open_row()
+            physical = self.module.to_physical(instruction.row)
+            result.reads.append(
+                ReadRecord(
+                    row=instruction.row,
+                    tag=instruction.tag,
+                    bits=self.bank.read_row(physical),
+                )
+            )
+        elif isinstance(instruction, Refresh):
+            self._close_open_row()
+            self.bank.refresh_all()
+            self.bank.idle(self.bank.timing.t_rfc)
+        else:
+            raise TypeError(f"unknown instruction {instruction!r}")
+
+    # ------------------------------------------------------------------
+    # Command semantics
+    # ------------------------------------------------------------------
+    def _act(self, physical_row: int) -> None:
+        if self._open_row is not None:
+            # Consecutive ACT without full precharge: RowClone semantics.
+            source = self._open_row
+            self._close_open_row()
+            same_subarray = self.bank.geometry.subarray_of_row(
+                source
+            ) == self.bank.geometry.subarray_of_row(physical_row)
+            if same_subarray and source != physical_row:
+                # The sense amplifiers still hold the source row's content;
+                # the second activation overwrites the destination with it.
+                self.bank.write_row(physical_row, self.bank.read_row(source))
+        self._open_row = physical_row
+        self._open_duration = 0.0
+
+    def _wait(self, duration: float) -> None:
+        if self._open_row is None:
+            self.bank.idle(duration)
+        else:
+            # Defer: the whole open interval is applied at precharge time.
+            self._open_duration += duration
+
+    def _close_open_row(self) -> None:
+        if self._open_row is None:
+            return
+        self.bank.press_interval(self._open_row, self._open_duration)
+        self._open_row = None
+        self._open_duration = 0.0
+
+    # ------------------------------------------------------------------
+    # Loop handling
+    # ------------------------------------------------------------------
+    def _run_loop(self, loop: Loop, result: ExecutionResult) -> None:
+        pattern = self._match_hammer_body(loop.body)
+        if pattern is not None and loop.count > 0:
+            rows, t_agg_on, t_rp = pattern
+            self._close_open_row()
+            self.bank.hammer_sequence(
+                [self.module.to_physical(row) for row in rows],
+                loop.count,
+                t_agg_on=t_agg_on,
+                t_rp=t_rp,
+            )
+            return
+        for _ in range(loop.count):
+            for instruction in loop.body:
+                self._dispatch(instruction, result)
+
+    @staticmethod
+    def _match_hammer_body(body: tuple) -> tuple[list[int], float, float] | None:
+        """Recognize the canonical hammer body
+        ``(Act, Wait, Pre, Wait) * n_aggressors`` with uniform delays."""
+        if len(body) % 4 != 0 or not body:
+            return None
+        rows: list[int] = []
+        t_agg_on: float | None = None
+        t_rp: float | None = None
+        for offset in range(0, len(body), 4):
+            act, wait_on, pre, wait_rp = body[offset : offset + 4]
+            if not (
+                isinstance(act, Act)
+                and isinstance(wait_on, Wait)
+                and isinstance(pre, Pre)
+                and isinstance(wait_rp, Wait)
+            ):
+                return None
+            if t_agg_on is None:
+                t_agg_on, t_rp = wait_on.duration, wait_rp.duration
+            elif wait_on.duration != t_agg_on or wait_rp.duration != t_rp:
+                return None
+            rows.append(act.row)
+        assert t_agg_on is not None and t_rp is not None
+        return rows, t_agg_on, t_rp

@@ -1,0 +1,68 @@
+"""Builders for the paper's standard test programs.
+
+Each builder returns a :class:`TestProgram` expressed purely in the command
+ISA — the same sequences §3.2 and §5.3 describe — so the methodology layer
+never reaches around the command interface.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.bender.commands import Act, Loop, Pre, Read, TestProgram, Wait, Write
+
+
+def hammer_program(
+    aggressor_row: int,
+    count: int,
+    t_agg_on: float,
+    t_rp: float,
+    name: str = "single-aggressor",
+) -> TestProgram:
+    """The §3.2 single-aggressor pattern:
+    ``(ACT R -> tAggOn -> PRE -> tRP) x count``."""
+    body = (Act(aggressor_row), Wait(t_agg_on), Pre(), Wait(t_rp))
+    return TestProgram([Loop(body, count)], name=name)
+
+
+def multi_aggressor_program(
+    aggressor_rows: Sequence[int],
+    count: int,
+    t_agg_on: float,
+    t_rp: float,
+    name: str = "multi-aggressor",
+) -> TestProgram:
+    """The §5.3 pattern generalized: each iteration activates every
+    aggressor in turn for ``t_agg_on``."""
+    body: list = []
+    for row in aggressor_rows:
+        body += [Act(row), Wait(t_agg_on), Pre(), Wait(t_rp)]
+    return TestProgram([Loop(tuple(body), count)], name=name)
+
+
+def retention_program(duration: float, name: str = "retention") -> TestProgram:
+    """Idle (precharged) bank for ``duration`` — a retention test interval."""
+    return TestProgram([Wait(duration)], name=name)
+
+
+def initialize_rows_program(
+    rows: Sequence[int], pattern: int, name: str = "init"
+) -> TestProgram:
+    """Write ``pattern`` to each row in ``rows``."""
+    return TestProgram([Write(row, pattern) for row in rows], name=name)
+
+
+def readout_program(rows: Sequence[int], name: str = "readout") -> TestProgram:
+    """Read each row in ``rows`` into the result buffer."""
+    return TestProgram([Read(row, tag=str(row)) for row in rows], name=name)
+
+
+def rowclone_program(source_row: int, destination_row: int) -> TestProgram:
+    """Two consecutive activations without an intervening full precharge:
+    the RowClone in-DRAM copy used to reverse engineer subarray boundaries
+    (§3.2).  Copies source -> destination iff the rows share sense
+    amplifiers (same subarray)."""
+    return TestProgram(
+        [Act(source_row), Act(destination_row), Pre()],
+        name="rowclone",
+    )

@@ -1,0 +1,159 @@
+"""Textual DRAM test-program format (SoftMC-style).
+
+A human-writable, round-trippable serialization of `TestProgram`, so test
+sequences can live in files, be shared, and be replayed from the CLI
+(``python -m repro run-program``):
+
+    # hammer the middle row for 512 ms
+    WRITE 512 0x00
+    LOOP 7293
+      ACT 512
+      WAIT 70.2us
+      PRE
+      WAIT 14ns
+    ENDLOOP
+    READ 511 tag=victim-above
+    READ 513 tag=victim-below
+
+Grammar: one instruction per line; ``#`` starts a comment; durations take
+ns/us/ms/s suffixes; patterns are hex bytes (``0x00``-``0xFF``); ``LOOP n``
+... ``ENDLOOP`` may nest.
+"""
+
+from __future__ import annotations
+
+from repro.bender.commands import (
+    Act,
+    Instruction,
+    Loop,
+    Pre,
+    Read,
+    Refresh,
+    TestProgram,
+    Wait,
+    Write,
+)
+
+_UNIT_SCALE = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+
+
+class ProgramSyntaxError(ValueError):
+    """A malformed test-program line."""
+
+    def __init__(self, line_number: int, line: str, reason: str) -> None:
+        super().__init__(f"line {line_number}: {reason}: {line!r}")
+        self.line_number = line_number
+
+
+def parse_duration(token: str) -> float:
+    """Parse ``70.2us`` / ``14ns`` / ``0.512s`` into seconds."""
+    for unit in ("ns", "us", "ms", "s"):
+        if token.endswith(unit):
+            number = token[: -len(unit)]
+            try:
+                value = float(number)
+            except ValueError:
+                raise ValueError(f"bad duration {token!r}") from None
+            if value < 0:
+                raise ValueError(f"negative duration {token!r}")
+            return value * _UNIT_SCALE[unit]
+    raise ValueError(f"duration {token!r} needs a ns/us/ms/s suffix")
+
+
+def _parse_pattern(token: str) -> int:
+    try:
+        value = int(token, 16) if token.lower().startswith("0x") else int(token)
+    except ValueError:
+        raise ValueError(f"bad pattern {token!r}") from None
+    if not 0 <= value <= 0xFF:
+        raise ValueError(f"pattern {token!r} outside 0x00-0xFF")
+    return value
+
+
+def parse_program(text: str, name: str = "program") -> TestProgram:
+    """Parse the textual format into a `TestProgram`."""
+    stack: list[tuple[list, int | None]] = [([], None)]
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        op = tokens[0].upper()
+        try:
+            if op == "ACT":
+                stack[-1][0].append(Act(int(tokens[1])))
+            elif op == "PRE":
+                stack[-1][0].append(Pre())
+            elif op == "WAIT":
+                stack[-1][0].append(Wait(parse_duration(tokens[1])))
+            elif op == "WRITE":
+                stack[-1][0].append(
+                    Write(int(tokens[1]), _parse_pattern(tokens[2]))
+                )
+            elif op == "READ":
+                tag = ""
+                if len(tokens) > 2 and tokens[2].startswith("tag="):
+                    tag = tokens[2][len("tag="):]
+                stack[-1][0].append(Read(int(tokens[1]), tag=tag))
+            elif op == "REF":
+                stack[-1][0].append(Refresh())
+            elif op == "LOOP":
+                count = int(tokens[1])
+                if count < 0:
+                    raise ValueError("negative loop count")
+                stack.append(([], count))
+            elif op == "ENDLOOP":
+                if len(stack) == 1:
+                    raise ValueError("ENDLOOP without LOOP")
+                body, count = stack.pop()
+                stack[-1][0].append(Loop(tuple(body), count))
+            else:
+                raise ValueError(f"unknown instruction {op!r}")
+        except ProgramSyntaxError:
+            raise
+        except (IndexError, ValueError) as error:
+            raise ProgramSyntaxError(line_number, raw, str(error)) from None
+    if len(stack) != 1:
+        raise ProgramSyntaxError(0, "", "unclosed LOOP")
+    return TestProgram(stack[0][0], name=name)
+
+
+def _format_duration(seconds: float) -> str:
+    for unit, scale in (("ns", 1e-9), ("us", 1e-6), ("ms", 1e-3), ("s", 1.0)):
+        value = seconds / scale
+        if value < 1000 or unit == "s":
+            return f"{value:.12g}{unit}"
+    raise AssertionError("unreachable")
+
+
+def format_instruction(instruction: Instruction, indent: int = 0) -> list[str]:
+    """Serialize one instruction to lines."""
+    pad = "  " * indent
+    if isinstance(instruction, Act):
+        return [f"{pad}ACT {instruction.row}"]
+    if isinstance(instruction, Pre):
+        return [f"{pad}PRE"]
+    if isinstance(instruction, Wait):
+        return [f"{pad}WAIT {_format_duration(instruction.duration)}"]
+    if isinstance(instruction, Write):
+        return [f"{pad}WRITE {instruction.row} 0x{int(instruction.pattern):02X}"]
+    if isinstance(instruction, Read):
+        suffix = f" tag={instruction.tag}" if instruction.tag else ""
+        return [f"{pad}READ {instruction.row}{suffix}"]
+    if isinstance(instruction, Refresh):
+        return [f"{pad}REF"]
+    if isinstance(instruction, Loop):
+        lines = [f"{pad}LOOP {instruction.count}"]
+        for inner in instruction.body:
+            lines.extend(format_instruction(inner, indent + 1))
+        lines.append(f"{pad}ENDLOOP")
+        return lines
+    raise TypeError(f"cannot serialize {instruction!r}")
+
+
+def format_program(program: TestProgram) -> str:
+    """Serialize a `TestProgram` to the textual format."""
+    lines: list[str] = []
+    for instruction in program.instructions:
+        lines.extend(format_instruction(instruction))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,44 @@
+"""Byte data patterns and their expansion to per-column bit vectors.
+
+The paper tests five patterns — 0x00, 0xAA, 0x11, 0x33, 0x77 — with victim
+rows initialized to the bitwise negation of the aggressor pattern (§3.2).
+A pattern byte repeats across the row; column ``c`` carries bit ``c % 8`` of
+the byte, LSB first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The paper's five test patterns (§3.2), aggressor-row values.
+PAPER_PATTERNS = (0x00, 0xAA, 0x11, 0x33, 0x77)
+
+ALL_ZEROS = 0x00
+ALL_ONES = 0xFF
+
+
+def check_pattern(pattern: int) -> int:
+    """Validate a pattern byte and return it."""
+    if not 0 <= pattern <= 0xFF:
+        raise ValueError(f"pattern byte {pattern:#x} outside [0x00, 0xFF]")
+    return pattern
+
+
+def invert_pattern(pattern: int) -> int:
+    """Bitwise negation of a pattern byte (victim initialization rule)."""
+    return check_pattern(pattern) ^ 0xFF
+
+
+def expand_pattern(pattern: int, columns: int) -> np.ndarray:
+    """Expand a pattern byte to a uint8 bit vector of length ``columns``."""
+    check_pattern(pattern)
+    if columns < 1:
+        raise ValueError("columns must be positive")
+    byte_bits = np.array([(pattern >> bit) & 1 for bit in range(8)], dtype=np.uint8)
+    repeats = -(-columns // 8)  # ceil
+    return np.tile(byte_bits, repeats)[:columns]
+
+
+def ones_fraction(pattern: int) -> float:
+    """Fraction of '1' bits in a pattern byte."""
+    return bin(check_pattern(pattern)).count("1") / 8.0

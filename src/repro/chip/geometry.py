@@ -1,0 +1,255 @@
+"""DRAM array geometry and open-bitline topology.
+
+Modern high-density DRAM uses the *open-bitline* architecture (§2.1 of the
+paper): each subarray's bitlines connect to two rows of sense amplifiers,
+one above and one below the subarray, and neighbouring subarrays therefore
+share half of their bitlines.  Concretely, subarray *k*'s even bitlines are
+shared with subarray *k-1*'s odd bitlines, and its odd bitlines with
+subarray *k+1*'s even bitlines.
+
+That sharing is what makes ColumnDisturb span *three* consecutive
+subarrays: activating a row perturbs every bitline of its own subarray, the
+parity-matched half of the bitlines of the subarray above, and the other
+half of the bitlines of the subarray below.
+
+Two geometry flavours are provided:
+
+* :class:`BankGeometry` — uniform subarrays (the common case);
+* :class:`VariableBankGeometry` — per-subarray row counts, reflecting the
+  paper's observation that real subarray sizes range from 512 to 1024 rows
+  within one chip (§4.4: "not all subarrays have the same number of rows").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+EVEN = 0
+ODD = 1
+
+
+class _GeometryOps:
+    """Shared topology operations; concrete classes provide ``subarrays``,
+    ``columns``, and ``subarray_sizes``."""
+
+    subarrays: int
+    columns: int
+
+    @property
+    def subarray_sizes(self) -> tuple[int, ...]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Totals and addressing
+    # ------------------------------------------------------------------
+    @property
+    def rows(self) -> int:
+        """Total rows in the bank."""
+        return sum(self.subarray_sizes)
+
+    @property
+    def cells(self) -> int:
+        """Total cells in the bank."""
+        return self.rows * self.columns
+
+    def subarray_rows(self, subarray: int) -> int:
+        """Row count of one subarray."""
+        self._check_subarray(subarray)
+        return self.subarray_sizes[subarray]
+
+    def subarray_start(self, subarray: int) -> int:
+        """First physical row address of ``subarray``."""
+        self._check_subarray(subarray)
+        return int(self._starts()[subarray])
+
+    def subarray_of_row(self, row: int) -> int:
+        """Subarray index containing the (physical) ``row``."""
+        self._check_row(row)
+        return int(
+            np.searchsorted(self._starts(), row, side="right") - 1
+        )
+
+    def subarrays_of_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Vectorized `subarray_of_row`."""
+        return np.searchsorted(self._starts(), rows, side="right") - 1
+
+    def row_within_subarray(self, row: int) -> int:
+        """Offset of ``row`` within its subarray."""
+        return row - self.subarray_start(self.subarray_of_row(row))
+
+    def rows_within_subarrays(self, rows: np.ndarray) -> np.ndarray:
+        """Vectorized `row_within_subarray`."""
+        return rows - self._starts()[self.subarrays_of_rows(rows)]
+
+    def row_range(self, subarray: int) -> range:
+        """Physical row addresses belonging to ``subarray``."""
+        start = self.subarray_start(subarray)
+        return range(start, start + self.subarray_sizes[subarray])
+
+    def middle_row(self, subarray: int) -> int:
+        """The middle row of a subarray (the paper's default aggressor)."""
+        return self.subarray_start(subarray) + self.subarray_sizes[subarray] // 2
+
+    # ------------------------------------------------------------------
+    # Open-bitline topology
+    # ------------------------------------------------------------------
+    def neighbouring_subarrays(self, subarray: int) -> tuple[int, ...]:
+        """Subarrays physically adjacent to ``subarray`` (0, 1, or 2)."""
+        self._check_subarray(subarray)
+        neighbours = []
+        if subarray > 0:
+            neighbours.append(subarray - 1)
+        if subarray < self.subarrays - 1:
+            neighbours.append(subarray + 1)
+        return tuple(neighbours)
+
+    def shared_column_parity(self, aggressor_subarray: int, other_subarray: int) -> int:
+        """Parity (EVEN/ODD) of ``other_subarray``'s columns that are shared
+        with ``aggressor_subarray``'s sense amplifiers.
+
+        Convention: a subarray's EVEN columns connect upward, its ODD
+        columns downward.  When the aggressor is subarray *k*:
+
+        * subarray *k-1* is disturbed on its ODD columns,
+        * subarray *k+1* is disturbed on its EVEN columns.
+
+        Raises ValueError if the two subarrays are not adjacent.
+        """
+        self._check_subarray(aggressor_subarray)
+        self._check_subarray(other_subarray)
+        if other_subarray == aggressor_subarray - 1:
+            return ODD
+        if other_subarray == aggressor_subarray + 1:
+            return EVEN
+        raise ValueError(
+            f"subarray {other_subarray} is not adjacent to {aggressor_subarray}"
+        )
+
+    def disturbed_subarrays(self, aggressor_subarray: int) -> dict[int, int | None]:
+        """Map of subarray -> disturbed column parity for an activation in
+        ``aggressor_subarray``.
+
+        The aggressor subarray itself maps to ``None`` (all columns
+        disturbed); each adjacent subarray maps to the parity of its shared
+        columns.  Subarrays absent from the map are not disturbed at all.
+        """
+        disturbed: dict[int, int | None] = {aggressor_subarray: None}
+        for neighbour in self.neighbouring_subarrays(aggressor_subarray):
+            disturbed[neighbour] = self.shared_column_parity(
+                aggressor_subarray, neighbour
+            )
+        return disturbed
+
+    # ------------------------------------------------------------------
+    def _starts(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.rows:
+            raise IndexError(f"row {row} out of range [0, {self.rows})")
+
+    def _check_subarray(self, subarray: int) -> None:
+        if not 0 <= subarray < self.subarrays:
+            raise IndexError(
+                f"subarray {subarray} out of range [0, {self.subarrays})"
+            )
+
+    def _check_columns(self) -> None:
+        if self.columns < 2 or self.columns % 2:
+            raise ValueError(f"columns must be even and >= 2, got {self.columns}")
+
+
+@dataclass(frozen=True)
+class BankGeometry(_GeometryOps):
+    """Uniform-subarray bank geometry.
+
+    Attributes:
+        subarrays: number of subarrays in the bank.
+        rows_per_subarray: DRAM rows in each subarray (512-1024 in tested
+            chips; scaled down in unit tests).
+        columns: physical columns (bitlines) crossing each subarray.
+    """
+
+    subarrays: int
+    rows_per_subarray: int
+    columns: int
+
+    def __post_init__(self) -> None:
+        if self.subarrays < 1:
+            raise ValueError(f"need at least one subarray, got {self.subarrays}")
+        if self.rows_per_subarray < 2:
+            raise ValueError(
+                f"need at least two rows per subarray, got {self.rows_per_subarray}"
+            )
+        self._check_columns()
+
+    @property
+    def subarray_sizes(self) -> tuple[int, ...]:
+        return (self.rows_per_subarray,) * self.subarrays
+
+    @property
+    def rows(self) -> int:
+        return self.subarrays * self.rows_per_subarray
+
+    # Fast paths for the uniform layout (hot in the bank's read path).
+    def subarray_of_row(self, row: int) -> int:
+        self._check_row(row)
+        return row // self.rows_per_subarray
+
+    def subarrays_of_rows(self, rows: np.ndarray) -> np.ndarray:
+        return rows // self.rows_per_subarray
+
+    def row_within_subarray(self, row: int) -> int:
+        self._check_row(row)
+        return row % self.rows_per_subarray
+
+    def rows_within_subarrays(self, rows: np.ndarray) -> np.ndarray:
+        return rows % self.rows_per_subarray
+
+    def subarray_start(self, subarray: int) -> int:
+        self._check_subarray(subarray)
+        return subarray * self.rows_per_subarray
+
+    def _starts(self) -> np.ndarray:
+        return np.arange(self.subarrays) * self.rows_per_subarray
+
+
+@dataclass(frozen=True)
+class VariableBankGeometry(_GeometryOps):
+    """Bank geometry with per-subarray row counts (e.g. ``(512, 1024,
+    768)``), matching the size heterogeneity of real chips."""
+
+    sizes: tuple[int, ...]
+    columns: int
+    _start_cache: tuple[int, ...] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.sizes:
+            raise ValueError("need at least one subarray")
+        if any(size < 2 for size in self.sizes):
+            raise ValueError("every subarray needs at least two rows")
+        self._check_columns()
+        starts = np.concatenate([[0], np.cumsum(self.sizes)[:-1]])
+        object.__setattr__(self, "_start_cache", tuple(int(s) for s in starts))
+
+    @property
+    def subarrays(self) -> int:
+        return len(self.sizes)
+
+    @property
+    def subarray_sizes(self) -> tuple[int, ...]:
+        return self.sizes
+
+    def _starts(self) -> np.ndarray:
+        return np.asarray(self._start_cache)
+
+
+#: Geometry matching the paper's representative modules (1024-row subarrays,
+#: Fig. 2 spans rows 0-3071 across three subarrays).  Columns are kept at
+#: 2048 per bank to bound memory; column counts scale results, not shapes.
+DEFAULT_BANK_GEOMETRY = BankGeometry(subarrays=8, rows_per_subarray=1024, columns=2048)
+
+#: Small geometry for unit tests and quick examples.
+SMALL_BANK_GEOMETRY = BankGeometry(subarrays=4, rows_per_subarray=64, columns=128)

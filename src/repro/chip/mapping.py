@@ -1,0 +1,125 @@
+"""Logical-to-physical DRAM row address mapping.
+
+DRAM manufacturers remap logical row addresses to physical locations for
+routing and redundancy reasons (§3.1).  Characterization methodology must
+undo the mapping: the paper reverse engineers the layout following prior
+work, and `repro.core.remap` implements that procedure against these
+schemes.
+
+Two vendor-style schemes are provided alongside the identity mapping:
+
+* :class:`MirroredMapping` — within each block of 8 rows, rows are stored in
+  a bit-swizzled order (address bits 1 and 2 swapped), a simplified version
+  of the "mirrored" layouts observed in real DDR4 chips.
+* :class:`XorScrambleMapping` — the physical address XORs selected address
+  bits into lower bits, as laser-fuse remap structures do.
+
+All schemes are bijections on ``range(rows)``.
+"""
+
+from __future__ import annotations
+
+
+class RowMapping:
+    """Bijective logical->physical row address translation for one bank."""
+
+    def __init__(self, rows: int) -> None:
+        if rows < 1:
+            raise ValueError("rows must be positive")
+        self.rows = rows
+
+    def to_physical(self, logical: int) -> int:
+        """Physical row address of ``logical``."""
+        raise NotImplementedError
+
+    def to_logical(self, physical: int) -> int:
+        """Logical row address stored at ``physical``."""
+        raise NotImplementedError
+
+    def _check(self, row: int) -> None:
+        if not 0 <= row < self.rows:
+            raise IndexError(f"row {row} out of range [0, {self.rows})")
+
+
+class IdentityMapping(RowMapping):
+    """Logical addresses equal physical addresses."""
+
+    def to_physical(self, logical: int) -> int:
+        self._check(logical)
+        return logical
+
+    def to_logical(self, physical: int) -> int:
+        self._check(physical)
+        return physical
+
+
+class MirroredMapping(RowMapping):
+    """Bit-swizzle within 8-row blocks: address bits 1 and 2 are swapped.
+
+    Self-inverse, like the real "address mirroring" seen on some DIMM ranks.
+    ``rows`` must be a multiple of 8 so the swizzle stays in range.
+    """
+
+    def __init__(self, rows: int) -> None:
+        super().__init__(rows)
+        if rows % 8:
+            raise ValueError("MirroredMapping requires rows to be a multiple of 8")
+
+    def to_physical(self, logical: int) -> int:
+        self._check(logical)
+        bit1 = (logical >> 1) & 1
+        bit2 = (logical >> 2) & 1
+        swapped = logical & ~0b110
+        swapped |= bit1 << 2
+        swapped |= bit2 << 1
+        return swapped
+
+    def to_logical(self, physical: int) -> int:
+        # The swizzle is an involution.
+        return self.to_physical(physical)
+
+
+class XorScrambleMapping(RowMapping):
+    """XOR-based scramble: ``physical = logical ^ ((logical >> shift) & mask)``.
+
+    With ``mask`` confined to low bits and ``shift`` >= bit-length of
+    ``mask``, the transform is invertible (Feistel-like single round).
+    ``rows`` must be a power of two.
+    """
+
+    def __init__(self, rows: int, mask: int = 0b11, shift: int = 3) -> None:
+        super().__init__(rows)
+        if rows & (rows - 1):
+            raise ValueError("XorScrambleMapping requires power-of-two rows")
+        if shift <= mask.bit_length() - 1:
+            raise ValueError("shift must exceed the mask width for invertibility")
+        self.mask = mask
+        self.shift = shift
+
+    def to_physical(self, logical: int) -> int:
+        self._check(logical)
+        return (logical ^ ((logical >> self.shift) & self.mask)) % self.rows
+
+    def to_logical(self, physical: int) -> int:
+        self._check(physical)
+        # The scrambled bits are below ``shift``, so ``physical >> shift``
+        # equals ``logical >> shift`` and the XOR cancels itself.
+        return (physical ^ ((physical >> self.shift) & self.mask)) % self.rows
+
+
+_SCHEMES = {
+    "identity": IdentityMapping,
+    "mirrored": MirroredMapping,
+    "xor": XorScrambleMapping,
+}
+
+
+def make_mapping(scheme: str, rows: int) -> RowMapping:
+    """Instantiate a mapping scheme by name ('identity', 'mirrored', 'xor')."""
+    try:
+        cls = _SCHEMES[scheme]
+    except KeyError:
+        raise ValueError(
+            f"unknown mapping scheme {scheme!r}; choose from {sorted(_SCHEMES)}"
+        ) from None
+    return cls(rows)

@@ -1,0 +1,98 @@
+"""DRAM timing parameters (DDR4 / DDR5 / HBM2).
+
+Values follow the JEDEC DDR4 (JESD79-4C) and DDR5 (JESD79-5) standards and
+the parameters the paper uses (§2.1, §3.2, §6.1).  All times are seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util.units import MICRO, MILLI, NANO
+
+
+@dataclass(frozen=True)
+class TimingParameters:
+    """Command-to-command minimum delays for one DRAM generation.
+
+    Attributes:
+        t_ras: minimum ACT -> PRE delay.
+        t_rp:  minimum PRE -> ACT delay.
+        t_rcd: minimum ACT -> column command delay.
+        t_refi: average interval between REF commands.
+        t_refw: refresh window (every row refreshed once per window).
+        t_rfc: refresh-command busy time (all-bank).
+        t_ck: command-bus clock period.
+    """
+
+    t_ras: float
+    t_rp: float
+    t_rcd: float
+    t_refi: float
+    t_refw: float
+    t_rfc: float
+    t_ck: float
+
+    def __post_init__(self) -> None:
+        for name in ("t_ras", "t_rp", "t_rcd", "t_refi", "t_refw", "t_rfc", "t_ck"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.t_refi >= self.t_refw:
+            raise ValueError("t_refi must be smaller than t_refw")
+
+    @property
+    def t_rc(self) -> float:
+        """Minimum ACT -> ACT delay to the same bank (row cycle time)."""
+        return self.t_ras + self.t_rp
+
+    def activations_possible(self, window: float, t_agg_on: float | None = None) -> int:
+        """How many ACT commands fit in ``window`` when each activation keeps
+        the row open for ``t_agg_on`` (default: minimum, t_ras)."""
+        on_time = self.t_ras if t_agg_on is None else max(t_agg_on, self.t_ras)
+        return int(window // (on_time + self.t_rp))
+
+    def refreshes_per_window(self) -> int:
+        """Number of REF commands the controller issues per refresh window."""
+        return int(round(self.t_refw / self.t_refi))
+
+
+#: DDR4-3200 speed-bin timings used throughout the paper's methodology.
+DDR4 = TimingParameters(
+    t_ras=32 * NANO,
+    t_rp=14 * NANO,  # the paper's 36 ns tAggOn + 14 ns tRP example (§4.6)
+    t_rcd=14 * NANO,
+    t_refi=7.8 * MICRO,
+    t_refw=64 * MILLI,
+    t_rfc=350 * NANO,
+    t_ck=0.625 * NANO,
+)
+
+#: DDR5 32 Gb timings used in the §6.1 mitigation cost model.
+DDR5_32GB = TimingParameters(
+    t_ras=32 * NANO,
+    t_rp=15 * NANO,
+    t_rcd=15 * NANO,
+    t_refi=3.9 * MICRO,
+    t_refw=32 * MILLI,
+    t_rfc=410 * NANO,  # tRFC for 32 Gb density (§6.1 footnote)
+    t_ck=0.3125 * NANO,
+)
+
+#: HBM2 timings (per pseudo-channel), close to DDR4 array timings: the DRAM
+#: array is the same technology, which is why the paper expects DDR4
+#: observations to carry over (§4.8).
+HBM2 = TimingParameters(
+    t_ras=33 * NANO,
+    t_rp=15 * NANO,
+    t_rcd=15 * NANO,
+    t_refi=3.9 * MICRO,
+    t_refw=64 * MILLI,
+    t_rfc=260 * NANO,
+    t_ck=1.0 * NANO,
+)
+
+#: The paper's four tAggOn test values (§3.2).
+T_AGG_ON_VALUES = (36 * NANO, 7.8 * MICRO, 70.2 * MICRO, 1 * MILLI)
+
+#: Default aggressor-on time used in most experiments.
+T_AGG_ON_DEFAULT = 70.2 * MICRO

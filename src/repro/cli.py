@@ -1,0 +1,257 @@
+"""Command-line interface: quick access to the catalog, characterization,
+risk analysis, and mitigation planning.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro catalog
+    python -m repro floor S0 --temperature 85
+    python -m repro risk M8 --window 64
+    python -m repro characterize S4 --subarrays 4
+    python -m repro mitigations M8 --projected-scale 8
+    python -m repro datasheet M8
+    python -m repro run-program M8 examples/programs/press_attack.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections.abc import Sequence
+
+from repro._util.units import format_seconds
+from repro.analysis import DistributionSummary, seconds, table
+from repro.chip import (
+    BankGeometry,
+    CATALOG,
+    SimulatedModule,
+    get_module,
+)
+from repro.core import (
+    Campaign,
+    CampaignScale,
+    WORST_CASE,
+    refresh_window_risk,
+)
+from repro.refresh import columndisturb_safe_period, compare_mitigations
+
+_CLI_GEOMETRY = BankGeometry(subarrays=4, rows_per_subarray=256, columns=512)
+
+
+def _cmd_catalog(args: argparse.Namespace) -> str:
+    rows = [
+        [
+            spec.serial, spec.manufacturer, spec.density, spec.die_revision,
+            spec.organization, spec.interface, spec.chips,
+            format_seconds(spec.profile.first_flip_floor(85.0)),
+        ]
+        for spec in CATALOG.values()
+    ]
+    return table(
+        ["serial", "manufacturer", "density", "die", "org", "interface",
+         "chips", "CD floor @85C"],
+        rows,
+    )
+
+
+def _cmd_floor(args: argparse.Namespace) -> str:
+    spec = get_module(args.serial)
+    floor = spec.profile.first_flip_floor(args.temperature)
+    safe = columndisturb_safe_period(spec, args.temperature)
+    return "\n".join([
+        f"{spec.serial}: {spec.manufacturer} {spec.die_label}",
+        f"  time-to-first-bitflip floor @ {args.temperature:.0f}C: "
+        f"{format_seconds(floor)}",
+        f"  ColumnDisturb-safe refresh period: {format_seconds(safe)}",
+        f"  inside the 64 ms refresh window: "
+        f"{'YES - at risk' if floor <= 0.064 else 'no'}",
+    ])
+
+
+def _cmd_risk(args: argparse.Namespace) -> str:
+    spec = get_module(args.serial)
+    module = SimulatedModule(spec, geometry=_CLI_GEOMETRY)
+    module.set_temperature(args.temperature)
+    risk = refresh_window_risk(
+        module, window=args.window / 1000.0, temperature_c=args.temperature
+    )
+    lines = [
+        f"{spec.serial} @ {args.temperature:.0f}C, "
+        f"{args.window:.0f} ms window:",
+        f"  at risk: {'YES' if risk.at_risk else 'no'}",
+        f"  vulnerable cells: {risk.vulnerable_cells} in "
+        f"{risk.vulnerable_rows} rows",
+        f"  fastest bitflip: {seconds(risk.time_to_first)}",
+    ]
+    if risk.closest_victim_rows is not None:
+        lines.append(
+            f"  victim distance from aggressor: "
+            f"{risk.closest_victim_rows}-{risk.farthest_victim_rows} rows"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_characterize(args: argparse.Namespace) -> str:
+    scale = CampaignScale(
+        BankGeometry(
+            subarrays=args.subarrays, rows_per_subarray=args.rows,
+            columns=args.columns,
+        )
+    )
+    campaign = Campaign(scale=scale)
+    records = campaign.characterize_module(
+        args.serial, WORST_CASE, intervals=(0.512, 16.0)
+    )
+    summary = DistributionSummary.from_values(
+        [r.time_to_first for r in records]
+    )
+    rows = [
+        [
+            r.subarray, seconds(r.time_to_first), r.cd_flips[0.512],
+            r.cd_rows[0.512], r.cd_flips[16.0], r.ret_flips[16.0],
+        ]
+        for r in records
+    ]
+    body = table(
+        ["subarray", "time to 1st flip", "CD flips @512ms", "CD rows @512ms",
+         "CD flips @16s", "RET flips @16s"],
+        rows,
+    )
+    footer = (
+        f"\ntime-to-first-bitflip: min {seconds(summary.minimum)}, "
+        f"median {seconds(summary.median)}"
+        if summary.count
+        else "\nno bitflips within the 512 ms search window"
+    )
+    return body + footer
+
+
+def _cmd_datasheet(args: argparse.Namespace) -> str:
+    from repro.analysis.report import module_datasheet
+
+    return module_datasheet(args.serial)
+
+
+def _cmd_run_program(args: argparse.Namespace) -> str:
+    from pathlib import Path
+
+    from repro.bender import DramBender, parse_program
+
+    spec = get_module(args.serial)
+    geometry = BankGeometry(
+        subarrays=args.subarrays, rows_per_subarray=args.rows,
+        columns=args.columns,
+    )
+    module = SimulatedModule(spec, geometry=geometry)
+    module.set_temperature(args.temperature)
+    program = parse_program(Path(args.program).read_text(), name=args.program)
+    result = DramBender(module).execute(program)
+    lines = [
+        f"executed {args.program} on {args.serial} "
+        f"({format_seconds(result.elapsed)} of device time)"
+    ]
+    for record in result.reads:
+        flips = int(record.bits.sum())
+        label = record.tag or f"row {record.row}"
+        lines.append(
+            f"  {label}: {flips} ones / {len(record.bits)} bits"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_mitigations(args: argparse.Namespace) -> str:
+    spec = get_module(args.serial)
+    estimates = compare_mitigations(
+        spec, temperature_c=args.temperature,
+        projected_scale=args.projected_scale,
+    )
+    return table(
+        ["mitigation", "throughput loss", "refresh energy rate", "protects?"],
+        [
+            [
+                e.name, f"{e.throughput_loss:.1%}",
+                f"{e.refresh_energy_rate:.3f}",
+                "yes" if e.protects_columndisturb else "NO",
+            ]
+            for e in estimates
+        ],
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ColumnDisturb characterization and planning toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("catalog", help="list the Table 1 module population")
+
+    floor = sub.add_parser("floor", help="die time-to-first-bitflip floor")
+    floor.add_argument("serial", choices=sorted(CATALOG))
+    floor.add_argument("--temperature", type=float, default=85.0)
+
+    risk = sub.add_parser("risk", help="refresh-window vulnerability")
+    risk.add_argument("serial", choices=sorted(CATALOG))
+    risk.add_argument("--window", type=float, default=64.0,
+                      help="refresh window in ms")
+    risk.add_argument("--temperature", type=float, default=85.0)
+
+    character = sub.add_parser(
+        "characterize", help="per-subarray worst-case characterization"
+    )
+    character.add_argument("serial", choices=sorted(CATALOG))
+    character.add_argument("--subarrays", type=int, default=4)
+    character.add_argument("--rows", type=int, default=256)
+    character.add_argument("--columns", type=int, default=512)
+
+    mitigations = sub.add_parser(
+        "mitigations", help="compare §6.1 mitigation costs"
+    )
+    mitigations.add_argument("serial", choices=sorted(CATALOG))
+    mitigations.add_argument("--temperature", type=float, default=85.0)
+    mitigations.add_argument("--projected-scale", type=float, default=1.0)
+
+    datasheet = sub.add_parser(
+        "datasheet", help="full markdown datasheet for one module"
+    )
+    datasheet.add_argument("serial", choices=sorted(CATALOG))
+
+    run_program = sub.add_parser(
+        "run-program", help="execute a textual DRAM test program"
+    )
+    run_program.add_argument("serial", choices=sorted(CATALOG))
+    run_program.add_argument("program", help="path to the program file")
+    run_program.add_argument("--subarrays", type=int, default=4)
+    run_program.add_argument("--rows", type=int, default=256)
+    run_program.add_argument("--columns", type=int, default=512)
+    run_program.add_argument("--temperature", type=float, default=85.0)
+
+    return parser
+
+
+_HANDLERS = {
+    "catalog": _cmd_catalog,
+    "floor": _cmd_floor,
+    "risk": _cmd_risk,
+    "characterize": _cmd_characterize,
+    "mitigations": _cmd_mitigations,
+    "run-program": _cmd_run_program,
+    "datasheet": _cmd_datasheet,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        print(_HANDLERS[args.command](args))
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        import os
+        import sys
+
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0

@@ -1,0 +1,97 @@
+"""ColumnDisturb characterization core: the paper's methodology (§3.2).
+
+Metrics, filtering, the bisection time-to-first-bitflip search, subarray and
+row-mapping reverse engineering, retention profiling, and campaign drivers.
+"""
+
+from repro.core.analytic import (
+    GUARDBAND_ROWS,
+    VRT_TRIALS,
+    SubarrayOutcome,
+    SubarrayRole,
+    aggressor_column_multipliers,
+    disturb_outcome,
+    neighbour_column_multipliers,
+    retention_outcome,
+    retention_time_arrays,
+)
+from repro.core.bisection import BisectionResult, search_minimum_time
+from repro.core.cd_profiler import WeakRowProfile, profile_weak_rows
+from repro.core.campaign import (
+    QUICK_SCALE,
+    REDUCED_SCALE,
+    STANDARD_SCALE,
+    Campaign,
+    CampaignScale,
+    ModulePool,
+    SubarrayRecord,
+)
+from repro.core.config import (
+    AGGRESSOR_LOCATIONS,
+    REFRESH_INTERVALS_LONG,
+    REFRESH_INTERVALS_SHORT,
+    SEARCH_INTERVAL,
+    WORST_CASE,
+    DisturbConfig,
+)
+from repro.core.remap import find_physical_neighbours, recover_physical_order
+from repro.core.risk import (
+    RefreshWindowRisk,
+    WorstCaseSearchResult,
+    find_worst_case,
+    project_scaling,
+    refresh_window_risk,
+)
+from repro.core.retention_profiler import profile_retention, retention_failure_mask
+from repro.core.spatial import SpatialProfile, three_subarray_profile
+from repro.core.store import load_records, save_records
+from repro.core.subarrays import (
+    boundaries_from_clusters,
+    reverse_engineer_subarrays,
+    rows_share_subarray,
+)
+
+__all__ = [
+    "GUARDBAND_ROWS",
+    "VRT_TRIALS",
+    "SubarrayOutcome",
+    "SubarrayRole",
+    "aggressor_column_multipliers",
+    "disturb_outcome",
+    "neighbour_column_multipliers",
+    "retention_outcome",
+    "retention_time_arrays",
+    "BisectionResult",
+    "search_minimum_time",
+    "QUICK_SCALE",
+    "REDUCED_SCALE",
+    "STANDARD_SCALE",
+    "Campaign",
+    "CampaignScale",
+    "ModulePool",
+    "SubarrayRecord",
+    "AGGRESSOR_LOCATIONS",
+    "REFRESH_INTERVALS_LONG",
+    "REFRESH_INTERVALS_SHORT",
+    "SEARCH_INTERVAL",
+    "WORST_CASE",
+    "DisturbConfig",
+    "find_physical_neighbours",
+    "recover_physical_order",
+    "profile_retention",
+    "retention_failure_mask",
+    "SpatialProfile",
+    "three_subarray_profile",
+    "boundaries_from_clusters",
+    "reverse_engineer_subarrays",
+    "rows_share_subarray",
+    "RefreshWindowRisk",
+    "WorstCaseSearchResult",
+    "find_worst_case",
+    "project_scaling",
+    "refresh_window_risk",
+    "load_records",
+    "save_records",
+    "WeakRowProfile",
+    "profile_weak_rows",
+]

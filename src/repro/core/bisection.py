@@ -1,0 +1,185 @@
+"""Bisection search for the minimum time to the first ColumnDisturb bitflip.
+
+The paper's §3.2 algorithm: bisect on the hammer count needed to induce the
+first bitflip in a subarray, terminate when successive measurements differ
+by less than 1%, never exceed a 512 ms refresh-free window, repeat five
+times (to cover VRT), and convert the minimum hammer count to time.
+
+This is the *operational* path: it drives the bender with real command
+programs and decides solely from read-back data (with retention-profile and
+guardband filtering).  `repro.core.analytic` computes the same metric in
+closed form; the test suite cross-validates the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.bender.commands import Read, TestProgram, Write
+from repro.bender.executor import DramBender
+from repro.bender.program import hammer_program, multi_aggressor_program
+from repro.chip.datapattern import expand_pattern
+from repro.core.analytic import GUARDBAND_ROWS
+from repro.core.config import SEARCH_INTERVAL, DisturbConfig
+
+
+@dataclass
+class BisectionResult:
+    """Outcome of one time-to-first-bitflip search.
+
+    Attributes:
+        hammer_count: minimum hammer count found (``None`` if no bitflip
+            within the search interval in any trial).
+        time_to_first: ``hammer_count`` converted to seconds (``inf`` if no
+            bitflip was found).
+        per_trial_times: seconds measured by each repetition.
+        probes: total number of hammer-and-read probes issued.
+    """
+
+    hammer_count: int | None
+    time_to_first: float
+    per_trial_times: list[float]
+    probes: int
+
+
+def search_minimum_time(
+    bender: DramBender,
+    aggressor_logical: int,
+    victim_logicals: list[int],
+    config: DisturbConfig,
+    physical_of: Callable[[int], int],
+    retention_profile: np.ndarray | None = None,
+    repeats: int = 5,
+    tolerance: float = 0.01,
+    search_interval: float = SEARCH_INTERVAL,
+) -> BisectionResult:
+    """Run the §3.2 bisection search on one subarray.
+
+    Args:
+        bender: command interface to the bank under test.
+        aggressor_logical: logical address of the aggressor row.
+        victim_logicals: logical addresses of the subarray's other rows.
+        config: test condition (patterns, tAggOn, temperature, ...).
+        physical_of: logical->physical translation recovered by
+            `repro.core.remap` — needed to apply the +/-8-row guardband.
+        retention_profile: per-cell minimum retention times aligned with
+            ``victim_logicals`` (rows) — cells failing retention within the
+            search interval are ignored.  ``None`` disables the filter.
+        repeats: independent repetitions (VRT trials); minimum taken.
+        tolerance: relative bisection termination threshold (1% in §3.2).
+        search_interval: refresh-free window bound (512 ms in §3.2).
+    """
+    bank = bender.bank
+    bank.temperature_c = config.temperature_c
+    timing = bank.timing
+    t_agg_on = max(config.t_agg_on, timing.t_ras)
+    t_rp = config.t_rp if config.t_rp is not None else timing.t_rp
+    aggressors = [aggressor_logical]
+    patterns = {aggressor_logical: config.aggressor_pattern}
+    if config.is_two_aggressor:
+        second = _second_aggressor(aggressor_logical, victim_logicals, physical_of)
+        aggressors.append(second)
+        patterns[second] = config.second_aggressor_pattern
+    period = len(aggressors) * (t_agg_on + t_rp)
+    max_count = int(search_interval // period)
+    if max_count < 1:
+        raise ValueError("search interval shorter than one access period")
+
+    victims = [row for row in victim_logicals if row not in aggressors]
+    guarded = _apply_guardband(victims, aggressors, physical_of)
+    victim_bits = expand_pattern(
+        config.effective_victim_pattern, bank.geometry.columns
+    )
+    exclusion = _exclusion_mask(
+        victims, victim_logicals, retention_profile, search_interval, bank
+    )
+
+    probes = 0
+
+    def probe(count: int, nonce: object) -> bool:
+        nonlocal probes
+        probes += 1
+        bank.set_trial_nonce(nonce)
+        init = [Write(row, config.effective_victim_pattern) for row in victims]
+        init += [Write(row, patterns[row]) for row in aggressors]
+        bender.execute(TestProgram(init))
+        if len(aggressors) == 1:
+            program = hammer_program(aggressors[0], count, t_agg_on, t_rp)
+        else:
+            program = multi_aggressor_program(aggressors, count, t_agg_on, t_rp)
+        bender.execute(program)
+        readout = bender.execute(TestProgram([Read(row) for row in victims]))
+        for index, record in enumerate(readout.reads):
+            if record.row in guarded:
+                continue
+            flips = record.bits != victim_bits
+            flips &= ~exclusion[index]
+            if flips.any():
+                return True
+        return False
+
+    per_trial: list[float] = []
+    for trial in range(repeats):
+        nonce = ("bisection", trial)
+        if not probe(max_count, nonce):
+            per_trial.append(float("inf"))
+            continue
+        low, high = 0, max_count
+        while high - low > max(1, int(tolerance * high)):
+            mid = (low + high) // 2
+            if probe(mid, nonce):
+                high = mid
+            else:
+                low = mid
+        per_trial.append(high * period)
+    bank.set_trial_nonce(None)
+
+    finite = [t for t in per_trial if np.isfinite(t)]
+    if not finite:
+        return BisectionResult(None, float("inf"), per_trial, probes)
+    best = min(finite)
+    return BisectionResult(int(round(best / period)), best, per_trial, probes)
+
+
+def _second_aggressor(
+    aggressor: int, victim_logicals: list[int], physical_of
+) -> int:
+    """The §5.3 second aggressor: the row physically next to the first."""
+    target = physical_of(aggressor) + 1
+    for row in victim_logicals:
+        if physical_of(row) == target:
+            return row
+    target = physical_of(aggressor) - 1
+    for row in victim_logicals:
+        if physical_of(row) == target:
+            return row
+    raise ValueError("no physically adjacent row available as second aggressor")
+
+
+def _apply_guardband(victims, aggressors, physical_of) -> set[int]:
+    """Victims within +/-8 physical rows of any aggressor (§3.2 filter)."""
+    guarded = set()
+    aggressor_physical = [physical_of(row) for row in aggressors]
+    for row in victims:
+        physical = physical_of(row)
+        if any(abs(physical - ap) <= GUARDBAND_ROWS for ap in aggressor_physical):
+            guarded.add(row)
+    return guarded
+
+
+def _exclusion_mask(
+    victims, victim_logicals, retention_profile, search_interval, bank
+) -> np.ndarray:
+    """Per-victim-row mask of retention-weak cells to ignore."""
+    columns = bank.geometry.columns
+    if retention_profile is None:
+        return np.zeros((len(victims), columns), dtype=bool)
+    row_index = {row: i for i, row in enumerate(victim_logicals)}
+    mask = np.zeros((len(victims), columns), dtype=bool)
+    for index, row in enumerate(victims):
+        profiled = retention_profile[row_index[row]]
+        mask[index] = profiled <= search_interval
+    return mask

@@ -1,0 +1,139 @@
+"""Operational ColumnDisturb weak-row profiling.
+
+Retention-aware mechanisms need a per-row weak/strong map.  The classic
+retention profiler (`repro.core.retention_profiler`) finds retention-weak
+rows; this module finds *ColumnDisturb-weak* rows the way a real profiling
+campaign would have to: purely through the command interface —
+
+    for each subarray:
+        initialize victims, press the worst-case aggressor for the target
+        interval, read everything back, mark rows with bitflips;
+
+repeated over several trials (VRT), unioned over aggressor placements if
+requested.  The result is the row classification a ColumnDisturb-aware
+RAIDR deployment would burn into its weak-row store — and what Fig. 22/23
+quantify the cost of.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bender.commands import Read, TestProgram, Wait, Write
+from repro.bender.executor import DramBender
+from repro.bender.program import hammer_program
+from repro.chip.datapattern import expand_pattern
+from repro.core.config import DisturbConfig
+
+
+@dataclass
+class WeakRowProfile:
+    """Operationally measured weak-row map of one bank.
+
+    Attributes:
+        strong_interval: classification target (seconds).
+        retention_weak: logical rows with retention failures within the
+            interval.
+        columndisturb_weak: logical rows with bitflips under worst-case
+            ColumnDisturb pressing within the interval (superset of most
+            retention-weak rows by construction: the disturb run includes
+            intrinsic leakage).
+        trials: repetitions performed.
+    """
+
+    strong_interval: float
+    retention_weak: set[int]
+    columndisturb_weak: set[int]
+    trials: int
+
+    @property
+    def weak_rows(self) -> set[int]:
+        """The union a ColumnDisturb-aware mechanism must refresh fast."""
+        return self.retention_weak | self.columndisturb_weak
+
+    def inflation(self) -> float:
+        """Weak-set growth caused by ColumnDisturb."""
+        if not self.retention_weak:
+            return float("inf") if self.columndisturb_weak else 1.0
+        return len(self.weak_rows) / len(self.retention_weak)
+
+
+def profile_weak_rows(
+    bender: DramBender,
+    strong_interval: float,
+    config: DisturbConfig | None = None,
+    trials: int = 3,
+    subarrays: list[int] | None = None,
+) -> WeakRowProfile:
+    """Profile a bank's weak rows operationally (see module docs).
+
+    Args:
+        bender: command interface to the bank under test.
+        strong_interval: the retention-aware mechanism's strong interval.
+        config: disturb condition (default: worst case).
+        trials: repetitions; a row is weak if it EVER failed (min-over-VRT,
+            like the paper's retention methodology).
+        subarrays: subarrays to test (default: all).
+    """
+    if trials < 1:
+        raise ValueError("trials must be positive")
+    module = bender.module
+    bank = bender.bank
+    geometry = bank.geometry
+    config = config or DisturbConfig()
+    victim_pattern = config.effective_victim_pattern
+    victim_bits = expand_pattern(victim_pattern, geometry.columns)
+    targets = subarrays if subarrays is not None else list(
+        range(geometry.subarrays)
+    )
+
+    retention_weak: set[int] = set()
+    disturb_weak: set[int] = set()
+    for trial in range(trials):
+        bender.bank.set_trial_nonce(("cd-profile", trial))
+        for subarray in targets:
+            logical_rows = [
+                module.to_logical(row) for row in geometry.row_range(subarray)
+            ]
+            aggressor = module.to_logical(
+                config.aggressor_row(geometry, subarray)
+            )
+            # --- retention pass: idle bank for the interval ---------
+            _initialize(bender, logical_rows, victim_pattern)
+            bender.execute(TestProgram([Wait(strong_interval)]))
+            for row, bits in _read_rows(bender, logical_rows):
+                if not np.array_equal(bits, victim_bits):
+                    retention_weak.add(row)
+            # --- disturb pass: press the aggressor for the interval --
+            _initialize(bender, logical_rows, victim_pattern)
+            bender.execute(
+                TestProgram([Write(aggressor, config.aggressor_pattern)])
+            )
+            t_agg_on = max(config.t_agg_on, bank.timing.t_ras)
+            t_rp = config.t_rp if config.t_rp is not None else bank.timing.t_rp
+            count = max(1, int(strong_interval // (t_agg_on + t_rp)))
+            bender.execute(hammer_program(aggressor, count, t_agg_on, t_rp))
+            for row, bits in _read_rows(bender, logical_rows):
+                if row == aggressor:
+                    continue
+                if not np.array_equal(bits, victim_bits):
+                    disturb_weak.add(row)
+    bender.bank.set_trial_nonce(None)
+    return WeakRowProfile(
+        strong_interval=strong_interval,
+        retention_weak=retention_weak,
+        columndisturb_weak=disturb_weak,
+        trials=trials,
+    )
+
+
+def _initialize(bender: DramBender, rows: list[int], pattern: int) -> None:
+    bender.execute(TestProgram([Write(row, pattern) for row in rows]))
+
+
+def _read_rows(bender: DramBender, rows: list[int]):
+    result = bender.execute(TestProgram([Read(row) for row in rows]))
+    for record in result.reads:
+        yield record.row, record.bits

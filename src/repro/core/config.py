@@ -1,0 +1,113 @@
+"""Experiment configuration: the §3.2 test parameters as one value object.
+
+A :class:`DisturbConfig` captures everything that defines one ColumnDisturb
+test condition: aggressor/victim data patterns, aggressor-on time, recovery
+time, temperature, the optional second aggressor of the §5.3 two-aggressor
+pattern, and where in the subarray the aggressor sits (§5.5).
+
+`WORST_CASE` is the condition under which tested chips are most vulnerable
+(aggressor all-0, victims all-1, tAggOn = 70.2 us, 85C) — the paper uses it
+for all §5 experiments unless stated otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.chip.datapattern import check_pattern, invert_pattern
+from repro.chip.geometry import BankGeometry
+from repro.chip.timing import T_AGG_ON_DEFAULT
+
+AGGRESSOR_LOCATIONS = ("beginning", "middle", "end")
+
+#: The paper's tested refresh intervals for count metrics (§4.3-§4.7).
+REFRESH_INTERVALS_LONG = (1.0, 2.0, 4.0, 8.0, 16.0)
+REFRESH_INTERVALS_SHORT = (0.064, 0.128, 0.256, 0.512, 1.024)
+
+#: Bisection searches give up if no bitflip occurs within this interval
+#: (§3.2: "we do not issue any REF commands for 512 ms").
+SEARCH_INTERVAL = 0.512
+
+
+@dataclass(frozen=True)
+class DisturbConfig:
+    """One ColumnDisturb test condition.
+
+    Attributes:
+        aggressor_pattern: data pattern byte written to the aggressor row.
+        victim_pattern: data pattern of victim rows; ``None`` means the
+            negated aggressor pattern (the paper's initialization rule).
+        t_agg_on: how long the aggressor stays open per activation.
+        t_rp: precharge recovery time per activation (``None``: DDR4 tRP).
+        temperature_c: device temperature.
+        second_aggressor_pattern: if set, use the §5.3 two-aggressor access
+            pattern; the second aggressor carries this pattern.
+        aggressor_location: 'beginning' | 'middle' | 'end' of the subarray.
+    """
+
+    aggressor_pattern: int = 0x00
+    victim_pattern: int | None = None
+    t_agg_on: float = T_AGG_ON_DEFAULT
+    t_rp: float | None = None
+    temperature_c: float = 85.0
+    second_aggressor_pattern: int | None = None
+    aggressor_location: str = "middle"
+
+    def __post_init__(self) -> None:
+        check_pattern(self.aggressor_pattern)
+        if self.victim_pattern is not None:
+            check_pattern(self.victim_pattern)
+        if self.second_aggressor_pattern is not None:
+            check_pattern(self.second_aggressor_pattern)
+        if self.t_agg_on <= 0:
+            raise ValueError("t_agg_on must be positive")
+        if self.t_rp is not None and self.t_rp <= 0:
+            raise ValueError("t_rp must be positive")
+        if self.aggressor_location not in AGGRESSOR_LOCATIONS:
+            raise ValueError(
+                f"aggressor_location must be one of {AGGRESSOR_LOCATIONS}"
+            )
+
+    @property
+    def effective_victim_pattern(self) -> int:
+        """Victim pattern byte (negated aggressor pattern by default)."""
+        if self.victim_pattern is not None:
+            return self.victim_pattern
+        return invert_pattern(self.aggressor_pattern)
+
+    @property
+    def is_two_aggressor(self) -> bool:
+        """Whether this is the §5.3 two-aggressor access pattern."""
+        return self.second_aggressor_pattern is not None
+
+    def aggressor_row(self, geometry: BankGeometry, subarray: int) -> int:
+        """Physical aggressor row for this config's location rule."""
+        rows = geometry.row_range(subarray)
+        if self.aggressor_location == "beginning":
+            return rows.start
+        if self.aggressor_location == "end":
+            return rows.stop - 1
+        return geometry.middle_row(subarray)
+
+    def second_aggressor_row(self, geometry: BankGeometry, subarray: int) -> int:
+        """Physical second-aggressor row (next to the first)."""
+        first = self.aggressor_row(geometry, subarray)
+        rows = geometry.row_range(subarray)
+        return first + 1 if first + 1 < rows.stop else first - 1
+
+    def at_temperature(self, temperature_c: float) -> "DisturbConfig":
+        """Copy at a different temperature."""
+        return replace(self, temperature_c=temperature_c)
+
+    def with_t_agg_on(self, t_agg_on: float) -> "DisturbConfig":
+        """Copy with a different aggressor-on time."""
+        return replace(self, t_agg_on=t_agg_on)
+
+
+#: Most-vulnerable condition (used throughout §5 unless stated otherwise).
+WORST_CASE = DisturbConfig(
+    aggressor_pattern=0x00,
+    victim_pattern=0xFF,
+    t_agg_on=T_AGG_ON_DEFAULT,
+    temperature_c=85.0,
+)

@@ -1,0 +1,106 @@
+"""Logical-to-physical row-mapping reverse engineering (§3.1).
+
+DRAM vendors do not document their internal row layout, yet read-disturbance
+methodology must know physical adjacency (to find RowHammer victims and to
+place guardbands).  Prior work recovers the layout by hammering each row and
+observing *which logical rows* show RowHammer bitflips — those are the
+physical +/-1 neighbours.  Chaining the neighbour relation yields the
+physical row order.
+
+This module implements that procedure over the bender interface.  It is
+deliberately operational (no peeking at `SimulatedModule.mapping`): the test
+suite validates the recovered order against the ground-truth mapping.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.bender.commands import Read, TestProgram, Write
+from repro.bender.executor import DramBender
+from repro.bender.program import hammer_program
+
+# Victims hold all-0 and the aggressor all-1: ColumnDisturb can only
+# discharge charged cells (1 -> 0) and an all-1 aggressor does not lower any
+# bitline, so *only RowHammer* can flip these victims — the same
+# discriminator the paper uses to attribute +/-1-row bitflips to RowHammer
+# (§4.2, footnote 9).
+_VICTIM_PATTERN = 0x00
+_AGGRESSOR_PATTERN = 0xFF
+
+
+def find_physical_neighbours(
+    bender: DramBender,
+    logical_row: int,
+    candidates: Sequence[int],
+    hammer_count: int = 500_000_000,
+) -> list[int]:
+    """Logical rows showing RowHammer bitflips when ``logical_row`` is
+    hammered: the physical +/-1 neighbours.
+
+    ``hammer_count`` must push well past typical neighbour-cell thresholds
+    (5e8 minimum-length activations, ~23 s of device time, flips >10% of
+    neighbour cells under the calibrated thresholds).
+    """
+    timing = bender.bank.timing
+    candidates = [row for row in candidates if row != logical_row]
+    init = TestProgram(
+        [Write(row, _VICTIM_PATTERN) for row in candidates]
+        + [Write(logical_row, _AGGRESSOR_PATTERN)]
+    )
+    bender.execute(init)
+    bender.execute(
+        hammer_program(logical_row, hammer_count, timing.t_ras, timing.t_rp)
+    )
+    readout = bender.execute(TestProgram([Read(row) for row in candidates]))
+    victim_bits = bender.bank._coerce_bits(_VICTIM_PATTERN)
+    neighbours = []
+    for record in readout.reads:
+        flip_fraction = float(np.mean(record.bits != victim_bits))
+        # All-0 victims rule out ColumnDisturb/retention flips entirely;
+        # the threshold only guards against pathological single-cell noise.
+        if flip_fraction >= 0.02:
+            neighbours.append(record.row)
+    return neighbours
+
+
+def recover_physical_order(
+    bender: DramBender,
+    rows: Sequence[int],
+    hammer_count: int = 500_000_000,
+) -> list[int]:
+    """Recover the physical order of ``rows`` (one subarray's logical rows)
+    by chaining hammer-derived adjacency.
+
+    Returns the rows in physical sequence.  The order is recovered up to
+    reversal (a tester cannot distinguish "up" from "down"); this function
+    normalizes by starting from the endpoint with the smaller logical
+    address.
+    """
+    rows = list(rows)
+    adjacency: dict[int, list[int]] = {}
+    for row in rows:
+        adjacency[row] = find_physical_neighbours(
+            bender, row, rows, hammer_count=hammer_count
+        )
+    endpoints = sorted(row for row, nbrs in adjacency.items() if len(nbrs) == 1)
+    if len(endpoints) != 2:
+        raise RuntimeError(
+            f"expected a 2-endpoint physical chain, found endpoints {endpoints}"
+        )
+    order = [endpoints[0]]
+    previous = None
+    while True:
+        current = order[-1]
+        next_rows = [row for row in adjacency[current] if row != previous]
+        if not next_rows:
+            break
+        if len(next_rows) > 1:
+            raise RuntimeError(f"ambiguous adjacency at row {current}: {next_rows}")
+        previous = current
+        order.append(next_rows[0])
+    if len(order) != len(rows):
+        raise RuntimeError("adjacency chain did not cover all rows")
+    return order

@@ -1,0 +1,75 @@
+"""Retention profiling: the state-of-the-art methodology of §3.2.
+
+For five data patterns and many repetitions (to bound variable retention
+time from below), write, wait, read, and record the smallest interval at
+which each cell ever failed.  The resulting per-cell minimum retention time
+is the exclusion filter for every ColumnDisturb experiment: a bitflip only
+counts as ColumnDisturb if the cell never failed retention within the test
+interval.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.bender.commands import Read, TestProgram, Wait, Write
+from repro.bender.executor import DramBender
+from repro.chip.datapattern import PAPER_PATTERNS, expand_pattern, invert_pattern
+
+
+def profile_retention(
+    bender: DramBender,
+    rows: Sequence[int],
+    intervals: Sequence[float],
+    patterns: Sequence[int] = PAPER_PATTERNS,
+    trials: int = 50,
+) -> np.ndarray:
+    """Per-cell minimum observed retention time.
+
+    Args:
+        bender: command interface to the bank under test.
+        rows: logical rows to profile.
+        intervals: retention intervals to test, in seconds (ascending).
+        patterns: data patterns; each cell is tested with every pattern and
+            its negation rule (victims hold the pattern itself here — the
+            cell's own stored value is what retention exercises).
+        trials: repetitions per (pattern, interval) to bound VRT (§3.2
+            repeats 50 times and keeps the lowest observed retention time).
+
+    Returns:
+        Array of shape (len(rows), columns): the smallest tested interval at
+        which the cell ever flipped, ``inf`` where the cell never failed.
+    """
+    if not intervals:
+        raise ValueError("need at least one interval")
+    intervals = sorted(intervals)
+    columns = bender.bank.geometry.columns
+    minimum = np.full((len(rows), columns), np.inf)
+    for trial in range(trials):
+        bender.bank.set_trial_nonce(("retention-profile", trial))
+        for pattern in patterns:
+            for value in (pattern, invert_pattern(pattern)):
+                expected = expand_pattern(value, columns)
+                for interval in intervals:
+                    program = TestProgram(
+                        [Write(row, value) for row in rows]
+                        + [Wait(interval)]
+                        + [Read(row) for row in rows]
+                    )
+                    result = bender.execute(program)
+                    for index, record in enumerate(result.reads):
+                        failed = record.bits != expected
+                        update = failed & (interval < minimum[index])
+                        minimum[index][update] = interval
+    bender.bank.set_trial_nonce(None)
+    return minimum
+
+
+def retention_failure_mask(
+    profile: np.ndarray, test_interval: float
+) -> np.ndarray:
+    """Cells to exclude from ColumnDisturb counts at ``test_interval``:
+    those whose profiled minimum retention time is within the interval."""
+    return profile <= test_interval

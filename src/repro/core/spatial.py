@@ -1,0 +1,135 @@
+"""Spatial bitflip profiles: the Fig. 2 experiment.
+
+Hammer/press one aggressor row and count, per victim row across the
+aggressor's subarray and its two neighbours, the bitflips attributable to
+each mechanism: ColumnDisturb, RowHammer, RowPress, and retention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chip.catalog import get_module
+from repro.chip.datapattern import expand_pattern
+from repro.chip.module import SimulatedModule
+from repro.core.analytic import SubarrayRole, disturb_outcome, retention_outcome
+from repro.core.campaign import STANDARD_SCALE, CampaignScale
+from repro.core.config import DisturbConfig
+from repro.physics.rowhammer import neighbour_flip_mask
+
+
+@dataclass
+class SpatialProfile:
+    """Per-row bitflip counts across three consecutive subarrays.
+
+    Attributes:
+        rows: physical row addresses covered (contiguous).
+        aggressor_row: the hammered/pressed row.
+        columndisturb: ColumnDisturb bitflips per row (hammer/press run).
+        rowhammer: RowHammer bitflips per row (minimum-tAggOn hammering).
+        rowpress: RowPress bitflips per row (tAggOn = 70.2 us pressing).
+        retention: retention failures per row (idle bank).
+        boundaries: physical row addresses where subarrays begin.
+    """
+
+    rows: np.ndarray
+    aggressor_row: int
+    columndisturb: np.ndarray
+    rowhammer: np.ndarray
+    rowpress: np.ndarray
+    retention: np.ndarray
+    boundaries: list[int]
+
+    def rows_with_columndisturb(self) -> int:
+        """Rows with at least one ColumnDisturb bitflip."""
+        return int((self.columndisturb > 0).sum())
+
+
+def three_subarray_profile(
+    serial: str = "S0",
+    duration: float = 16.0,
+    scale: CampaignScale = STANDARD_SCALE,
+    aggressor_subarray: int = 1,
+    config: DisturbConfig | None = None,
+) -> SpatialProfile:
+    """Reproduce the Fig. 2 experiment.
+
+    The aggressor (middle row of ``aggressor_subarray``) is pressed with
+    tAggOn = 70.2 us for ``duration`` seconds; ColumnDisturb bitflips are
+    counted per row across the aggressor subarray and both neighbours.
+    Separate equal-duration runs measure RowHammer (minimum tAggOn),
+    RowPress, and retention failures, as in the paper's methodology.
+    """
+    spec = get_module(serial)
+    module = SimulatedModule(spec, geometry=scale.geometry)
+    geometry = scale.geometry
+    if config is None:
+        config = DisturbConfig(aggressor_pattern=0x00, victim_pattern=0xFF)
+    bank = module.bank()
+    timing = module.timing
+    aggressor_row = config.aggressor_row(geometry, aggressor_subarray)
+    aggressor_local = geometry.row_within_subarray(aggressor_row)
+    rps = geometry.rows_per_subarray
+
+    subarrays = [aggressor_subarray - 1, aggressor_subarray, aggressor_subarray + 1]
+    roles = [SubarrayRole.UPPER_NEIGHBOUR, SubarrayRole.AGGRESSOR,
+             SubarrayRole.LOWER_NEIGHBOUR]
+    cd_rows, ret_rows = [], []
+    for subarray, role in zip(subarrays, roles):
+        population = bank.population(subarray)
+        outcome = disturb_outcome(
+            population,
+            config,
+            timing=timing,
+            role=role,
+            aggressor_local_row=aggressor_local if role is SubarrayRole.AGGRESSOR
+            else None,
+            # The figure separates mechanisms itself: exclude only the
+            # immediate +/-1 RowHammer rows from the ColumnDisturb curve.
+            guardband=1,
+        )
+        cd_rows.append(outcome.per_row_flip_counts(duration))
+        ret_rows.append(
+            retention_outcome(
+                population, config.temperature_c,
+                victim_pattern=config.effective_victim_pattern,
+            ).per_row_flip_counts(duration)
+        )
+
+    total_rows = len(subarrays) * rps
+    rowhammer = np.zeros(total_rows, dtype=np.int64)
+    rowpress = np.zeros(total_rows, dtype=np.int64)
+    start_row = subarrays[0] * rps
+    victim_bits = expand_pattern(config.effective_victim_pattern, geometry.columns)
+    profile = spec.profile
+    hammer_specs = (
+        (rowhammer, timing.t_ras),  # RowHammer: minimum-length activations
+        (rowpress, max(config.t_agg_on, timing.t_ras)),  # RowPress
+    )
+    for counts, t_agg_on in hammer_specs:
+        activations = duration / (t_agg_on + timing.t_rp)
+        effective = activations * profile.rowpress_amplification(
+            t_agg_on, timing.t_ras
+        )
+        population = bank.population(aggressor_subarray)
+        for victim in (aggressor_row - 1, aggressor_row + 1):
+            if geometry.subarray_of_row(victim) != aggressor_subarray:
+                continue
+            local = geometry.row_within_subarray(victim)
+            stored = np.broadcast_to(victim_bits, (geometry.columns,))
+            flips = neighbour_flip_mask(
+                population.hammer_thresholds[local], stored, effective
+            )
+            counts[victim - start_row] = int(flips.sum())
+
+    return SpatialProfile(
+        rows=np.arange(start_row, start_row + total_rows),
+        aggressor_row=aggressor_row,
+        columndisturb=np.concatenate(cd_rows),
+        rowhammer=rowhammer,
+        rowpress=rowpress,
+        retention=np.concatenate(ret_rows),
+        boundaries=[subarray * rps for subarray in subarrays],
+    )

@@ -1,0 +1,84 @@
+"""Persistence of characterization results.
+
+Real campaigns run for days; their results must outlive the process.
+`save_records` / `load_records` serialize `SubarrayRecord` lists to a
+versioned JSON document, so planning (`repro.refresh.planner`) and
+reporting can run on stored results without re-simulating.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.campaign import SubarrayRecord
+
+FORMAT_VERSION = 1
+
+
+def _record_to_dict(record: SubarrayRecord) -> dict:
+    return {
+        "serial": record.serial,
+        "manufacturer": record.manufacturer,
+        "die_label": record.die_label,
+        "chip": record.chip,
+        "bank": record.bank,
+        "subarray": record.subarray,
+        "rows": record.rows,
+        "cells": record.cells,
+        # JSON has no inf: represent censored searches as null.
+        "time_to_first": (
+            None if record.time_to_first == float("inf")
+            else record.time_to_first
+        ),
+        "cd_flips": {str(k): v for k, v in record.cd_flips.items()},
+        "cd_rows": {str(k): v for k, v in record.cd_rows.items()},
+        "ret_flips": {str(k): v for k, v in record.ret_flips.items()},
+        "ret_rows": {str(k): v for k, v in record.ret_rows.items()},
+    }
+
+
+def _record_from_dict(data: dict) -> SubarrayRecord:
+    return SubarrayRecord(
+        serial=data["serial"],
+        manufacturer=data["manufacturer"],
+        die_label=data["die_label"],
+        chip=data["chip"],
+        bank=data["bank"],
+        subarray=data["subarray"],
+        rows=data["rows"],
+        cells=data["cells"],
+        time_to_first=(
+            float("inf") if data["time_to_first"] is None
+            else float(data["time_to_first"])
+        ),
+        cd_flips={float(k): v for k, v in data["cd_flips"].items()},
+        cd_rows={float(k): v for k, v in data["cd_rows"].items()},
+        ret_flips={float(k): v for k, v in data["ret_flips"].items()},
+        ret_rows={float(k): v for k, v in data["ret_rows"].items()},
+    )
+
+
+def save_records(
+    records: list[SubarrayRecord], path: str | Path, metadata: dict | None = None
+) -> None:
+    """Write campaign records (plus free-form ``metadata``) to JSON."""
+    document = {
+        "format_version": FORMAT_VERSION,
+        "metadata": metadata or {},
+        "records": [_record_to_dict(record) for record in records],
+    }
+    Path(path).write_text(json.dumps(document, indent=1, sort_keys=True))
+
+
+def load_records(path: str | Path) -> tuple[list[SubarrayRecord], dict]:
+    """Read campaign records and their metadata back from JSON."""
+    document = json.loads(Path(path).read_text())
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported record format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    records = [_record_from_dict(entry) for entry in document["records"]]
+    return records, document.get("metadata", {})

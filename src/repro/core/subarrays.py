@@ -1,0 +1,102 @@
+"""Subarray-boundary reverse engineering via RowClone (§3.2).
+
+Real DRAM chips can perform RowClone — an in-DRAM row copy triggered by two
+consecutive activations — but only between rows that share sense amplifiers,
+i.e. rows of the same subarray.  The paper exploits this: RowClone every
+(source, destination) pair and cluster rows by copy success.
+
+Probing every pair is O(rows^2); this implementation keeps the observable
+identical while probing each row only against one representative per
+already-discovered cluster (O(rows x subarrays) RowClones), which is how a
+practical campaign would batch it.  An exhaustive mode is available for
+validation on small banks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bender.commands import Read, TestProgram, Write
+from repro.bender.executor import DramBender
+from repro.bender.program import rowclone_program
+
+_MARKER_PATTERN = 0x5A
+_BLANK_PATTERN = 0x00
+
+
+def rows_share_subarray(bender: DramBender, source: int, destination: int) -> bool:
+    """Probe whether two logical rows share a subarray: write a marker to
+    ``source``, blank ``destination``, RowClone, and check whether the
+    marker arrived."""
+    if source == destination:
+        return True
+    bender.execute(
+        TestProgram(
+            [Write(source, _MARKER_PATTERN), Write(destination, _BLANK_PATTERN)]
+        )
+    )
+    bender.execute(rowclone_program(source, destination))
+    readback = bender.execute(TestProgram([Read(destination)])).reads[0].bits
+    marker = bender.bank._coerce_bits(_MARKER_PATTERN)
+    return bool(np.array_equal(readback, marker))
+
+
+def reverse_engineer_subarrays(
+    bender: DramBender, exhaustive: bool = False
+) -> list[list[int]]:
+    """Cluster all logical rows of the bank into subarrays.
+
+    Returns clusters of logical row addresses, ordered by the physical
+    position of their first-discovered member.  With ``exhaustive=True``,
+    every pair is probed (the paper's literal procedure) and the transitive
+    consistency of the observable is verified.
+    """
+    rows = bender.bank.geometry.rows
+    clusters: list[list[int]] = []
+    for row in range(rows):
+        placed = False
+        for cluster in clusters:
+            if rows_share_subarray(bender, cluster[0], row):
+                cluster.append(row)
+                placed = True
+                break
+        if not placed:
+            clusters.append([row])
+    if exhaustive:
+        _verify_exhaustive(bender, clusters)
+    return clusters
+
+
+def _verify_exhaustive(bender: DramBender, clusters: list[list[int]]) -> None:
+    """Probe every pair and check consistency with the clustering."""
+    membership = {}
+    for index, cluster in enumerate(clusters):
+        for row in cluster:
+            membership[row] = index
+    rows = bender.bank.geometry.rows
+    for source in range(rows):
+        for destination in range(source + 1, rows):
+            same = rows_share_subarray(bender, source, destination)
+            expected = membership[source] == membership[destination]
+            if same != expected:
+                raise RuntimeError(
+                    f"inconsistent RowClone observable for rows "
+                    f"({source}, {destination})"
+                )
+
+
+def boundaries_from_clusters(
+    clusters: list[list[int]], to_physical
+) -> list[tuple[int, int]]:
+    """Physical (start, stop) row ranges of each cluster, sorted by start.
+
+    ``to_physical`` is the logical->physical translation (available once the
+    row mapping has been reverse engineered, see `repro.core.remap`).
+    """
+    ranges = []
+    for cluster in clusters:
+        physical = sorted(to_physical(row) for row in cluster)
+        if physical != list(range(physical[0], physical[-1] + 1)):
+            raise RuntimeError("cluster is not physically contiguous")
+        ranges.append((physical[0], physical[-1] + 1))
+    return sorted(ranges)

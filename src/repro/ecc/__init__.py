@@ -1,0 +1,45 @@
+"""Error-correcting-code models and ColumnDisturb ECC analyses (§5.6)."""
+
+from repro.ecc.analysis import (
+    CHUNK_BITS,
+    ChunkProtectionSummary,
+    MiscorrectionResult,
+    chunk_flip_histogram,
+    double_error_miscorrection,
+)
+from repro.ecc.hamming import (
+    HAMMING_7_4,
+    ONDIE_SEC_136_128,
+    SECDED_72_64,
+    DecodeResult,
+    DecodeStatus,
+    HammingCode,
+)
+from repro.ecc.ondie import (
+    BatchDecodeResult,
+    EccReadOutcome,
+    OnDieEccArray,
+    decode_many,
+    encode_many,
+    parity_check_matrix,
+)
+
+__all__ = [
+    "CHUNK_BITS",
+    "ChunkProtectionSummary",
+    "MiscorrectionResult",
+    "chunk_flip_histogram",
+    "double_error_miscorrection",
+    "HAMMING_7_4",
+    "ONDIE_SEC_136_128",
+    "SECDED_72_64",
+    "DecodeResult",
+    "DecodeStatus",
+    "HammingCode",
+    "BatchDecodeResult",
+    "EccReadOutcome",
+    "OnDieEccArray",
+    "decode_many",
+    "encode_many",
+    "parity_check_matrix",
+]

@@ -1,0 +1,154 @@
+"""Hamming codes: (7,4), on-die SEC (136,128), and SECDED (72,64).
+
+Classic positional construction: codeword bit positions are numbered
+1..n, parity bits sit at power-of-two positions, and the syndrome of a
+received word equals the XOR of the positions of its set bits — which is
+the error position for a single-bit error.
+
+Shortened single-error-correcting codes such as the (136,128) used on DDR5
+dies can *miscorrect* double-bit errors: the syndrome of two flipped
+positions usually points at a third, valid position, so "correcting" it
+adds a third bitflip (Obs 27).  The extended (SECDED) variant adds an
+overall parity bit that separates odd from even error counts, detecting
+(not correcting) double errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+
+class DecodeStatus(Enum):
+    """Decoder verdict for one codeword."""
+
+    CLEAN = "clean"  # zero syndrome: no error detected
+    CORRECTED = "corrected"  # single-bit error corrected (or miscorrected!)
+    DETECTED = "detected"  # uncorrectable error detected
+
+
+@dataclass
+class DecodeResult:
+    """Decoded data plus the decoder's verdict.
+
+    ``codeword`` is the post-correction codeword; comparing it against the
+    transmitted ground truth (which a real decoder does not have) reveals
+    miscorrections.
+    """
+
+    data: np.ndarray
+    status: DecodeStatus
+    codeword: np.ndarray
+
+
+class HammingCode:
+    """A (possibly shortened, possibly extended) binary Hamming code.
+
+    Args:
+        data_bits: message length k.
+        extended: add an overall parity bit (SECDED).
+
+    The total length is ``k + r (+ 1 if extended)`` with the minimum r such
+    that ``2**r >= k + r + 1``.
+    """
+
+    def __init__(self, data_bits: int, extended: bool = False) -> None:
+        if data_bits < 1:
+            raise ValueError("data_bits must be positive")
+        self.data_bits = data_bits
+        self.extended = extended
+        parity = 1
+        while (1 << parity) < data_bits + parity + 1:
+            parity += 1
+        self.parity_bits = parity
+        self.n = data_bits + parity  # without the extended parity bit
+        # Positions 1..n; parity bits at powers of two.
+        self._parity_positions = [1 << i for i in range(parity)]
+        self._data_positions = [
+            p for p in range(1, self.n + 1) if p & (p - 1) != 0
+        ][:data_bits]
+
+    @property
+    def codeword_bits(self) -> int:
+        """Total codeword length, including any extended parity bit."""
+        return self.n + (1 if self.extended else 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "SECDED" if self.extended else "SEC"
+        return f"HammingCode({self.codeword_bits},{self.data_bits}) [{kind}]"
+
+    # ------------------------------------------------------------------
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Encode ``data`` (uint8 bit vector of length k) into a codeword."""
+        data = np.asarray(data, dtype=np.uint8)
+        if data.shape != (self.data_bits,):
+            raise ValueError(f"data must have shape ({self.data_bits},)")
+        if np.any(data > 1):
+            raise ValueError("data bits must be 0 or 1")
+        word = np.zeros(self.n + 1, dtype=np.uint8)  # index 0 unused
+        for position, bit in zip(self._data_positions, data):
+            word[position] = bit
+        syndrome = self._syndrome(word)
+        for i, position in enumerate(self._parity_positions):
+            word[position] = (syndrome >> i) & 1
+        codeword = word[1:]
+        if self.extended:
+            overall = np.uint8(codeword.sum() & 1)
+            codeword = np.concatenate([codeword, [overall]])
+        return codeword
+
+    def decode(self, received: np.ndarray) -> DecodeResult:
+        """Decode a received codeword, correcting at most one bit."""
+        received = np.asarray(received, dtype=np.uint8)
+        if received.shape != (self.codeword_bits,):
+            raise ValueError(f"codeword must have shape ({self.codeword_bits},)")
+        if self.extended:
+            body, overall = received[:-1], int(received[-1])
+            parity_ok = (int(body.sum()) & 1) == overall
+        else:
+            body, parity_ok = received, True
+        word = np.concatenate([[np.uint8(0)], body])
+        syndrome = self._syndrome(word)
+
+        if syndrome == 0:
+            if self.extended and not parity_ok:
+                # Error in the overall parity bit itself: correctable.
+                fixed = received.copy()
+                fixed[-1] ^= 1
+                return DecodeResult(self._extract(fixed), DecodeStatus.CORRECTED, fixed)
+            return DecodeResult(self._extract(received), DecodeStatus.CLEAN, received)
+
+        if self.extended and parity_ok:
+            # Non-zero syndrome with even parity: double-bit error detected.
+            return DecodeResult(self._extract(received), DecodeStatus.DETECTED, received)
+
+        if syndrome <= self.n:
+            fixed = received.copy()
+            fixed[syndrome - 1] ^= 1
+            return DecodeResult(self._extract(fixed), DecodeStatus.CORRECTED, fixed)
+        # Syndrome points outside the (shortened) codeword: detectable.
+        return DecodeResult(self._extract(received), DecodeStatus.DETECTED, received)
+
+    # ------------------------------------------------------------------
+    def _syndrome(self, word: np.ndarray) -> int:
+        positions = np.nonzero(word)[0]
+        syndrome = 0
+        for position in positions:
+            syndrome ^= int(position)
+        return syndrome
+
+    def _extract(self, codeword: np.ndarray) -> np.ndarray:
+        word = np.concatenate([[np.uint8(0)], codeword[: self.n]])
+        return word[self._data_positions].astype(np.uint8)
+
+
+#: The (7,4) Hamming code discussed in Obs 26 (75% storage overhead).
+HAMMING_7_4 = HammingCode(data_bits=4)
+
+#: The DDR5-style on-die (136,128) single-error-correcting code (Obs 27).
+ONDIE_SEC_136_128 = HammingCode(data_bits=128)
+
+#: Rank-level (72,64) SECDED used by conventional server DIMMs (Obs 25).
+SECDED_72_64 = HammingCode(data_bits=64, extended=True)

@@ -1,0 +1,194 @@
+"""On-die ECC array model: what a DDR5-style (136,128) SEC engine does to
+ColumnDisturb bitflips, end to end.
+
+DDR5 chips transparently encode each 128-bit dataword into a 136-bit
+codeword stored in the array; the read path decodes and (mis)corrects
+before data leaves the die.  Obs 27 shows that this *amplifies*
+ColumnDisturb damage: a codeword with two bitflips is usually "corrected"
+into one with three.
+
+`OnDieEccArray` wraps row images: `encode_rows` produces the stored
+codeword image for a data image; `decode_rows` recovers the post-ECC data
+image plus per-word outcome counts.  Decoding is fully vectorized via the
+code's parity-check matrix (GF(2) syndrome computation), so whole-subarray
+images decode in milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ecc.hamming import HammingCode, ONDIE_SEC_136_128
+
+
+def parity_check_matrix(code: HammingCode) -> np.ndarray:
+    """Binary parity-check matrix H (r x n) of a non-extended Hamming code:
+    column j is the binary expansion of position j+1, so H @ word (mod 2)
+    is the syndrome."""
+    if code.extended:
+        raise ValueError("parity_check_matrix supports non-extended codes")
+    r, n = code.parity_bits, code.n
+    columns = np.arange(1, n + 1, dtype=np.uint32)
+    return ((columns[np.newaxis, :] >> np.arange(r)[:, np.newaxis]) & 1).astype(
+        np.uint8
+    )
+
+
+def encode_many(code: HammingCode, data: np.ndarray) -> np.ndarray:
+    """Encode a batch of datawords, shape (words, k) -> (words, n)."""
+    if code.extended:
+        raise ValueError("encode_many supports non-extended codes")
+    data = np.asarray(data, dtype=np.uint8)
+    if data.ndim != 2 or data.shape[1] != code.data_bits:
+        raise ValueError(f"data must have shape (words, {code.data_bits})")
+    words, _ = data.shape
+    codewords = np.zeros((words, code.n), dtype=np.uint8)
+    data_positions = np.asarray(code._data_positions) - 1
+    parity_positions = np.asarray(code._parity_positions) - 1
+    codewords[:, data_positions] = data
+    h = parity_check_matrix(code)
+    syndromes = (codewords @ h.T) % 2  # (words, r)
+    codewords[:, parity_positions] = syndromes
+    return codewords
+
+
+@dataclass
+class BatchDecodeResult:
+    """Vectorized decode outcome for a batch of codewords.
+
+    Attributes:
+        data: post-correction datawords, shape (words, k).
+        corrected_mask: words where the decoder flipped one bit.
+        detected_mask: words flagged uncorrectable (syndrome outside the
+            shortened codeword).
+    """
+
+    data: np.ndarray
+    corrected_mask: np.ndarray
+    detected_mask: np.ndarray
+
+
+def decode_many(code: HammingCode, received: np.ndarray) -> BatchDecodeResult:
+    """Decode a batch of codewords, shape (words, n)."""
+    if code.extended:
+        raise ValueError("decode_many supports non-extended codes")
+    received = np.asarray(received, dtype=np.uint8)
+    if received.ndim != 2 or received.shape[1] != code.n:
+        raise ValueError(f"received must have shape (words, {code.n})")
+    h = parity_check_matrix(code)
+    syndrome_bits = (received @ h.T) % 2  # (words, r)
+    syndromes = (syndrome_bits.astype(np.uint32)
+                 << np.arange(code.parity_bits, dtype=np.uint32)).sum(axis=1)
+    corrected = received.copy()
+    correctable = (syndromes > 0) & (syndromes <= code.n)
+    rows = np.nonzero(correctable)[0]
+    corrected[rows, syndromes[rows] - 1] ^= 1
+    detected = syndromes > code.n
+    data_positions = np.asarray(code._data_positions) - 1
+    return BatchDecodeResult(
+        data=corrected[:, data_positions],
+        corrected_mask=correctable,
+        detected_mask=detected,
+    )
+
+
+@dataclass
+class EccReadOutcome:
+    """End-to-end effect of on-die ECC on one row image.
+
+    Attributes:
+        data: post-ECC data image, shape (rows, words * k).
+        word_errors_before: per-word raw bitflip counts.
+        word_errors_after: per-word DATA bitflip counts after correction
+            (vs the originally written data).
+        corrected_words: words where the decoder acted.
+        miscorrected_words: words where the decoder made things worse
+            (post-ECC data errors exceed pre-ECC data errors).
+    """
+
+    data: np.ndarray
+    word_errors_before: np.ndarray
+    word_errors_after: np.ndarray
+    corrected_words: int
+    miscorrected_words: int
+
+    @property
+    def silent_data_errors(self) -> int:
+        """Post-ECC datawords that are wrong but were not flagged."""
+        return int((self.word_errors_after > 0).sum())
+
+
+class OnDieEccArray:
+    """Rows of (136,128)-protected storage.
+
+    Args:
+        code: a non-extended Hamming code (default: the DDR5-style SEC).
+        words_per_row: codewords stored per row.
+    """
+
+    def __init__(
+        self, code: HammingCode = ONDIE_SEC_136_128, words_per_row: int = 4
+    ) -> None:
+        if words_per_row < 1:
+            raise ValueError("words_per_row must be positive")
+        self.code = code
+        self.words_per_row = words_per_row
+
+    @property
+    def stored_columns(self) -> int:
+        """Physical columns one row occupies (codeword bits)."""
+        return self.words_per_row * self.code.n
+
+    @property
+    def data_columns(self) -> int:
+        """Logical data bits one row holds."""
+        return self.words_per_row * self.code.data_bits
+
+    def encode_rows(self, data_image: np.ndarray) -> np.ndarray:
+        """Data image (rows, data_columns) -> stored image (rows, stored)."""
+        data_image = np.asarray(data_image, dtype=np.uint8)
+        rows = data_image.shape[0]
+        if data_image.shape != (rows, self.data_columns):
+            raise ValueError(f"data image must be (rows, {self.data_columns})")
+        words = data_image.reshape(-1, self.code.data_bits)
+        stored = encode_many(self.code, words)
+        return stored.reshape(rows, self.stored_columns)
+
+    def decode_rows(
+        self, stored_image: np.ndarray, written_data: np.ndarray
+    ) -> EccReadOutcome:
+        """Decode a (possibly disturbed) stored image.
+
+        ``written_data`` (rows, data_columns) is the originally written
+        data, used to classify decoder outcomes — a real chip does not have
+        it; the metrics exist for analysis.
+        """
+        stored_image = np.asarray(stored_image, dtype=np.uint8)
+        rows = stored_image.shape[0]
+        if stored_image.shape != (rows, self.stored_columns):
+            raise ValueError(
+                f"stored image must be (rows, {self.stored_columns})"
+            )
+        received = stored_image.reshape(-1, self.code.n)
+        reference = self.encode_rows(written_data).reshape(-1, self.code.n)
+        errors_before = (received != reference).sum(axis=1)
+        result = decode_many(self.code, received)
+        written_words = np.asarray(written_data, dtype=np.uint8).reshape(
+            -1, self.code.data_bits
+        )
+        errors_after = (result.data != written_words).sum(axis=1)
+        # Pre-ECC *data* errors (ignoring parity-bit flips).
+        data_positions = np.asarray(self.code._data_positions) - 1
+        data_errors_before = (
+            received[:, data_positions] != written_words
+        ).sum(axis=1)
+        miscorrected = int((errors_after > data_errors_before).sum())
+        return EccReadOutcome(
+            data=result.data.reshape(rows, self.data_columns),
+            word_errors_before=errors_before,
+            word_errors_after=errors_after,
+            corrected_words=int(result.corrected_mask.sum()),
+            miscorrected_words=miscorrected,
+        )

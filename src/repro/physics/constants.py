@@ -1,0 +1,22 @@
+"""Physical constants of the cell/bitline model.
+
+Voltages are normalized to VDD = 1.0.  A charged true-cell capacitor sits at
+``V_CELL_CHARGED``; a precharged (idle) bitline sits at ``V_PRECHARGE``
+(VDD/2, §2.1).  Charge is normalized so that a cell flips when its
+accumulated leakage reaches ``Q_CRIT``; leakage rates therefore have units of
+1/second and a cell's time-to-flip under a constant rate ``r`` is simply
+``Q_CRIT / r``.
+"""
+
+VDD = 1.0
+GND = 0.0
+V_PRECHARGE = VDD / 2
+V_CELL_CHARGED = VDD
+Q_CRIT = 1.0
+
+#: Reference temperature (Celsius) at which cell populations are specified.
+#: The paper conducts all experiments at 85C unless stated otherwise (§3.2).
+T_REFERENCE_C = 85.0
+
+#: The paper's four test temperatures (§3.2).
+TEMPERATURES_C = (45.0, 65.0, 85.0, 95.0)

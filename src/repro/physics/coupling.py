@@ -1,0 +1,103 @@
+"""ColumnDisturb exposure math: from bitline waveforms to bitflips.
+
+The bender (and the analytic fast path used by the characterization
+campaigns) reduces every experiment to, per cell:
+
+* ``elapsed``  — wall-clock seconds since the cell was last written, and
+* ``exposure`` — the accumulated coupling damage per unit kappa:
+  ``integral of A_cd(T) * m(v_bitline(t)) dt``.
+
+A charged cell has flipped once
+
+    lambda_int * A_int(T) * vrt * elapsed  +  kappa * exposure  >=  Q_CRIT.
+
+All functions here are vectorized over cell populations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.physics.constants import Q_CRIT, V_PRECHARGE
+from repro.physics.profile import DisturbanceProfile
+from repro.physics.voltage import VoltagePhase, waveform_period
+
+
+def mean_coupling_multiplier(
+    profile: DisturbanceProfile, phases: tuple[VoltagePhase, ...]
+) -> float:
+    """Time-averaged coupling multiplier of a periodic bitline waveform.
+
+    This is the per-unit-kappa, per-second damage rate (at 85C) of a charged
+    cell whose bitline follows ``phases`` periodically.  Phase-by-phase
+    integration — NOT ``m(average voltage)`` — see the module docstring of
+    `repro.physics.profile`.
+    """
+    period = waveform_period(phases)
+    if period <= 0:
+        raise ValueError("waveform has zero duration")
+    weighted = sum(
+        profile.coupling_multiplier(phase.voltage) * phase.duration
+        for phase in phases
+    )
+    return weighted / period
+
+
+def retention_coupling_multiplier(profile: DisturbanceProfile) -> float:
+    """Coupling multiplier of an idle (precharged, VDD/2) bitline.
+
+    Retention testing is not coupling-free: the precharged bitline sits a
+    half-VDD below the charged cell, so part of every measured retention
+    failure is bitline-coupling leakage.  This is what makes an all-1
+    aggressor pattern (bitline at VDD, dV = 0) produce *fewer* bitflips than
+    retention (Obs 10).
+    """
+    return profile.coupling_multiplier(V_PRECHARGE)
+
+
+def total_leakage_rates(
+    lambda_int: np.ndarray,
+    kappa: np.ndarray,
+    coupling_multiplier: float | np.ndarray,
+    profile: DisturbanceProfile,
+    temperature_c: float,
+    vrt: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-cell total leakage rate (1/s) at ``temperature_c``.
+
+    ``coupling_multiplier`` may be a scalar (uniform waveform) or an array
+    broadcastable against the cell arrays (per-column waveforms).
+    """
+    a_int = profile.retention_temperature_factor(temperature_c)
+    a_cd = profile.coupling_temperature_factor(temperature_c)
+    intrinsic = lambda_int * a_int
+    if vrt is not None:
+        intrinsic = intrinsic * vrt
+    return intrinsic + kappa * (a_cd * np.asarray(coupling_multiplier))
+
+
+def flip_mask(rates: np.ndarray, duration: float) -> np.ndarray:
+    """Boolean mask of cells whose accumulated leakage crossed Q_CRIT within
+    ``duration`` seconds (assuming the cells are charged)."""
+    if duration < 0:
+        raise ValueError("duration must be non-negative")
+    return rates * duration >= Q_CRIT
+
+
+def time_to_first_flip(rates: np.ndarray) -> float:
+    """Time (seconds) until the weakest charged cell in the population flips.
+
+    Returns ``inf`` for an empty population or all-zero rates.
+    """
+    if rates.size == 0:
+        return float("inf")
+    peak = float(np.max(rates))
+    if peak <= 0:
+        return float("inf")
+    return Q_CRIT / peak
+
+
+def times_to_flip(rates: np.ndarray) -> np.ndarray:
+    """Per-cell time-to-flip (seconds; inf where the rate is zero)."""
+    with np.errstate(divide="ignore"):
+        return np.where(rates > 0, Q_CRIT / np.maximum(rates, 1e-300), np.inf)

@@ -1,0 +1,51 @@
+"""Retention-failure model and analytic helpers.
+
+A retention test leaves the bank precharged (all bitlines at VDD/2) for the
+test interval; a charged cell fails when its intrinsic leakage plus the
+(weak) precharge-level coupling leakage discharges it below the sense
+threshold.  Variable retention time (VRT, §3.2) makes a cell's observed
+retention fluctuate between trials; the paper's methodology repeats each
+test 50 times and keeps the minimum, which `repro.core.retention_profiler`
+implements on top of these primitives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.physics.coupling import (
+    retention_coupling_multiplier,
+    total_leakage_rates,
+)
+from repro.physics.profile import DisturbanceProfile
+
+
+def retention_rates(
+    lambda_int: np.ndarray,
+    kappa: np.ndarray,
+    profile: DisturbanceProfile,
+    temperature_c: float,
+    vrt: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-cell leakage rates (1/s) during an idle, precharged interval."""
+    return total_leakage_rates(
+        lambda_int,
+        kappa,
+        retention_coupling_multiplier(profile),
+        profile,
+        temperature_c,
+        vrt=vrt,
+    )
+
+
+def retention_times(
+    lambda_int: np.ndarray,
+    kappa: np.ndarray,
+    profile: DisturbanceProfile,
+    temperature_c: float,
+    vrt: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-cell retention time (seconds) at ``temperature_c``."""
+    rates = retention_rates(lambda_int, kappa, profile, temperature_c, vrt=vrt)
+    with np.errstate(divide="ignore"):
+        return np.where(rates > 0, 1.0 / np.maximum(rates, 1e-300), np.inf)

@@ -1,0 +1,61 @@
+"""RowHammer / RowPress model for the immediate neighbours of an aggressor.
+
+RowHammer and RowPress are *row-based* read disturbance: electron
+injection/migration between physically adjacent rows (§2.2).  They are
+modelled independently of the ColumnDisturb coupling channel:
+
+* only the +/-1 physical neighbours of an aggressor row are affected
+  (the paper verifies experimentally that bitflips beyond +/-1 are
+  ColumnDisturb, not RowHammer — §4.2 footnote);
+* each cell has a lognormal activation-count threshold; keeping the row open
+  longer amplifies each activation (RowPress);
+* unlike ColumnDisturb, RowHammer/RowPress flip cells in *both* directions
+  (Obs 7), with anti-direction (0 to 1) flips requiring a higher threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.physics.profile import DisturbanceProfile
+
+#: Threshold multiplier for 0->1 flips relative to 1->0 flips.  RowHammer
+#: induces both directions but charged-cell discharge dominates.
+ANTI_DIRECTION_FACTOR = 1.35
+
+
+def effective_hammer_count(
+    activations: float,
+    t_agg_on: float,
+    t_ras: float,
+    profile: DisturbanceProfile,
+) -> float:
+    """Activation count scaled by RowPress amplification.
+
+    ``activations`` activations with the row kept open ``t_agg_on`` each are
+    as damaging as this many minimum-length (``t_ras``) activations.
+    """
+    if activations < 0:
+        raise ValueError("activations must be non-negative")
+    return activations * profile.rowpress_amplification(t_agg_on, t_ras)
+
+
+def neighbour_flip_mask(
+    thresholds: np.ndarray,
+    stored_bits: np.ndarray,
+    effective_count: float,
+) -> np.ndarray:
+    """Boolean mask of neighbour-row cells flipped by hammering.
+
+    Args:
+        thresholds: per-cell hammer-count thresholds (for the 1->0 direction).
+        stored_bits: the currently stored bits of the victim row.
+        effective_count: RowPress-amplified activation count.
+    """
+    if thresholds.shape != stored_bits.shape:
+        raise ValueError("thresholds and stored_bits must have the same shape")
+    toward_zero = stored_bits.astype(bool) & (thresholds <= effective_count)
+    toward_one = (~stored_bits.astype(bool)) & (
+        thresholds * ANTI_DIRECTION_FACTOR <= effective_count
+    )
+    return toward_zero | toward_one

@@ -1,0 +1,110 @@
+"""Bitline voltage phases and the paper's average-column-voltage metric.
+
+A ColumnDisturb access pattern drives each perturbed bitline through a
+periodic sequence of *phases*: while an aggressor row is open (``tAggOn``)
+the bitline is held at the aggressor's data value for that column (GND or
+VDD); while the bank is precharged (``tRP``) the bitline rests at VDD/2.
+
+§4.6 of the paper summarizes a pattern with the time-averaged column voltage
+
+    AVG(V_COL) = (tAggOn * DP_COL + VDD/2 * tRP) / (tAggOn + tRP)
+
+This module provides both that summary metric (used as the x-axis of the
+Fig. 10 reproduction) and the full phase decomposition, which the physics
+model integrates phase-by-phase (damage is the time integral of an
+instantaneous, nonlinear leakage rate, not a function of the average
+voltage alone — see DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.physics.constants import V_PRECHARGE
+
+
+@dataclass(frozen=True)
+class VoltagePhase:
+    """One segment of a periodic bitline waveform.
+
+    Attributes:
+        voltage: bitline voltage during the phase (normalized, 0..1).
+        duration: phase length in seconds.
+    """
+
+    voltage: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.voltage <= 1.0:
+            raise ValueError(f"voltage {self.voltage} outside [0, 1]")
+        if self.duration < 0:
+            raise ValueError(f"duration {self.duration} must be non-negative")
+
+
+def single_aggressor_waveform(
+    column_value: float, t_agg_on: float, t_rp: float
+) -> tuple[VoltagePhase, ...]:
+    """Periodic waveform of a perturbed column under the §3.2 access pattern
+    ``ACT -> (tAggOn) -> PRE -> (tRP) -> ACT -> ...``."""
+    return (
+        VoltagePhase(voltage=column_value, duration=t_agg_on),
+        VoltagePhase(voltage=V_PRECHARGE, duration=t_rp),
+    )
+
+
+def two_aggressor_waveform(
+    first_value: float, second_value: float, t_agg_on: float, t_rp: float
+) -> tuple[VoltagePhase, ...]:
+    """Periodic waveform under the §5.3 two-aggressor pattern
+    ``ACT R1 -> PRE -> ACT R2 -> PRE -> ...`` with complementary data."""
+    return (
+        VoltagePhase(voltage=first_value, duration=t_agg_on),
+        VoltagePhase(voltage=V_PRECHARGE, duration=t_rp),
+        VoltagePhase(voltage=second_value, duration=t_agg_on),
+        VoltagePhase(voltage=V_PRECHARGE, duration=t_rp),
+    )
+
+
+def idle_waveform(duration: float) -> tuple[VoltagePhase, ...]:
+    """Waveform of a precharged (retention-test) bitline."""
+    return (VoltagePhase(voltage=V_PRECHARGE, duration=duration),)
+
+
+def waveform_period(phases: tuple[VoltagePhase, ...]) -> float:
+    """Total duration of one waveform period."""
+    return sum(phase.duration for phase in phases)
+
+
+def average_column_voltage(phases: tuple[VoltagePhase, ...]) -> float:
+    """Time-averaged bitline voltage of a periodic waveform (§4.6 metric)."""
+    period = waveform_period(phases)
+    if period == 0:
+        raise ValueError("waveform has zero duration")
+    return sum(phase.voltage * phase.duration for phase in phases) / period
+
+
+def duty_cycled_waveform(
+    driven_voltage: float, target_average: float, period: float
+) -> tuple[VoltagePhase, ...]:
+    """Build a two-phase waveform alternating ``driven_voltage`` and VDD/2
+    whose average equals ``target_average``.
+
+    This is how the Fig. 10 voltage sweep is realized experimentally: the
+    fraction of time the column spends driven at the aggressor value versus
+    resting at the precharge voltage sets the average.  ``target_average``
+    must lie between ``driven_voltage`` and VDD/2 (inclusive).
+    """
+    lo, hi = sorted((driven_voltage, V_PRECHARGE))
+    if not lo <= target_average <= hi:
+        raise ValueError(
+            f"target average {target_average} unreachable from "
+            f"voltages ({driven_voltage}, {V_PRECHARGE})"
+        )
+    if hi == lo:
+        return (VoltagePhase(voltage=lo, duration=period),)
+    driven_fraction = (V_PRECHARGE - target_average) / (V_PRECHARGE - driven_voltage)
+    return (
+        VoltagePhase(voltage=driven_voltage, duration=driven_fraction * period),
+        VoltagePhase(voltage=V_PRECHARGE, duration=(1 - driven_fraction) * period),
+    )

@@ -1,0 +1,57 @@
+"""Refresh mechanisms: Bloom filter, RAIDR, cost models, and mitigations."""
+
+from repro.refresh.bloom import BloomFilter
+from repro.refresh.mitigations import (
+    REFRESH_POWER_RATIO,
+    ROW_REFRESH_TIME,
+    PrvrModel,
+    RefreshRateModel,
+)
+from repro.refresh.planner import (
+    MitigationEstimate,
+    WeakRowClassification,
+    classify_rows,
+    columndisturb_safe_period,
+    compare_mitigations,
+    plan_raidr,
+)
+from repro.refresh.raidr import (
+    STRONG_INTERVAL_DEFAULT,
+    WEAK_INTERVAL_DEFAULT,
+    BitmapStore,
+    BloomFilterStore,
+    RaidrMechanism,
+    WeakRowStore,
+)
+from repro.refresh.scheduler import (
+    STRONG_RETENTION_TIMES,
+    WEAK_RETENTION_TIME,
+    WeakRowScenario,
+    columndisturb_penalty,
+    normalized_refresh_operations,
+)
+
+__all__ = [
+    "BloomFilter",
+    "MitigationEstimate",
+    "WeakRowClassification",
+    "classify_rows",
+    "columndisturb_safe_period",
+    "compare_mitigations",
+    "plan_raidr",
+    "REFRESH_POWER_RATIO",
+    "ROW_REFRESH_TIME",
+    "PrvrModel",
+    "RefreshRateModel",
+    "STRONG_INTERVAL_DEFAULT",
+    "WEAK_INTERVAL_DEFAULT",
+    "BitmapStore",
+    "BloomFilterStore",
+    "RaidrMechanism",
+    "WeakRowStore",
+    "STRONG_RETENTION_TIMES",
+    "WEAK_RETENTION_TIME",
+    "WeakRowScenario",
+    "columndisturb_penalty",
+    "normalized_refresh_operations",
+]

@@ -1,0 +1,85 @@
+"""Bloom filter for weak-row tracking (the RAIDR §6.2 configuration).
+
+RAIDR's space-efficient variant stores weak-row addresses in a Bloom
+filter; false positives make strong rows be refreshed at the weak-row rate,
+which is exactly the degradation mode ColumnDisturb amplifies (Fig. 23
+left): a modest growth in the true weak-row count saturates the filter and
+drags the whole module to the short refresh interval.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro._util.rng import derive_seed
+
+
+class BloomFilter:
+    """A classic Bloom filter over integer keys.
+
+    Args:
+        bits: filter size m in bits (the paper uses 8 Kb).
+        hashes: number of hash functions k (the paper uses 6).
+        salt: seed namespace so independent filters hash differently.
+    """
+
+    def __init__(self, bits: int = 8192, hashes: int = 6, salt: object = "raidr") -> None:
+        if bits < 1:
+            raise ValueError("bits must be positive")
+        if hashes < 1:
+            raise ValueError("hashes must be positive")
+        self.bits = bits
+        self.hashes = hashes
+        self._array = np.zeros(bits, dtype=bool)
+        self._seeds = [derive_seed(salt, i) for i in range(hashes)]
+        self._inserted = 0
+
+    @staticmethod
+    def _mix(value: int) -> int:
+        # splitmix64 finalizer: full-avalanche mixing so that structured
+        # (e.g. consecutive) row addresses hash independently.
+        mask = (1 << 64) - 1
+        value = (value + 0x9E3779B97F4A7C15) & mask
+        value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & mask
+        value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & mask
+        return value ^ (value >> 31)
+
+    def _positions(self, key: int) -> list[int]:
+        return [
+            self._mix(key ^ seed) % self.bits for seed in self._seeds
+        ]
+
+    def insert(self, key: int) -> None:
+        """Insert a key."""
+        for position in self._positions(key):
+            self._array[position] = True
+        self._inserted += 1
+
+    def __contains__(self, key: int) -> bool:
+        return all(self._array[p] for p in self._positions(key))
+
+    @property
+    def inserted(self) -> int:
+        """Number of insert calls (with multiplicity)."""
+        return self._inserted
+
+    @property
+    def fill_fraction(self) -> float:
+        """Fraction of filter bits set."""
+        return float(self._array.mean())
+
+    def expected_false_positive_rate(self, items: int | None = None) -> float:
+        """Analytic false-positive rate for ``items`` distinct keys
+        (``(1 - e^(-kn/m))^k``); defaults to the inserted count."""
+        n = self._inserted if items is None else items
+        return (1.0 - math.exp(-self.hashes * n / self.bits)) ** self.hashes
+
+    def measured_false_positive_rate(self, probes: np.ndarray) -> float:
+        """Empirical false-positive rate over ``probes`` (keys assumed not
+        inserted)."""
+        if probes.size == 0:
+            raise ValueError("need at least one probe")
+        hits = sum(1 for key in probes if int(key) in self)
+        return hits / probes.size

@@ -1,0 +1,198 @@
+"""Refresh planning: from characterization data to a deployable schedule.
+
+This is the library's adoption surface for a memory-controller or DRAM
+designer: given a module (or its characterization results), decide
+
+1. the refresh period required to keep ColumnDisturb bitflips out of the
+   array under a worst-case aggressor (`columndisturb_safe_period`),
+2. which rows a retention-aware mechanism must classify weak once
+   ColumnDisturb is accounted for (`classify_rows`), and
+3. what each mitigation strategy costs (`compare_mitigations`), using the
+   §6.1 analytic cost models.
+
+All quantities derive from the same device model the characterization
+campaigns measure, so a plan is consistent with what the simulated silicon
+will actually do — the planner's guarantees are tested end-to-end in
+`tests/test_planner.py`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.chip.module import ModuleSpec, SimulatedModule
+from repro.chip.timing import T_AGG_ON_DEFAULT
+from repro.core.analytic import SubarrayRole, disturb_outcome, retention_outcome
+from repro.core.config import WORST_CASE
+from repro.refresh.mitigations import PrvrModel, RefreshRateModel
+from repro.refresh.raidr import (
+    BitmapStore,
+    BloomFilterStore,
+    RaidrMechanism,
+)
+
+
+@dataclass(frozen=True)
+class WeakRowClassification:
+    """Weak/strong classification of a module's rows at a strong interval.
+
+    Attributes:
+        strong_interval: retention target of strong rows (seconds).
+        temperature_c: classification temperature.
+        total_rows: rows classified.
+        retention_weak: rows with a retention failure within the interval.
+        columndisturb_weak: rows with a retention OR ColumnDisturb failure
+            within the interval (the set a ColumnDisturb-aware mechanism
+            must treat as weak).
+    """
+
+    strong_interval: float
+    temperature_c: float
+    total_rows: int
+    retention_weak: int
+    columndisturb_weak: int
+
+    @property
+    def retention_weak_fraction(self) -> float:
+        return self.retention_weak / self.total_rows
+
+    @property
+    def columndisturb_weak_fraction(self) -> float:
+        return self.columndisturb_weak / self.total_rows
+
+    @property
+    def inflation(self) -> float:
+        """How many times ColumnDisturb grows the weak set."""
+        if self.retention_weak == 0:
+            return float("inf") if self.columndisturb_weak else 1.0
+        return self.columndisturb_weak / self.retention_weak
+
+
+@dataclass(frozen=True)
+class MitigationEstimate:
+    """Analytic cost of one mitigation option."""
+
+    name: str
+    throughput_loss: float
+    refresh_energy_rate: float
+    protects_columndisturb: bool
+
+
+def columndisturb_safe_period(
+    spec: ModuleSpec,
+    temperature_c: float = 85.0,
+    safety_factor: float = 2.0,
+) -> float:
+    """Refresh period that keeps every cell safe from ColumnDisturb under a
+    continuously pressed worst-case aggressor: the die's time-to-first-
+    bitflip floor divided by a safety factor."""
+    if safety_factor < 1.0:
+        raise ValueError("safety_factor must be >= 1")
+    return spec.profile.first_flip_floor(temperature_c) / safety_factor
+
+
+def classify_rows(
+    module: SimulatedModule,
+    strong_interval: float,
+    temperature_c: float = 65.0,
+    config=None,
+) -> WeakRowClassification:
+    """Classify every in-scale row of ``module`` (see the class docs)."""
+    config = (config or WORST_CASE).at_temperature(temperature_c)
+    retention_weak = 0
+    cd_weak = 0
+    total = 0
+    for bank in module.iter_banks():
+        for subarray in range(module.geometry.subarrays):
+            population = bank.population(subarray)
+            ret = retention_outcome(population, temperature_c)
+            cd = disturb_outcome(
+                population, config, module.timing, SubarrayRole.AGGRESSOR,
+                aggressor_local_row=population.rows // 2,
+            )
+            ret_rows = (ret.retention_nominal <= strong_interval).any(axis=1)
+            cd_rows = ret_rows | cd._cd_flips(strong_interval).any(axis=1)
+            retention_weak += int(ret_rows.sum())
+            cd_weak += int(cd_rows.sum())
+            total += population.rows
+    return WeakRowClassification(
+        strong_interval=strong_interval,
+        temperature_c=temperature_c,
+        total_rows=total,
+        retention_weak=retention_weak,
+        columndisturb_weak=cd_weak,
+    )
+
+
+def plan_raidr(
+    classification: WeakRowClassification,
+    module_rows: int = 2_000_000,
+    bloom_bits: int = 8192,
+    weak_interval: float = 0.064,
+) -> dict[str, RaidrMechanism]:
+    """Build bitmap- and Bloom-backed RAIDR instances for a module of
+    ``module_rows`` rows with the classification's ColumnDisturb-aware
+    weak fraction."""
+    weak_rows = np.arange(
+        int(classification.columndisturb_weak_fraction * module_rows)
+    )
+    plans = {}
+    for name, store in (
+        ("bitmap", BitmapStore(module_rows)),
+        ("bloom", BloomFilterStore(bits=bloom_bits)),
+    ):
+        plans[name] = RaidrMechanism.from_weak_rows(
+            module_rows, weak_rows, store=store,
+            weak_interval=weak_interval,
+            strong_interval=classification.strong_interval,
+        )
+    return plans
+
+
+def compare_mitigations(
+    spec: ModuleSpec,
+    temperature_c: float = 85.0,
+    access_period: float = T_AGG_ON_DEFAULT + 14e-9,
+    projected_scale: float = 1.0,
+) -> list[MitigationEstimate]:
+    """Cost out the §6.1 mitigation options for one module.
+
+    Options: keep the nominal period (insecure), shorten the period to the
+    ColumnDisturb-safe value, or PRVR sized by the module's floor.
+
+    ``projected_scale`` extrapolates to a future technology node by
+    multiplying the die's coupling scale (Obs 2: vulnerability grows with
+    scaling) — the paper's §6.1 evaluation assumes a future chip with an
+    8 ms time-to-first-bitflip.
+    """
+    if projected_scale < 1.0:
+        raise ValueError("projected_scale must be >= 1")
+    profile = spec.profile.with_die_scale(spec.profile.die_scale * projected_scale)
+    spec = replace(spec, profile=profile)
+    model = RefreshRateModel()
+    nominal_period = model.timing.t_refw
+    safe_period = columndisturb_safe_period(spec, temperature_c)
+    floor = spec.profile.first_flip_floor(temperature_c)
+    prvr = PrvrModel(time_to_first_bitflip=floor)
+    return [
+        MitigationEstimate(
+            name=f"periodic @ {nominal_period * 1000:.0f} ms (status quo)",
+            throughput_loss=model.throughput_loss(nominal_period),
+            refresh_energy_rate=model.refresh_energy_rate(nominal_period),
+            protects_columndisturb=nominal_period <= safe_period,
+        ),
+        MitigationEstimate(
+            name=f"periodic @ {safe_period * 1000:.1f} ms (CD-safe)",
+            throughput_loss=model.throughput_loss(safe_period),
+            refresh_energy_rate=model.refresh_energy_rate(safe_period),
+            protects_columndisturb=True,
+        ),
+        MitigationEstimate(
+            name="PRVR (victims over the CD floor)",
+            throughput_loss=prvr.throughput_loss(),
+            refresh_energy_rate=prvr.refresh_energy_rate(),
+            protects_columndisturb=True,
+        ),
+    ]

@@ -1,0 +1,140 @@
+"""RAIDR: Retention-Aware Intelligent DRAM Refresh (Liu et al., ISCA 2012).
+
+Rows whose weakest cell cannot survive the long refresh interval are
+classified *weak* and refreshed every ``weak_interval`` (64 ms); all other
+rows are *strong* and refreshed every ``strong_interval`` (1024 ms).  Two
+weak-set representations are modelled, as in §6.2:
+
+* ``BloomFilterStore`` — 8 Kb / 6-hash Bloom filter (low area, false
+  positives inflate the effective weak set);
+* ``BitmapStore``      — 1 bit per row (high area, exact).
+
+ColumnDisturb's impact enters through the weak-row classification: rows
+with any ColumnDisturb-susceptible cell at the strong interval must also be
+classified weak, which multiplies the weak fraction by up to 198x (Obs 18)
+and erodes — or, through Bloom saturation, eliminates — RAIDR's benefit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.refresh.bloom import BloomFilter
+
+WEAK_INTERVAL_DEFAULT = 0.064
+STRONG_INTERVAL_DEFAULT = 1.024
+
+
+class WeakRowStore:
+    """Interface: a (possibly approximate) set of weak row addresses."""
+
+    def mark_weak(self, row: int) -> None:
+        raise NotImplementedError
+
+    def is_weak(self, row: int) -> bool:
+        raise NotImplementedError
+
+    @property
+    def storage_bits(self) -> int:
+        """Implementation cost in bits."""
+        raise NotImplementedError
+
+
+class BloomFilterStore(WeakRowStore):
+    """Space-efficient weak set: Bloom filter (false positives possible)."""
+
+    def __init__(self, bits: int = 8192, hashes: int = 6) -> None:
+        self.filter = BloomFilter(bits=bits, hashes=hashes)
+
+    def mark_weak(self, row: int) -> None:
+        self.filter.insert(row)
+
+    def is_weak(self, row: int) -> bool:
+        return row in self.filter
+
+    @property
+    def storage_bits(self) -> int:
+        return self.filter.bits
+
+
+class BitmapStore(WeakRowStore):
+    """Exact weak set: one bit per DRAM row."""
+
+    def __init__(self, total_rows: int) -> None:
+        if total_rows < 1:
+            raise ValueError("total_rows must be positive")
+        self._bits = np.zeros(total_rows, dtype=bool)
+
+    def mark_weak(self, row: int) -> None:
+        self._bits[row] = True
+
+    def is_weak(self, row: int) -> bool:
+        return bool(self._bits[row])
+
+    @property
+    def storage_bits(self) -> int:
+        return self._bits.size
+
+
+@dataclass
+class RaidrMechanism:
+    """A configured RAIDR instance over one memory system's rows.
+
+    Attributes:
+        total_rows: rows in the module.
+        store: weak-set representation.
+        weak_interval: refresh period of weak rows (seconds).
+        strong_interval: refresh period of strong rows (seconds).
+    """
+
+    total_rows: int
+    store: WeakRowStore
+    weak_interval: float = WEAK_INTERVAL_DEFAULT
+    strong_interval: float = STRONG_INTERVAL_DEFAULT
+
+    def __post_init__(self) -> None:
+        if self.weak_interval <= 0 or self.strong_interval <= 0:
+            raise ValueError("intervals must be positive")
+        if self.weak_interval > self.strong_interval:
+            raise ValueError("weak interval must not exceed the strong interval")
+
+    @classmethod
+    def from_weak_rows(
+        cls,
+        total_rows: int,
+        weak_rows: np.ndarray,
+        store: WeakRowStore | None = None,
+        **kwargs,
+    ) -> "RaidrMechanism":
+        """Build a mechanism and populate its weak set."""
+        store = store if store is not None else BitmapStore(total_rows)
+        mechanism = cls(total_rows=total_rows, store=store, **kwargs)
+        for row in weak_rows:
+            store.mark_weak(int(row))
+        return mechanism
+
+    def effective_weak_rows(self, sample: int | None = None) -> int:
+        """Rows refreshed at the weak rate, including store false positives.
+
+        For large modules a uniform ``sample`` of rows is probed instead of
+        all of them.
+        """
+        rows = np.arange(self.total_rows)
+        if sample is not None and sample < self.total_rows:
+            rows = np.linspace(0, self.total_rows - 1, sample).astype(np.int64)
+        weak = sum(1 for row in rows if self.store.is_weak(int(row)))
+        return int(round(weak / len(rows) * self.total_rows))
+
+    def refresh_rate(self, sample: int | None = None) -> float:
+        """Row-refresh operations per second issued by this mechanism."""
+        weak = self.effective_weak_rows(sample=sample)
+        strong = self.total_rows - weak
+        return weak / self.weak_interval + strong / self.strong_interval
+
+    def normalized_refresh_operations(self, sample: int | None = None) -> float:
+        """Refresh operations normalized to refreshing every row at the weak
+        interval (the DDR4 64 ms periodic-refresh baseline of Fig. 22)."""
+        baseline = self.total_rows / self.weak_interval
+        return self.refresh_rate(sample=sample) / baseline

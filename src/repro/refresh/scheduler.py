@@ -1,0 +1,66 @@
+"""Refresh-operation cost model: the Fig. 22 analysis.
+
+Number of per-row refresh operations a retention-aware heterogeneous
+refresh mechanism must issue, as a function of the proportion of weak rows
+and the strong-row retention time, normalized to 64 ms periodic refresh.
+The model is exact for an ideal (bitmap) weak-set store:
+
+    N(f, t_strong) = f / t_weak + (1 - f) / t_strong,   normalized by 1 / t_weak
+                   = f + (1 - f) * t_weak / t_strong
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The Fig. 22 strong-row retention times (seconds).
+STRONG_RETENTION_TIMES = (0.128, 0.256, 0.512, 1.024)
+
+#: Weak-row refresh window (the nominal DDR4 refresh window).
+WEAK_RETENTION_TIME = 0.064
+
+
+def normalized_refresh_operations(
+    weak_fraction: float,
+    strong_retention: float,
+    weak_retention: float = WEAK_RETENTION_TIME,
+) -> float:
+    """Fig. 22 y-axis: refresh operations relative to 64 ms periodic refresh.
+
+    Args:
+        weak_fraction: proportion of rows classified weak (0..1).
+        strong_retention: refresh period of strong rows (seconds).
+        weak_retention: refresh period of weak rows (seconds).
+    """
+    if not 0.0 <= weak_fraction <= 1.0:
+        raise ValueError("weak_fraction must be within [0, 1]")
+    if strong_retention < weak_retention:
+        raise ValueError("strong retention must be >= weak retention")
+    return weak_fraction + (1.0 - weak_fraction) * weak_retention / strong_retention
+
+
+@dataclass(frozen=True)
+class WeakRowScenario:
+    """An empirically observed weak-row proportion (a Fig. 22 marker)."""
+
+    label: str
+    weak_fraction: float
+
+    def refresh_operations(self, strong_retention: float) -> float:
+        """Normalized refresh operations for this scenario."""
+        return normalized_refresh_operations(self.weak_fraction, strong_retention)
+
+
+def columndisturb_penalty(
+    retention_weak_fraction: float,
+    columndisturb_weak_fraction: float,
+    strong_retention: float,
+) -> float:
+    """How many times more refresh operations are needed once
+    ColumnDisturb-weak rows join the weak set (the Fig. 22 diamond/square
+    vs circle comparison)."""
+    baseline = normalized_refresh_operations(retention_weak_fraction, strong_retention)
+    disturbed = normalized_refresh_operations(
+        columndisturb_weak_fraction, strong_retention
+    )
+    return disturbed / baseline

@@ -1,0 +1,259 @@
+"""Command-level DDR4 memory controller (the high-fidelity backend).
+
+`repro.sim.controller.MemoryController` abstracts each access into one of
+three latencies.  This backend decomposes every request into explicit DRAM
+commands — PRE, ACT, RD/WR — and enforces the JEDEC inter-command
+constraints that the simple model folds away:
+
+per bank   tRCD (ACT->column), tRP (PRE->ACT), tRAS (ACT->PRE),
+           tRTP (RD->PRE), tWR (WR recovery), tRC (ACT->ACT);
+per rank   tRRD (ACT->ACT across banks), tFAW (max 4 ACTs per window),
+           tCCD (column->column), tWTR (write->read turnaround),
+           data-bus occupancy (tBURST per transfer).
+
+It exposes the same duck interface as the simple controller (``enqueue`` /
+``serve_next`` / ``banks`` / ``stats``), so `repro.sim.system.simulate_mix`
+drives either backend unchanged (pass ``controller_factory``).  The
+Fig. 23 scheduler ablation extends naturally: `bench_ablation_backend`
+confirms the refresh-interference conclusions hold at command-level
+fidelity.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.sim.controller import ControllerStats, MemoryRequest
+from repro.sim.refreshpolicy import NoRefresh, RefreshPolicy
+
+
+@dataclass(frozen=True)
+class CommandTiming:
+    """DDR4-3200 inter-command constraints, in controller cycles."""
+
+    t_rcd: int = 22
+    t_rp: int = 22
+    t_cl: int = 22
+    t_cwl: int = 16
+    t_ras: int = 52
+    t_rc: int = 74
+    t_rtp: int = 12
+    t_wr: int = 24
+    t_rrd: int = 8
+    t_faw: int = 34
+    t_ccd: int = 8
+    t_wtr: int = 12
+    t_burst: int = 4
+
+    def __post_init__(self) -> None:
+        for name in self.__dataclass_fields__:
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+
+DDR4_3200_COMMANDS = CommandTiming()
+
+
+@dataclass
+class _CmdBankState:
+    open_row: int | None = None
+    free_at: int = 0  # next cycle a new request may begin service
+    act_at: int = -(10**9)  # last ACT issue cycle
+    ready_for_pre: int = 0  # earliest PRE (tRAS/tRTP/tWR recovery)
+    queue: list = field(default_factory=list)
+
+
+@dataclass
+class CommandStats(ControllerStats):
+    """Controller stats extended with per-command counts."""
+
+    acts: int = 0
+    pres: int = 0
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def activations(self) -> int:  # keep the base-class contract
+        return self.acts
+
+
+class CommandLevelController:
+    """One DDR4 channel scheduled at command granularity.
+
+    Same interface as `repro.sim.controller.MemoryController`; see the
+    module docstring for the constraint set.
+    """
+
+    def __init__(
+        self,
+        banks: int = 16,
+        timing: CommandTiming = DDR4_3200_COMMANDS,
+        policy: RefreshPolicy | None = None,
+        fr_fcfs: bool = True,
+        mechanism=None,
+        log_commands: bool = False,
+    ) -> None:
+        if banks < 1:
+            raise ValueError("need at least one bank")
+        self.timing = timing
+        self.policy = policy if policy is not None else NoRefresh()
+        self.fr_fcfs = fr_fcfs
+        self.mechanism = mechanism
+        self.banks = [_CmdBankState() for _ in range(banks)]
+        self._blockers = [self.policy.blockers(b) for b in range(banks)]
+        self.stats = CommandStats()
+        #: Optional trace of issued commands as (kind, bank, cycle) tuples,
+        #: kind in {"ACT", "PRE", "RD", "WR"} — used by constraint-checking
+        #: tests and debugging.
+        self.command_log: list[tuple[str, int, int]] | None = (
+            [] if log_commands else None
+        )
+        # Rank-level state.
+        self._act_history: deque[int] = deque(maxlen=4)
+        self._last_act_rank = -(10**9)
+        self._last_column_at = -(10**9)
+        self._last_was_write = False
+        self._write_data_end = -(10**9)
+        self._bus_free_at = 0
+
+    @property
+    def bank_count(self) -> int:
+        return len(self.banks)
+
+    def enqueue(self, request: MemoryRequest) -> None:
+        """Add an arrived request to its bank queue."""
+        self.banks[request.bank].queue.append(request)
+
+    def bank_has_work(self, bank: int) -> bool:
+        return bool(self.banks[bank].queue)
+
+    # ------------------------------------------------------------------
+    def serve_next(self, bank_index: int, now: int) -> MemoryRequest | None:
+        bank = self.banks[bank_index]
+        if not bank.queue:
+            return None
+        ready = [r for r in bank.queue if r.arrival <= now]
+        if not ready:
+            return None
+        if self.fr_fcfs:
+            request = next(
+                (r for r in ready if r.row == bank.open_row), ready[0]
+            )
+        else:
+            request = ready[0]
+        bank.queue.remove(request)
+
+        t = max(now, bank.free_at, request.arrival)
+        activated = False
+        if bank.open_row != request.row:
+            if bank.open_row is not None:
+                # PRE: respect tRAS and read/write recovery.
+                pre_at = max(t, bank.ready_for_pre)
+                pre_at = self._resolve_blockers(bank_index, pre_at, request.row)
+                self.stats.pres += 1
+                self._log("PRE", bank_index, pre_at)
+                act_earliest = pre_at + self.timing.t_rp
+            else:
+                act_earliest = t
+            act_at = self._constrain_act(bank, act_earliest)
+            act_at = self._resolve_blockers(bank_index, act_at, request.row)
+            self._record_act(bank, act_at)
+            self._log("ACT", bank_index, act_at)
+            activated = True
+            column_earliest = act_at + self.timing.t_rcd
+            self.stats.row_closed += 1 if bank.open_row is None else 0
+            self.stats.row_conflicts += 1 if bank.open_row is not None else 0
+            bank.open_row = request.row
+        else:
+            column_earliest = t
+            request.row_hit = True
+            self.stats.row_hits += 1
+
+        column_at = self._constrain_column(request.is_write, column_earliest)
+        column_at = self._resolve_blockers(bank_index, column_at, request.row)
+        if request.is_write:
+            data_start = column_at + self.timing.t_cwl
+            self.stats.writes += 1
+        else:
+            data_start = column_at + self.timing.t_cl
+            self.stats.reads += 1
+        data_end = data_start + self.timing.t_burst
+        self._record_column(request.is_write, column_at, data_end)
+        self._log("WR" if request.is_write else "RD", bank_index, column_at)
+
+        # Bank bookkeeping: earliest future PRE and next service slot.
+        if request.is_write:
+            recovery = data_end + self.timing.t_wr
+        else:
+            recovery = column_at + self.timing.t_rtp
+        bank.ready_for_pre = max(
+            bank.ready_for_pre, bank.act_at + self.timing.t_ras, recovery
+        )
+        bank.free_at = max(column_at + self.timing.t_ccd, data_end)
+        if self.mechanism is not None and activated:
+            bank.free_at += self.mechanism.on_activate(
+                request.bank, request.row, column_at
+            )
+
+        request.issue = column_at
+        request.completion = data_end
+        self.stats.requests += 1
+        return request
+
+    # ------------------------------------------------------------------
+    def _constrain_act(self, bank: _CmdBankState, earliest: int) -> int:
+        act_at = max(
+            earliest,
+            bank.act_at + self.timing.t_rc,
+            self._last_act_rank + self.timing.t_rrd,
+        )
+        if len(self._act_history) == 4:
+            act_at = max(act_at, self._act_history[0] + self.timing.t_faw)
+        return act_at
+
+    def _record_act(self, bank: _CmdBankState, act_at: int) -> None:
+        bank.act_at = act_at
+        self._last_act_rank = act_at
+        self._act_history.append(act_at)
+        self.stats.acts += 1
+
+    def _constrain_column(self, is_write: bool, earliest: int) -> int:
+        column_at = max(earliest, self._last_column_at + self.timing.t_ccd)
+        if not is_write and self._last_was_write:
+            # Write-to-read turnaround after the write's data burst.
+            column_at = max(column_at, self._write_data_end + self.timing.t_wtr)
+        # Data-bus serialization.
+        latency = self.timing.t_cwl if is_write else self.timing.t_cl
+        if column_at + latency < self._bus_free_at:
+            column_at = self._bus_free_at - latency
+        return column_at
+
+    def _record_column(self, is_write: bool, column_at: int, data_end: int) -> None:
+        self._last_column_at = column_at
+        self._last_was_write = is_write
+        if is_write:
+            self._write_data_end = data_end
+        self._bus_free_at = data_end
+
+    def _log(self, kind: str, bank: int, cycle: int) -> None:
+        if self.command_log is not None:
+            self.command_log.append((kind, bank, cycle))
+
+    def _resolve_blockers(
+        self, bank_index: int, cycle: int, row: int | None = None
+    ) -> int:
+        blockers = self._blockers[bank_index]
+        if self.policy.region_aware and row is not None:
+            blockers = blockers + self.policy.blockers_for(bank_index, row)
+        if not blockers:
+            return cycle
+        changed = True
+        while changed:
+            changed = False
+            for blocker in blockers:
+                available = blocker.next_available(cycle)
+                if available != cycle:
+                    cycle = available
+                    changed = True
+        return cycle

@@ -1,0 +1,81 @@
+"""Simple core model: an LLC-miss trace with limited memory-level parallelism.
+
+Each core retires compute instructions at a fixed peak rate and issues one
+memory request per ``1000 / MPKI`` instructions.  Up to ``window`` requests
+may be outstanding; the core stalls when the request ``window`` positions
+back has not yet completed (a sliding reorder-window model).  This is the
+standard abstraction for refresh-interference studies: performance degrades
+exactly through added memory latency and bank blocking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.workloads.trace import WorkloadTrace
+
+#: Instructions retired per controller cycle at peak (a 3.2 GHz 1-IPC core
+#: against a 1.6 GHz controller clock).
+PEAK_IPC_PER_CYCLE = 2.0
+
+
+@dataclass
+class Core:
+    """Execution state of one core over its trace.
+
+    Attributes:
+        core_id: index within the mix.
+        trace: the memory-request trace.
+        window: maximum outstanding requests (MLP window).
+    """
+
+    core_id: int
+    trace: WorkloadTrace
+    window: int = 4
+    next_index: int = 0
+    outstanding: int = 0
+    last_issue: int = 0
+    completions: dict[int, int] = field(default_factory=dict)
+    finish_cycle: int | None = None
+
+    @property
+    def gap_cycles(self) -> int:
+        """Compute cycles between consecutive memory requests."""
+        return max(1, int(round(self.trace.instructions_per_request
+                                / PEAK_IPC_PER_CYCLE)))
+
+    def issuable(self) -> bool:
+        """Whether the next request can be scheduled now."""
+        if self.next_index >= len(self.trace):
+            return False
+        if self.outstanding >= self.window:
+            return False
+        dependency = self.next_index - self.window
+        if dependency >= 0 and dependency not in self.completions:
+            return False
+        return True
+
+    def next_issue_time(self) -> int:
+        """Issue cycle of the next request (call only when `issuable`)."""
+        time = self.last_issue + self.gap_cycles
+        dependency = self.next_index - self.window
+        if dependency >= 0:
+            time = max(time, self.completions[dependency])
+        return time
+
+    def on_complete(self, index: int, cycle: int) -> None:
+        """Record a completion."""
+        self.outstanding -= 1
+        self.completions[index] = cycle
+        if index == len(self.trace) - 1:
+            self.finish_cycle = cycle
+
+    def instructions_total(self) -> float:
+        """Instructions represented by the whole trace."""
+        return len(self.trace) * self.trace.instructions_per_request
+
+    def ipc(self) -> float:
+        """Retired instructions per controller cycle (after the run)."""
+        if self.finish_cycle is None or self.finish_cycle == 0:
+            raise RuntimeError("core has not finished its trace")
+        return self.instructions_total() / self.finish_cycle

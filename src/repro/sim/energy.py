@@ -1,0 +1,59 @@
+"""DRAM energy accounting for simulation results.
+
+Event-based energy model with DDR4-class per-operation energies (derived
+from manufacturer IDD figures the way DRAMPower-style tools do).  Absolute
+joules are approximate; the reproduction targets are *relative* energies
+across refresh configurations (e.g. Fig. 23's energy-benefit reductions),
+which depend only on the ratios between these constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.system import SimulationResult
+from repro.sim.timing import cycles_to_seconds
+
+#: Per-event energies (nanojoules) and background power (milliwatts) for a
+#: DDR4 x8 device rank.
+ACT_PRE_ENERGY_NJ = 2.5
+READ_ENERGY_NJ = 4.0
+ROW_REFRESH_ENERGY_NJ = 2.5
+BACKGROUND_POWER_MW = 110.0
+
+
+@dataclass
+class EnergyBreakdown:
+    """DRAM energy of one simulation run, by component (millijoules)."""
+
+    activation_mj: float
+    read_mj: float
+    refresh_mj: float
+    background_mj: float
+
+    @property
+    def total_mj(self) -> float:
+        return (
+            self.activation_mj + self.read_mj + self.refresh_mj + self.background_mj
+        )
+
+    @property
+    def refresh_fraction(self) -> float:
+        return self.refresh_mj / self.total_mj if self.total_mj else 0.0
+
+
+def estimate_energy(result: SimulationResult, activations: int) -> EnergyBreakdown:
+    """Energy of one run.
+
+    Args:
+        result: the simulation outcome.
+        activations: ACT count from the controller stats.
+    """
+    duration_s = cycles_to_seconds(result.cycles)
+    refreshed_rows = result.refresh_rows_per_second * duration_s
+    return EnergyBreakdown(
+        activation_mj=activations * ACT_PRE_ENERGY_NJ * 1e-6,
+        read_mj=result.requests * READ_ENERGY_NJ * 1e-6,
+        refresh_mj=refreshed_rows * ROW_REFRESH_ENERGY_NJ * 1e-6,
+        background_mj=BACKGROUND_POWER_MW * duration_s,
+    )

@@ -1,0 +1,214 @@
+"""Online mitigation mechanisms hooked into the memory controller.
+
+`repro.sim.refreshpolicy` models refresh schedules as fixed-rate blockers;
+the mechanisms here are *reactive*: they observe every row activation the
+controller issues and charge mitigation work (victim-row refreshes) to the
+bank in response.  This realizes §6.1's PRVR concretely:
+
+* :class:`DynamicPrvr` counts activations per (bank, row).  Every
+  ``activations_per_victim`` activations of any aggressor, it refreshes one
+  of the N potential ColumnDisturb victim rows, so all N are refreshed
+  within the aggressor's time-to-first-bitflip budget — the distributed
+  schedule of §6.1 — and the work scales with *actual* aggressor activity
+  instead of a worst-case fixed rate.
+* :class:`NeighbourRefreshTrr` is a conventional RowHammer TRR-style
+  mechanism (refresh +/-blast_radius neighbours every ``threshold``
+  activations).  It is included as the contrast case: negligible cost, but
+  its 8-row reach cannot protect 3072 ColumnDisturb victims.
+
+Security is checked analytically: `max_unrefreshed_exposure` bounds the
+aggressor open time any victim can accumulate between its refreshes, which
+must stay below the module's time-to-first-bitflip floor.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.sim.timing import CONTROLLER_HZ, SimTiming
+
+
+class ActivationMechanism:
+    """Interface: observe activations, charge mitigation busy time."""
+
+    name = "abstract"
+
+    def on_activate(self, bank: int, row: int, cycle: int) -> int:
+        """Called on each row activation; returns extra busy cycles the
+        bank spends on mitigation work right after the access."""
+        raise NotImplementedError
+
+    @property
+    def refresh_operations(self) -> int:
+        """Victim-row refreshes issued so far (for the energy model)."""
+        raise NotImplementedError
+
+
+class NoMechanism(ActivationMechanism):
+    """No mitigation."""
+
+    name = "none"
+
+    def on_activate(self, bank: int, row: int, cycle: int) -> int:
+        return 0
+
+    @property
+    def refresh_operations(self) -> int:
+        return 0
+
+
+class DynamicPrvr(ActivationMechanism):
+    """Activity-driven PRVR (§6.1), keyed on accumulated row-open time.
+
+    ColumnDisturb damage is proportional to how long an aggressor keeps its
+    bitlines driven (§4.5/§4.6), so the tracker charges each row the OPEN
+    TIME it accumulated (measured from its activation to the bank's next
+    activation).  Once a row's open-time exposure crosses one *quantum*
+    (``exposure_budget * batch / victim_rows``), a batch of victim rows is
+    refreshed, so a full N-victim sweep completes before any aggressor can
+    accumulate ``time_to_first_bitflip / safety_factor`` of open time.
+    Benign workloads — whose individual rows stay open microseconds, not
+    the attacker's tens of milliseconds — are charged (almost) nothing.
+
+    Args:
+        timing: controller timing (row-refresh busy time).
+        victim_rows: rows to protect per aggressor (N; three subarrays).
+        time_to_first_bitflip: the module's ColumnDisturb floor (seconds),
+            from characterization.
+        safety_factor: complete each victim sweep this many times faster
+            than strictly necessary.  This also bounds tracker evasion: an
+            attacker alternating K rows of one bank splits its open time
+            across K per-row counters, so protection against K concurrent
+            aggressors requires ``safety_factor >= K``.
+        batch: victim rows refreshed per mitigation burst (DDR5 DRFM
+            refreshes up to 8 rows per command).
+    """
+
+    name = "dynamic-prvr"
+
+    def __init__(
+        self,
+        timing: SimTiming,
+        victim_rows: int = 3072,
+        time_to_first_bitflip: float = 63.6e-3,
+        safety_factor: float = 2.0,
+        batch: int = 8,
+    ) -> None:
+        if victim_rows < 1:
+            raise ValueError("victim_rows must be positive")
+        if time_to_first_bitflip <= 0:
+            raise ValueError("time_to_first_bitflip must be positive")
+        if safety_factor < 1.0:
+            raise ValueError("safety_factor must be >= 1")
+        if batch < 1:
+            raise ValueError("batch must be positive")
+        self.timing = timing
+        self.victim_rows = victim_rows
+        self.time_to_first_bitflip = time_to_first_bitflip
+        self.safety_factor = safety_factor
+        self.batch = batch
+        self.exposure_budget_cycles = int(
+            time_to_first_bitflip / safety_factor * CONTROLLER_HZ
+        )
+        # Open-time quantum that earns one victim-refresh batch.
+        self.quantum_cycles = max(
+            1, int(self.exposure_budget_cycles * batch / victim_rows)
+        )
+        self._exposure: dict[tuple[int, int], int] = defaultdict(int)
+        self._charged: dict[tuple[int, int], int] = defaultdict(int)
+        self._bank_last: dict[int, tuple[int, int]] = {}
+        self._refreshes = 0
+
+    def on_activate(self, bank: int, row: int, cycle: int) -> int:
+        busy = 0
+        last = self._bank_last.get(bank)
+        if last is not None:
+            previous_row, previous_cycle = last
+            open_cycles = max(cycle - previous_cycle, self.timing.t_ras)
+            key = (bank, previous_row)
+            self._exposure[key] += open_cycles
+            earned = self._exposure[key] // self.quantum_cycles
+            pending = earned - self._charged[key] // self.quantum_cycles
+            if pending > 0:
+                self._refreshes += pending * self.batch
+                busy = pending * self.batch * self.timing.row_refresh
+                self._charged[key] = earned * self.quantum_cycles
+            if self._exposure[key] >= self.exposure_budget_cycles:
+                # Full victim sweep completed inside the budget: restart.
+                self._exposure[key] = 0
+                self._charged[key] = 0
+        self._bank_last[bank] = (row, cycle)
+        return busy
+
+    @property
+    def refresh_operations(self) -> int:
+        return self._refreshes
+
+    def max_unrefreshed_exposure(self) -> float:
+        """Upper bound (seconds of aggressor-open time) before a full
+        victim sweep completes."""
+        sweeps_cycles = (self.victim_rows / self.batch) * self.quantum_cycles
+        return sweeps_cycles / CONTROLLER_HZ
+
+    def protects(self, time_to_first_bitflip: float | None = None) -> bool:
+        """Whether the victim-sweep exposure stays inside the module's
+        time-to-first-bitflip under continuous pressing."""
+        target = (
+            self.time_to_first_bitflip
+            if time_to_first_bitflip is None
+            else time_to_first_bitflip
+        )
+        return self.max_unrefreshed_exposure() <= target
+
+
+class NeighbourRefreshTrr(ActivationMechanism):
+    """TRR-style RowHammer mitigation: refresh the +/-``reach`` neighbours
+    of a row every ``threshold`` activations.  Cheap — and structurally
+    unable to protect ColumnDisturb's three-subarray victim set."""
+
+    name = "trr"
+
+    def __init__(
+        self, timing: SimTiming, threshold: int = 16_000, reach: int = 4
+    ) -> None:
+        if threshold < 1 or reach < 1:
+            raise ValueError("threshold and reach must be positive")
+        self.timing = timing
+        self.threshold = threshold
+        self.reach = reach
+        self._counters: dict[tuple[int, int], int] = defaultdict(int)
+        self._refreshes = 0
+
+    def on_activate(self, bank: int, row: int, cycle: int) -> int:
+        key = (bank, row)
+        self._counters[key] += 1
+        if self._counters[key] < self.threshold:
+            return 0
+        self._counters[key] = 0
+        rows = 2 * self.reach
+        self._refreshes += rows
+        return rows * self.timing.row_refresh
+
+    @property
+    def refresh_operations(self) -> int:
+        return self._refreshes
+
+    def protected_rows(self) -> int:
+        """Rows this mechanism refreshes per aggressor (vs ColumnDisturb's
+        three-subarray victim count)."""
+        return 2 * self.reach
+
+
+def prvr_threshold_from_floor(
+    time_to_first_bitflip: float, access_period_s: float
+) -> int:
+    """Activations of one aggressor that fit in the module's
+    time-to-first-bitflip (the DynamicPrvr threshold)."""
+    if time_to_first_bitflip <= 0 or access_period_s <= 0:
+        raise ValueError("times must be positive")
+    return max(1, int(time_to_first_bitflip / access_period_s))
+
+
+def cycles_per_second() -> float:
+    """Controller cycles per second (for threshold conversions)."""
+    return CONTROLLER_HZ

@@ -1,0 +1,157 @@
+"""Multi-core memory-system simulation: the Fig. 23 engine.
+
+Discrete-event loop coupling N cores (`repro.sim.cpu.Core`) to one memory
+controller (`repro.sim.controller.MemoryController`).  Cores issue requests
+subject to their MLP window; the controller arbitrates FR-FCFS around the
+refresh policy's blocking windows; completions unblock further issues.
+
+Outputs per-core IPC, from which weighted speedups against a baseline
+configuration (the paper normalizes to a hypothetical No Refresh system)
+are computed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.sim.controller import MemoryController, MemoryRequest
+from repro.sim.cpu import Core
+from repro.sim.refreshpolicy import RefreshPolicy
+from repro.sim.timing import DDR4_3200, SimTiming
+from repro.workloads.trace import WorkloadTrace
+
+_ARRIVE = 0
+_BANK_FREE = 1
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one mix under one refresh policy."""
+
+    policy_name: str
+    ipcs: list[float]
+    cycles: int
+    requests: int
+    row_hit_rate: float
+    refresh_events_per_second: float
+    refresh_rows_per_second: float = 0.0
+
+    def weighted_speedup(self, baseline: "SimulationResult") -> float:
+        """Weighted speedup against a baseline run of the same mix,
+        normalized to the core count (1.0 = no slowdown)."""
+        if len(self.ipcs) != len(baseline.ipcs):
+            raise ValueError("core counts differ")
+        total = sum(
+            ipc / base for ipc, base in zip(self.ipcs, baseline.ipcs)
+        )
+        return total / len(self.ipcs)
+
+
+def simulate_mix(
+    traces: list[WorkloadTrace],
+    policy: RefreshPolicy,
+    banks: int = 16,
+    timing: SimTiming = DDR4_3200,
+    window: int = 4,
+    fr_fcfs: bool = True,
+    mechanism=None,
+    backend: str = "simple",
+) -> SimulationResult:
+    """Run one multiprogrammed mix to completion under ``policy`` (plus an
+    optional reactive mitigation mechanism, see `repro.sim.mechanism`).
+
+    ``backend`` selects the controller fidelity: ``"simple"`` (three-latency
+    model) or ``"command"`` (explicit DDR4 command scheduling with
+    tRRD/tFAW/tWTR constraints, `repro.sim.cmdlevel`).
+    """
+    if backend == "simple":
+        controller = MemoryController(
+            banks=banks, timing=timing, policy=policy, fr_fcfs=fr_fcfs,
+            mechanism=mechanism,
+        )
+    elif backend == "command":
+        from repro.sim.cmdlevel import CommandLevelController
+
+        controller = CommandLevelController(
+            banks=banks, policy=policy, fr_fcfs=fr_fcfs, mechanism=mechanism,
+        )
+    else:
+        raise ValueError(f"unknown backend {backend!r}")
+    cores = [Core(core_id=i, trace=t, window=window) for i, t in enumerate(traces)]
+    events: list[tuple[int, int, int, tuple]] = []
+    sequence = 0
+
+    def push(cycle: int, kind: int, payload: tuple) -> None:
+        nonlocal sequence
+        heapq.heappush(events, (cycle, sequence, kind, payload))
+        sequence += 1
+
+    def pump_core(core: Core) -> None:
+        """Schedule every request the core can currently commit to."""
+        while core.issuable():
+            cycle = core.next_issue_time()
+            bank, row = core.trace.request(core.next_index)
+            request = MemoryRequest(
+                core=core.core_id,
+                index=core.next_index,
+                bank=bank,
+                row=row,
+                arrival=cycle,
+                is_write=core.trace.is_write(core.next_index),
+            )
+            core.next_index += 1
+            core.outstanding += 1
+            core.last_issue = cycle
+            push(cycle, _ARRIVE, (request,))
+
+    for core in cores:
+        pump_core(core)
+
+    last_cycle = 0
+    while events:
+        cycle, _, kind, payload = heapq.heappop(events)
+        last_cycle = max(last_cycle, cycle)
+        if kind == _ARRIVE:
+            (request,) = payload
+            controller.enqueue(request)
+            bank = controller.banks[request.bank]
+            if bank.free_at <= cycle:
+                _serve(controller, request.bank, cycle, push, cores, pump_core)
+            else:
+                # The bank is occupied past its last scheduled wake-up
+                # (mitigation mechanisms extend free_at after the access);
+                # make sure someone retries once it frees up.
+                push(bank.free_at, _BANK_FREE, (request.bank,))
+        else:  # _BANK_FREE
+            (bank_index,) = payload
+            _serve(controller, bank_index, cycle, push, cores, pump_core)
+
+    for core in cores:
+        if core.finish_cycle is None:
+            raise RuntimeError(f"core {core.core_id} did not finish its trace")
+
+    stats = controller.stats
+    return SimulationResult(
+        policy_name=policy.name,
+        ipcs=[core.ipc() for core in cores],
+        cycles=last_cycle,
+        requests=stats.requests,
+        row_hit_rate=stats.row_hits / stats.requests if stats.requests else 0.0,
+        refresh_events_per_second=policy.refresh_events_per_second(banks),
+        refresh_rows_per_second=policy.refresh_rows_per_second(banks),
+    )
+
+
+def _serve(controller, bank_index, cycle, push, cores, pump_core) -> None:
+    served = controller.serve_next(bank_index, cycle)
+    if served is None:
+        # Maybe only future arrivals are queued: retry at the earliest one.
+        queue = controller.banks[bank_index].queue
+        if queue:
+            push(min(r.arrival for r in queue), _BANK_FREE, (bank_index,))
+        return
+    push(served.completion, _BANK_FREE, (bank_index,))
+    core = cores[served.core]
+    core.on_complete(served.index, served.completion)
+    pump_core(core)

@@ -1,0 +1,14 @@
+"""Synthetic memory-intensive workloads and multiprogrammed mixes."""
+
+from repro.workloads.mixes import CORES_PER_MIX, MIX_COUNT, all_mixes, make_mix
+from repro.workloads.trace import WorkloadTrace, attack_trace, press_attack_trace
+
+__all__ = [
+    "CORES_PER_MIX",
+    "MIX_COUNT",
+    "all_mixes",
+    "make_mix",
+    "WorkloadTrace",
+    "attack_trace",
+    "press_attack_trace",
+]

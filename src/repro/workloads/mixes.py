@@ -1,0 +1,49 @@
+"""The 20 four-core memory-intensive workload mixes (§6.2 methodology).
+
+Every single-core workload has LLC MPKI >= 10, as in the paper's RAIDR
+evaluation.  Mixes are deterministic: the same mix index always produces
+the same four traces.
+"""
+
+from __future__ import annotations
+
+from repro._util.rng import derive_rng
+from repro.workloads.trace import WorkloadTrace
+
+MIX_COUNT = 20
+CORES_PER_MIX = 4
+
+_MPKI_RANGE = (10.0, 45.0)
+_LOCALITY_RANGE = (0.25, 0.80)
+
+
+def make_mix(
+    mix_index: int,
+    length: int = 2000,
+    banks: int = 16,
+    rows_per_bank: int = 65536,
+) -> list[WorkloadTrace]:
+    """Build one four-core mix (deterministic per ``mix_index``)."""
+    if not 0 <= mix_index < MIX_COUNT:
+        raise ValueError(f"mix_index must be in [0, {MIX_COUNT})")
+    rng = derive_rng("workload-mix", mix_index)
+    traces = []
+    for core in range(CORES_PER_MIX):
+        mpki = float(rng.uniform(*_MPKI_RANGE))
+        locality = float(rng.uniform(*_LOCALITY_RANGE))
+        traces.append(
+            WorkloadTrace(
+                name=f"mix{mix_index}-core{core}",
+                mpki=mpki,
+                locality=locality,
+                banks=banks,
+                rows_per_bank=rows_per_bank,
+                length=length,
+            )
+        )
+    return traces
+
+
+def all_mixes(length: int = 2000, **kwargs) -> list[list[WorkloadTrace]]:
+    """All 20 mixes."""
+    return [make_mix(i, length=length, **kwargs) for i in range(MIX_COUNT)]

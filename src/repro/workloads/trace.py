@@ -1,0 +1,129 @@
+"""Synthetic memory-intensive workload traces.
+
+The paper evaluates RAIDR on 20 four-core multiprogrammed mixes of
+highly-memory-intensive workloads (LLC MPKI >= 10).  Without the authors'
+SPEC traces, we generate synthetic LLC-miss streams parameterized by the
+three properties that matter to a memory controller: miss intensity (MPKI),
+row-buffer locality, and bank-level parallelism.  Traces are deterministic
+given their name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util.rng import derive_rng
+
+
+@dataclass
+class WorkloadTrace:
+    """A deterministic LLC-miss request stream.
+
+    Attributes:
+        name: stable identity (seeds the generator).
+        mpki: LLC misses per kilo-instruction (>= 10 for the paper's mixes).
+        locality: probability a request hits the previously accessed row of
+            its bank (row-buffer locality).
+        banks: number of banks addressable.
+        rows_per_bank: row address space per bank.
+        length: number of requests.
+        write_fraction: fraction of requests that are writes (dirty LLC
+            evictions); only the command-level controller distinguishes
+            them.
+    """
+
+    name: str
+    mpki: float
+    locality: float
+    banks: int = 16
+    rows_per_bank: int = 65536
+    length: int = 2000
+    write_fraction: float = 0.0
+    _banks: np.ndarray = field(init=False, repr=False)
+    _rows: np.ndarray = field(init=False, repr=False)
+    _writes: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.mpki <= 0:
+            raise ValueError("mpki must be positive")
+        if not 0.0 <= self.locality <= 1.0:
+            raise ValueError("locality must be in [0, 1]")
+        if self.length < 1 or self.banks < 1 or self.rows_per_bank < 1:
+            raise ValueError("length, banks, rows_per_bank must be positive")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+        rng = derive_rng("trace", self.name, self.mpki, self.locality)
+        banks = rng.integers(0, self.banks, size=self.length)
+        rows = rng.integers(0, self.rows_per_bank, size=self.length)
+        reuse = rng.random(self.length) < self.locality
+        last_row = np.full(self.banks, -1, dtype=np.int64)
+        for i in range(self.length):
+            bank = banks[i]
+            if reuse[i] and last_row[bank] >= 0:
+                rows[i] = last_row[bank]
+            last_row[bank] = rows[i]
+        self._banks = banks.astype(np.int64)
+        self._rows = rows.astype(np.int64)
+        self._writes = rng.random(self.length) < self.write_fraction
+
+    def __len__(self) -> int:
+        return self.length
+
+    @property
+    def instructions_per_request(self) -> float:
+        """Instructions between consecutive LLC misses."""
+        return 1000.0 / self.mpki
+
+    def request(self, index: int) -> tuple[int, int]:
+        """(bank, row) of request ``index``."""
+        return int(self._banks[index]), int(self._rows[index])
+
+    def is_write(self, index: int) -> bool:
+        """Whether request ``index`` is a write."""
+        return bool(self._writes[index])
+
+
+def attack_trace(
+    length: int = 2000,
+    bank: int = 0,
+    rows: tuple[int, int] = (1000, 2000),
+    mpki: float = 45.0,
+    name: str = "hammer-attack",
+) -> WorkloadTrace:
+    """A ColumnDisturb/RowHammer attack stream: alternate two rows of one
+    bank so every access forces a row activation (row-buffer conflict).
+
+    Used to exercise activation-driven mitigation mechanisms
+    (`repro.sim.mechanism`) under adversarial access patterns.
+    """
+    trace = WorkloadTrace(
+        name=name, mpki=mpki, locality=0.0, banks=max(bank + 1, 1),
+        length=length,
+    )
+    trace._banks[:] = bank
+    trace._rows[0::2] = rows[0]
+    trace._rows[1::2] = rows[1]
+    return trace
+
+
+def press_attack_trace(
+    length: int = 2000,
+    bank: int = 0,
+    rows: tuple[int, int] = (1000, 2000),
+    press_period_s: float = 70.2e-6,
+    name: str = "press-attack",
+) -> WorkloadTrace:
+    """A ColumnDisturb *pressing* attacker: alternate two rows of one bank,
+    pacing accesses so each row stays open ~``press_period_s`` (the §3.2
+    tAggOn).  Slow and deliberate — exactly what defeats count-based
+    trackers but not open-time-based ones (`repro.sim.mechanism`)."""
+    from repro.sim.timing import CONTROLLER_HZ
+    from repro.sim.cpu import PEAK_IPC_PER_CYCLE
+
+    gap_cycles = press_period_s * CONTROLLER_HZ
+    mpki = 1000.0 / (gap_cycles * PEAK_IPC_PER_CYCLE)
+    return attack_trace(
+        length=length, bank=bank, rows=rows, mpki=mpki, name=name
+    )

@@ -1,0 +1,37 @@
+"""Shared fixtures: small, fast geometries and representative modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chip import BankGeometry, SimulatedModule, get_module
+
+
+@pytest.fixture
+def tiny_geometry() -> BankGeometry:
+    """4 subarrays x 32 rows x 64 columns — fast unit-test silicon."""
+    return BankGeometry(subarrays=4, rows_per_subarray=32, columns=64)
+
+
+@pytest.fixture
+def small_geometry() -> BankGeometry:
+    """4 subarrays x 64 rows x 256 columns — integration-test silicon."""
+    return BankGeometry(subarrays=4, rows_per_subarray=64, columns=256)
+
+
+@pytest.fixture
+def s0_module(small_geometry) -> SimulatedModule:
+    """Samsung 16Gb A-die (the paper's representative module)."""
+    return SimulatedModule(get_module("S0"), geometry=small_geometry)
+
+
+@pytest.fixture
+def m8_module(small_geometry) -> SimulatedModule:
+    """Micron 16Gb F-die (the most ColumnDisturb-vulnerable module)."""
+    return SimulatedModule(get_module("M8"), geometry=small_geometry)
+
+
+@pytest.fixture
+def h0_module(small_geometry) -> SimulatedModule:
+    """SK Hynix 8Gb A-die (the least vulnerable die generation)."""
+    return SimulatedModule(get_module("H0"), geometry=small_geometry)

@@ -1,0 +1,116 @@
+"""Distribution statistics and text rendering."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    DistributionSummary,
+    boxplot,
+    fold,
+    fold_change,
+    geometric_mean,
+    hbar,
+    percent,
+    ratio,
+    seconds,
+    table,
+)
+
+
+class TestSummary:
+    def test_five_numbers(self):
+        summary = DistributionSummary.from_values([1, 2, 3, 4, 5])
+        assert summary.minimum == 1
+        assert summary.median == 3
+        assert summary.maximum == 5
+        assert summary.mean == 3
+        assert summary.count == 5
+        assert summary.censored == 0
+
+    def test_censored_values_excluded(self):
+        summary = DistributionSummary.from_values([1.0, float("inf"), 3.0])
+        assert summary.count == 2
+        assert summary.censored == 1
+        assert summary.maximum == 3.0
+
+    def test_all_censored(self):
+        summary = DistributionSummary.from_values([float("inf")] * 3)
+        assert summary.count == 0
+        assert math.isnan(summary.median)
+
+    def test_iqr(self):
+        summary = DistributionSummary.from_values(range(101))
+        assert summary.iqr == pytest.approx(50.0)
+
+    @given(st.lists(st.floats(0.1, 1e6), min_size=1, max_size=50))
+    def test_ordering_property(self, values):
+        summary = DistributionSummary.from_values(values)
+        tolerance = 1e-9 * summary.maximum
+        assert (
+            summary.minimum <= summary.q1 + tolerance
+            and summary.q1 <= summary.median + tolerance
+            and summary.median <= summary.q3 + tolerance
+            and summary.q3 <= summary.maximum + tolerance
+        )
+        assert summary.minimum - tolerance <= summary.mean <= (
+            summary.maximum + tolerance
+        )
+
+
+class TestScalars:
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+    def test_ratio(self):
+        assert ratio(4, 2) == 2.0
+        assert ratio(1, 0) == float("inf")
+        assert ratio(0, 0) == 1.0
+
+    def test_fold_change(self):
+        assert fold_change(1.0, 5.06) == "5.06x lower"
+        assert fold_change(4.0, 2.0) == "2.00x higher"
+        assert fold_change(2.0, 2.0) == "unchanged"
+
+
+class TestRender:
+    def test_table_alignment(self):
+        text = table(["a", "bbbb"], [["x", 1], ["yyyy", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+
+    def test_hbar(self):
+        assert hbar(0.5, 1.0, width=10) == "#####"
+        assert hbar(0.0, 1.0) == ""
+        assert hbar(2.0, 1.0, width=10).endswith(">")
+        with pytest.raises(ValueError):
+            hbar(1.0, 0.0)
+
+    def test_boxplot_markers(self):
+        summary = DistributionSummary.from_values([1, 2, 3, 4, 5])
+        line = boxplot(summary, 0, 6, width=30)
+        assert "M" in line and "|" in line and "=" in line
+        assert len(line) == 30
+
+    def test_boxplot_log_scale(self):
+        summary = DistributionSummary.from_values([0.01, 0.1, 1.0, 10.0])
+        line = boxplot(summary, 0.001, 100.0, width=40)
+        assert "M" in line
+
+    def test_boxplot_empty(self):
+        summary = DistributionSummary.from_values([])
+        assert "no finite" in boxplot(summary, 0, 1)
+
+    def test_formatters(self):
+        assert seconds(float("inf")) == ">window"
+        assert seconds(0.0636) == "63.6ms"
+        assert percent(0.105, 1) == "10.5%"
+        assert fold(5.06) == "5.06x"
+        assert fold(float("inf")) == "inf-x"

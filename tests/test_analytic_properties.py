@@ -1,0 +1,114 @@
+"""Property-based invariants of the analytic characterization path."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chip import DDR4, expand_pattern, get_module
+from repro.chip.cells import CellPopulation
+from repro.core import (
+    DisturbConfig,
+    SubarrayRole,
+    aggressor_column_multipliers,
+    disturb_outcome,
+    neighbour_column_multipliers,
+)
+
+PROFILE = get_module("S0").profile
+
+
+def make_population(columns=64):
+    return CellPopulation(
+        key=("prop", columns), profile=PROFILE, rows=32, columns=columns
+    )
+
+
+@given(st.integers(0, 255))
+@settings(max_examples=40, deadline=None)
+def test_neighbour_parities_partition_columns(pattern):
+    """Upper and lower neighbours' driven columns are disjoint and together
+    cover every column exactly once (Obs 5's parity disjointness)."""
+    bits = expand_pattern(pattern, 32)
+    precharge = PROFILE.coupling_multiplier(0.5)
+    upper = neighbour_column_multipliers(
+        PROFILE, bits, 70.2e-6, 14e-9, SubarrayRole.UPPER_NEIGHBOUR
+    )
+    lower = neighbour_column_multipliers(
+        PROFILE, bits, 70.2e-6, 14e-9, SubarrayRole.LOWER_NEIGHBOUR
+    )
+    upper_driven = upper != precharge
+    lower_driven = lower != precharge
+    # A column driven in both neighbours would be double-counted silicon.
+    assert not (upper_driven & lower_driven).any()
+    # Patterns with both 0s and 1s drive half of each neighbour's columns.
+    if 0 < bin(pattern).count("1") < 8:
+        assert upper_driven.sum() + lower_driven.sum() <= 32
+
+
+@given(st.integers(0, 255), st.sampled_from([36e-9, 7.8e-6, 70.2e-6]))
+@settings(max_examples=40, deadline=None)
+def test_aggressor_multipliers_bounded(pattern, t_agg_on):
+    bits = expand_pattern(pattern, 32)
+    multipliers = aggressor_column_multipliers(
+        PROFILE, bits, t_agg_on, 14e-9
+    )
+    assert (multipliers >= 0).all()
+    assert (multipliers <= PROFILE.coupling_multiplier(0.0) + 1e-9).all()
+
+
+@given(st.sampled_from([0x00, 0xAA, 0x77]), st.sampled_from([0.5, 2.0, 8.0]))
+@settings(max_examples=20, deadline=None)
+def test_raw_count_dominates_filtered_count(pattern, interval):
+    population = make_population()
+    outcome = disturb_outcome(
+        population, DisturbConfig(aggressor_pattern=pattern), DDR4,
+        SubarrayRole.AGGRESSOR, aggressor_local_row=16,
+    )
+    assert outcome.raw_flip_count(interval) >= outcome.flip_count(interval)
+
+
+@given(st.sampled_from([45.0, 65.0, 85.0, 95.0]))
+@settings(max_examples=8, deadline=None)
+def test_counts_monotone_in_temperature(temperature):
+    population = make_population()
+    cold = disturb_outcome(
+        population, DisturbConfig(temperature_c=temperature), DDR4,
+        SubarrayRole.AGGRESSOR, aggressor_local_row=16,
+    )
+    if temperature < 95.0:
+        hot = disturb_outcome(
+            population, DisturbConfig(temperature_c=temperature + 10.0), DDR4,
+            SubarrayRole.AGGRESSOR, aggressor_local_row=16,
+        )
+        assert hot.raw_flip_count(8.0) >= cold.raw_flip_count(8.0)
+
+
+def test_guardband_widening_only_removes_flips():
+    population = make_population()
+    narrow = disturb_outcome(
+        population, DisturbConfig(), DDR4, SubarrayRole.AGGRESSOR,
+        aggressor_local_row=16, guardband=1,
+    )
+    wide = disturb_outcome(
+        population, DisturbConfig(), DDR4, SubarrayRole.AGGRESSOR,
+        aggressor_local_row=16, guardband=8,
+    )
+    assert wide.flip_count(16.0) <= narrow.flip_count(16.0)
+
+
+def test_footnote5_guardband_insensitivity():
+    """Paper footnote 5: excluding 2 vs 8 neighbour rows leaves the results
+    essentially unchanged (ColumnDisturb victims are everywhere, not just
+    near the aggressor)."""
+    population = CellPopulation(
+        key=("guardband",), profile=PROFILE, rows=256, columns=256
+    )
+    counts = {}
+    for guardband in (2, 8):
+        outcome = disturb_outcome(
+            population, DisturbConfig(), DDR4, SubarrayRole.AGGRESSOR,
+            aggressor_local_row=128, guardband=guardband,
+        )
+        counts[guardband] = outcome.flip_count(16.0)
+    assert counts[2] == pytest.approx(counts[8], rel=0.08)

@@ -1,0 +1,191 @@
+"""SimulatedBank: writes, reads, retention decay, hammer exposure, refresh."""
+
+import numpy as np
+import pytest
+
+from repro.chip import BankGeometry, SimulatedModule, get_module
+from repro.core import SubarrayRole, disturb_outcome, retention_outcome
+from repro.core.config import DisturbConfig
+
+
+@pytest.fixture
+def bank(small_geometry):
+    return SimulatedModule(get_module("S0"), geometry=small_geometry).bank()
+
+
+def test_write_read_roundtrip(bank):
+    bank.write_row(3, 0xA5)
+    assert np.array_equal(bank.read_row(3), bank._coerce_bits(0xA5))
+
+
+def test_fill_covers_all_rows(bank):
+    bank.fill(0xFF)
+    for row in (0, 100, bank.geometry.rows - 1):
+        assert bank.read_row(row).all()
+
+
+def test_bit_vector_write(bank):
+    bits = np.zeros(bank.geometry.columns, dtype=np.uint8)
+    bits[::3] = 1
+    bank.write_row(5, bits)
+    assert np.array_equal(bank.read_row(5), bits)
+
+
+def test_write_rejects_bad_vectors(bank):
+    with pytest.raises(ValueError):
+        bank.write_row(0, np.array([2], dtype=np.uint8))
+    with pytest.raises(ValueError):
+        bank.write_row(0, np.zeros(3, dtype=np.uint8))
+
+
+def test_idle_induces_only_one_to_zero(bank):
+    """Retention failures discharge cells: 1 -> 0 only (true cells)."""
+    bank.fill(0xFF)
+    bank.idle(64.0)
+    data = bank.read_subarray(0)
+    assert (data <= 1).all()
+    flips = (data == 0).sum()
+    assert flips > 0  # at 64 s, 85C, some cells must have failed
+
+    bank2 = SimulatedModule(get_module("S0"), geometry=bank.geometry).bank()
+    bank2.fill(0x00)
+    bank2.idle(64.0)
+    assert (bank2.read_subarray(0) == 0).all()  # no 0 -> 1 retention flips
+
+
+def test_idle_flip_count_matches_analytic(bank):
+    """Bank-path retention flips equal the analytic retention model."""
+    bank.fill(0xFF)
+    bank.idle(16.0)
+    measured = int((bank.read_subarray(2) == 0).sum())
+    population = bank.population(2)
+    outcome = retention_outcome(population, 85.0)
+    assert measured == outcome.flip_count(16.0)
+
+
+def test_hammer_matches_analytic_aggressor_outcome(bank):
+    """Bank-path ColumnDisturb flips equal the analytic fast path."""
+    geometry = bank.geometry
+    config = DisturbConfig(aggressor_pattern=0x00, victim_pattern=0xFF)
+    subarray = 1
+    aggressor = geometry.middle_row(subarray)
+    bank.fill(0xFF)
+    bank.write_row(aggressor, 0x00)
+    count = int(8.0 // (70.2e-6 + bank.timing.t_rp))
+    bank.hammer(aggressor, count, t_agg_on=70.2e-6)
+    duration = count * (70.2e-6 + bank.timing.t_rp)
+
+    data = bank.read_subarray(subarray)
+    flips = data != 1
+    flips[geometry.row_within_subarray(aggressor)] = False
+    # Ignore the +/-1 RowHammer rows, then compare against the analytic
+    # outcome WITHOUT the retention filter (the bank reports raw flips).
+    local = geometry.row_within_subarray(aggressor)
+    flips[local - 1] = False
+    flips[local + 1] = False
+
+    population = bank.population(subarray)
+    outcome = disturb_outcome(
+        population, config, bank.timing, SubarrayRole.AGGRESSOR,
+        aggressor_local_row=local, guardband=1,
+    )
+    analytic = outcome.cd_times <= duration
+    analytic |= outcome.retention_nominal <= duration
+    analytic[local - 1 : local + 2] = False
+    assert int(flips.sum()) == int(analytic.sum())
+
+
+def test_refresh_prevents_retention_failures(bank):
+    bank.fill(0xFF)
+    for _ in range(32):
+        bank.idle(0.5)
+        bank.refresh_all()
+    # Each 0.5 s segment is below the weakest cell's retention time at this
+    # small geometry, so refreshing must have preserved everything — even
+    # though the total idle time (16 s) far exceeds many retention times.
+    weakest = min(
+        retention_outcome(bank.population(s), 85.0).cd_times.min()
+        for s in range(bank.geometry.subarrays)
+    )
+    assert weakest > 0.5
+    assert bank.read_subarray(0).all()
+
+
+def test_refresh_does_not_undo_flips(bank):
+    bank.fill(0xFF)
+    bank.idle(256.0)  # long enough to flip many cells
+    before = bank.read_subarray(0).copy()
+    bank.refresh_all()
+    after = bank.read_subarray(0)
+    assert np.array_equal(before, after)
+
+
+def test_rewriting_resets_damage(bank):
+    bank.fill(0xFF)
+    bank.idle(256.0)
+    bank.write_row(7, 0xFF)
+    assert bank.read_row(7).all()
+
+
+def test_hammer_disturbs_neighbour_subarray_half_columns(bank):
+    geometry = bank.geometry
+    aggressor = geometry.middle_row(1)
+    bank.fill(0xFF)
+    bank.write_row(aggressor, 0x00)
+    count = int(8.0 // (70.2e-6 + bank.timing.t_rp))
+    bank.hammer(aggressor, count, t_agg_on=70.2e-6)
+    upper = bank.read_subarray(0)
+    lower = bank.read_subarray(2)
+    upper_flips = (upper == 0)
+    lower_flips = (lower == 0)
+    ret0 = retention_outcome(bank.population(0), 85.0)
+    ret2 = retention_outcome(bank.population(2), 85.0)
+    duration = count * (70.2e-6 + bank.timing.t_rp)
+    # Subtract retention failures, then ColumnDisturb flips must sit on
+    # disjoint column parities: ODD in the upper neighbour, EVEN in the
+    # lower (Obs 5).
+    upper_cd = upper_flips & ~(ret0.retention_nominal <= duration)
+    lower_cd = lower_flips & ~(ret2.retention_nominal <= duration)
+    assert upper_cd.sum() > 0 and lower_cd.sum() > 0
+    assert not upper_cd[:, 0::2].any()
+    assert not lower_cd[:, 1::2].any()
+
+
+def test_hammer_rowhammer_confined_to_immediate_neighbours(bank):
+    geometry = bank.geometry
+    aggressor = geometry.middle_row(1)
+    bank.fill(0x00)  # all-0 victims: only RowHammer can flip them
+    bank.write_row(aggressor, 0xFF)  # all-1 aggressor: no ColumnDisturb
+    bank.hammer(aggressor, 500_000_000)
+    data = bank.read_subarray(1)
+    local = geometry.row_within_subarray(aggressor)
+    data[local] = 0  # the aggressor row legitimately holds 0xFF
+    flipped_rows = np.nonzero((data == 1).any(axis=1))[0]
+    assert set(flipped_rows.tolist()) <= {local - 1, local + 1}
+    assert len(flipped_rows) == 2
+
+
+def test_hammer_validation(bank):
+    with pytest.raises(ValueError):
+        bank.hammer(0, -1)
+    with pytest.raises(ValueError):
+        bank.hammer(0, 1, t_rp=1e-12)
+
+
+def test_press_interval_returns_sensed_bits(bank):
+    bank.write_row(9, 0x3C)
+    sensed = bank.press_interval(9, 1e-3)
+    assert np.array_equal(sensed, bank._coerce_bits(0x3C))
+
+
+def test_temperature_accelerates_decay(bank):
+    hot = SimulatedModule(get_module("S0"), geometry=bank.geometry)
+    hot_bank = hot.bank()
+    hot_bank.temperature_c = 95.0
+    bank.fill(0xFF)
+    hot_bank.fill(0xFF)
+    bank.idle(16.0)
+    hot_bank.idle(16.0)
+    cold_flips = int((bank.read_subarray(0) == 0).sum())
+    hot_flips = int((hot_bank.read_subarray(0) == 0).sum())
+    assert hot_flips > cold_flips

@@ -1,0 +1,127 @@
+"""Property-based stateful testing of the bank device model.
+
+Random interleavings of writes, idles, hammers, presses, refreshes, and
+reads must preserve the device invariants:
+
+* reads return only 0/1 bits;
+* a written row reads back exactly until disturbance accumulates;
+* bitflips are monotone between restores: once a cell has flipped, it
+  stays flipped until its row is written/refreshed;
+* ColumnDisturb/retention can only DISCHARGE cells: with no RowHammer in
+  play, a row written all-0 never reads anything but 0;
+* refresh never changes the current (read-visible) content;
+* two banks fed the same operation sequence agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.chip import BankGeometry, SimulatedModule, get_module
+
+GEOMETRY = BankGeometry(subarrays=3, rows_per_subarray=16, columns=64)
+
+rows_strategy = st.integers(0, GEOMETRY.rows - 1)
+patterns = st.sampled_from([0x00, 0xFF, 0xAA, 0x33])
+durations = st.sampled_from([0.01, 0.1, 1.0, 8.0])
+
+
+def fresh_bank():
+    return SimulatedModule(get_module("S4"), geometry=GEOMETRY).bank()
+
+
+class BankMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self) -> None:
+        self.bank = fresh_bank()
+        self.twin = fresh_bank()
+        self.written: dict[int, np.ndarray] = {}
+        self.last_read: dict[int, np.ndarray] = {}
+        # Track rows whose +/-1 neighbour was hammered (RowHammer can flip
+        # 0->1 there, weakening the discharge-only invariant).
+        self.hammer_exposed: set[int] = set()
+
+    def _both(self, operation) -> None:
+        operation(self.bank)
+        operation(self.twin)
+
+    @rule(row=rows_strategy, pattern=patterns)
+    def write(self, row: int, pattern: int) -> None:
+        self._both(lambda b: b.write_row(row, pattern))
+        self.written[row] = self.bank._coerce_bits(pattern)
+        self.last_read.pop(row, None)
+
+    @rule(duration=durations)
+    def idle(self, duration: float) -> None:
+        self._both(lambda b: b.idle(duration))
+
+    @rule(row=rows_strategy, count=st.integers(1, 5000))
+    def hammer(self, row: int, count: int) -> None:
+        self._both(lambda b: b.hammer(row, count, t_agg_on=70.2e-6))
+        for neighbour in (row - 1, row + 1):
+            if 0 <= neighbour < GEOMETRY.rows:
+                self.hammer_exposed.add(neighbour)
+        # Hammering restores the aggressor itself; its stored content is
+        # whatever it had decayed to, so stop tracking its written image.
+        self.written.pop(row, None)
+        self.last_read.pop(row, None)
+
+    @rule(row=rows_strategy, duration=st.sampled_from([1e-3, 0.05, 0.5]))
+    def press(self, row: int, duration: float) -> None:
+        self._both(lambda b: b.press(row, duration))
+        for neighbour in (row - 1, row + 1):
+            if 0 <= neighbour < GEOMETRY.rows:
+                self.hammer_exposed.add(neighbour)
+        self.written.pop(row, None)
+        self.last_read.pop(row, None)
+
+    @rule()
+    def refresh(self) -> None:
+        before = {
+            row: self.bank.read_row(row) for row in list(self.written)[:4]
+        }
+        self._both(lambda b: b.refresh_all())
+        for row, bits in before.items():
+            assert np.array_equal(self.bank.read_row(row), bits), (
+                "refresh must preserve current content"
+            )
+
+    @rule(row=rows_strategy)
+    def read(self, row: int) -> None:
+        bits = self.bank.read_row(row)
+        assert bits.dtype == np.uint8
+        assert set(np.unique(bits)).issubset({0, 1})
+        twin_bits = self.twin.read_row(row)
+        assert np.array_equal(bits, twin_bits), "twin banks diverged"
+        if row in self.written and row not in self.hammer_exposed:
+            written = self.written[row]
+            # Discharge-only: bits can go 1 -> 0, never 0 -> 1.
+            assert not np.any((written == 0) & (bits == 1)), (
+                "leakage created charge"
+            )
+        if row in self.last_read and row not in self.hammer_exposed:
+            previous = self.last_read[row]
+            # Monotone decay between restores: no flip un-flips.
+            assert not np.any((previous == 0) & (bits == 1) &
+                              (self.written.get(row, previous) == 1))
+        self.last_read[row] = bits
+
+    @invariant()
+    def time_is_monotone(self) -> None:
+        assert self.bank.now >= 0
+        assert self.bank.now == self.twin.now
+
+
+TestBankStateful = BankMachine.TestCase
+TestBankStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,99 @@
+"""Table 1 catalog: population counts, die scaling, calibration anchors."""
+
+import pytest
+
+from repro._util.units import MILLI
+from repro.chip import (
+    CATALOG,
+    DIE_SCALES,
+    REPRESENTATIVE_SERIALS,
+    ddr4_modules,
+    die_profile,
+    get_module,
+    hbm2_modules,
+    modules_by_manufacturer,
+    total_chip_count,
+)
+
+
+def test_table1_chip_count():
+    """The paper tests 216 DDR4 chips."""
+    assert total_chip_count() == 216
+
+
+def test_table1_module_count():
+    assert len(ddr4_modules()) == 28
+    assert len(hbm2_modules()) == 1
+    assert hbm2_modules()[0].chips == 4
+
+
+def test_manufacturer_populations():
+    """Per-manufacturer chip counts from Table 1."""
+    assert sum(m.chips for m in modules_by_manufacturer("SK Hynix")) == 80
+    assert sum(m.chips for m in modules_by_manufacturer("Micron")) == 88
+    assert sum(m.chips for m in modules_by_manufacturer("Samsung")) == 48
+
+
+def test_representative_modules_exist():
+    for serial in REPRESENTATIVE_SERIALS:
+        assert serial in CATALOG
+
+
+@pytest.mark.parametrize(
+    "older, newer, expected_ratio",
+    [
+        (("SK Hynix", "8Gb", "A"), ("SK Hynix", "8Gb", "D"), 5.06),
+        (("SK Hynix", "16Gb", "A"), ("SK Hynix", "16Gb", "C"), 1.29),
+        (("Micron", "16Gb", "B"), ("Micron", "16Gb", "F"), 2.98),
+        (("Samsung", "16Gb", "A"), ("Samsung", "16Gb", "C"), 2.50),
+    ],
+)
+def test_obs2_die_generation_ratios(older, newer, expected_ratio):
+    """Obs 2: the minimum time to the first ColumnDisturb bitflip reduces by
+    these factors across die generations."""
+    old_floor = die_profile(*older).first_flip_floor()
+    new_floor = die_profile(*newer).first_flip_floor()
+    assert old_floor / new_floor == pytest.approx(expected_ratio, rel=1e-6)
+
+
+def test_obs3_micron_f_floor_is_63_6_ms():
+    """Obs 3: a Micron 16Gb F-die module experiences ColumnDisturb bitflips
+    within the nominal refresh window at 63.6 ms."""
+    floor = die_profile("Micron", "16Gb", "F").first_flip_floor()
+    assert floor == pytest.approx(63.6 * MILLI, rel=0.02)
+
+
+@pytest.mark.parametrize(
+    "manufacturer, reduction",
+    [("SK Hynix", 9.05), ("Micron", 5.15), ("Samsung", 1.96)],
+)
+def test_obs16_temperature_reductions(manufacturer, reduction):
+    """Obs 16: 45C -> 95C reduces the average time to the first bitflip by
+    9.05x / 5.15x / 1.96x for SK Hynix / Micron / Samsung."""
+    profile = modules_by_manufacturer(manufacturer)[0].profile
+    ratio = profile.first_flip_floor(45.0) / profile.first_flip_floor(95.0)
+    assert ratio == pytest.approx(reduction, rel=0.01)
+
+
+def test_every_die_scale_is_used():
+    used = {
+        (m.manufacturer, m.density, m.die_revision) for m in CATALOG.values()
+    }
+    assert used == set(DIE_SCALES)
+
+
+def test_newer_dies_have_larger_scales():
+    assert DIE_SCALES[("Samsung", "16Gb", "A")] < DIE_SCALES[
+        ("Samsung", "16Gb", "B")
+    ] < DIE_SCALES[("Samsung", "16Gb", "C")]
+
+
+def test_unknown_module_raises():
+    with pytest.raises(ValueError):
+        get_module("Z9")
+    with pytest.raises(ValueError):
+        die_profile("Samsung", "4Gb", "Z")
+
+
+def test_die_labels():
+    assert get_module("S0").die_label == "16Gb-A"

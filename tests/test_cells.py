@@ -1,0 +1,64 @@
+"""Cell populations: determinism, lazy arrays, VRT trials."""
+
+import numpy as np
+import pytest
+
+from repro.chip import CellPopulation, get_module
+
+
+def make_population(key=("S0", 0, 0, 1), rows=32, columns=64):
+    return CellPopulation(
+        key=key, profile=get_module("S0").profile, rows=rows, columns=columns
+    )
+
+
+def test_same_key_is_bit_identical():
+    a, b = make_population(), make_population()
+    assert np.array_equal(a.lambda_int, b.lambda_int)
+    assert np.array_equal(a.kappa, b.kappa)
+    assert np.array_equal(a.hammer_thresholds, b.hammer_thresholds)
+    assert a.subarray_scale == b.subarray_scale
+
+
+def test_different_keys_differ():
+    a = make_population(key=("S0", 0, 0, 1))
+    b = make_population(key=("S0", 0, 0, 2))
+    assert not np.array_equal(a.lambda_int, b.lambda_int)
+
+
+def test_shapes():
+    population = make_population(rows=16, columns=48)
+    assert population.shape == (16, 48)
+    assert population.lambda_int.shape == (16, 48)
+    assert population.kappa.shape == (16, 48)
+
+
+def test_all_rates_positive():
+    population = make_population()
+    assert (population.lambda_int > 0).all()
+    assert (population.kappa > 0).all()
+
+
+def test_kappa_respects_scaled_cap():
+    population = make_population()
+    cap = population.profile.scaled_kappa_cap() * population.subarray_scale
+    assert float(population.kappa.max()) <= cap * (1 + 1e-5)
+
+
+def test_anti_mask_default_empty():
+    population = make_population()
+    assert not population.anti_mask.any()
+
+
+def test_vrt_trials_distinct_but_reproducible():
+    population = make_population()
+    trial_a = population.vrt_jitter("trial-a")
+    trial_a_again = population.vrt_jitter("trial-a")
+    trial_b = population.vrt_jitter("trial-b")
+    assert np.array_equal(trial_a, trial_a_again)
+    assert not np.array_equal(trial_a, trial_b)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        make_population(rows=0)

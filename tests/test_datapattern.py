@@ -1,0 +1,60 @@
+"""Data-pattern expansion."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.chip import PAPER_PATTERNS, expand_pattern, invert_pattern, ones_fraction
+
+
+def test_paper_patterns_present():
+    assert PAPER_PATTERNS == (0x00, 0xAA, 0x11, 0x33, 0x77)
+
+
+def test_expand_alternating():
+    bits = expand_pattern(0xAA, 16)
+    assert bits.tolist() == [0, 1] * 8
+
+
+def test_expand_truncates_to_columns():
+    assert expand_pattern(0xFF, 5).tolist() == [1] * 5
+
+
+def test_invert():
+    assert invert_pattern(0x00) == 0xFF
+    assert invert_pattern(0xAA) == 0x55
+
+
+def test_ones_fraction():
+    assert ones_fraction(0x00) == 0.0
+    assert ones_fraction(0xFF) == 1.0
+    assert ones_fraction(0xAA) == 0.5
+    assert ones_fraction(0x77) == 0.75
+
+
+def test_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        expand_pattern(256, 8)
+    with pytest.raises(ValueError):
+        expand_pattern(0x00, 0)
+
+
+@given(st.integers(0, 255), st.integers(1, 100))
+def test_expand_matches_bit_of_byte(pattern, columns):
+    bits = expand_pattern(pattern, columns)
+    assert len(bits) == columns
+    for c in range(columns):
+        assert bits[c] == (pattern >> (c % 8)) & 1
+
+
+@given(st.integers(0, 255))
+def test_invert_is_involution(pattern):
+    assert invert_pattern(invert_pattern(pattern)) == pattern
+
+
+@given(st.integers(0, 255), st.integers(8, 64))
+def test_expansion_of_inverse_is_complement(pattern, columns):
+    a = expand_pattern(pattern, columns)
+    b = expand_pattern(invert_pattern(pattern), columns)
+    assert np.array_equal(a ^ b, np.ones(columns, dtype=np.uint8))

@@ -1,0 +1,133 @@
+"""ECC: Hamming codes, chunk analysis, miscorrection Monte Carlo."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc import (
+    HAMMING_7_4,
+    ONDIE_SEC_136_128,
+    SECDED_72_64,
+    ChunkProtectionSummary,
+    DecodeStatus,
+    HammingCode,
+    chunk_flip_histogram,
+    double_error_miscorrection,
+)
+
+
+def test_code_dimensions():
+    assert HAMMING_7_4.codeword_bits == 7
+    assert ONDIE_SEC_136_128.codeword_bits == 136
+    assert ONDIE_SEC_136_128.data_bits == 128
+    assert SECDED_72_64.codeword_bits == 72
+    assert SECDED_72_64.data_bits == 64
+
+
+def test_clean_decode():
+    data = np.ones(4, dtype=np.uint8)
+    cw = HAMMING_7_4.encode(data)
+    result = HAMMING_7_4.decode(cw)
+    assert result.status is DecodeStatus.CLEAN
+    assert np.array_equal(result.data, data)
+
+
+@pytest.mark.parametrize("code", [HAMMING_7_4, SECDED_72_64, ONDIE_SEC_136_128])
+def test_corrects_every_single_bit_error(code):
+    rng = np.random.default_rng(1)
+    data = rng.integers(0, 2, code.data_bits).astype(np.uint8)
+    cw = code.encode(data)
+    for position in range(code.codeword_bits):
+        received = cw.copy()
+        received[position] ^= 1
+        result = code.decode(received)
+        assert result.status is DecodeStatus.CORRECTED
+        assert np.array_equal(result.data, data), position
+
+
+def test_secded_detects_double_errors_always():
+    rng = np.random.default_rng(2)
+    data = rng.integers(0, 2, 64).astype(np.uint8)
+    cw = SECDED_72_64.encode(data)
+    for trial in range(100):
+        a, b = rng.choice(72, size=2, replace=False)
+        received = cw.copy()
+        received[a] ^= 1
+        received[b] ^= 1
+        assert SECDED_72_64.decode(received).status is DecodeStatus.DETECTED
+
+
+def test_obs27_sec_miscorrection_rate():
+    """Obs 27: the (136,128) SEC code miscorrects ~88.5% of double-bit
+    errors, turning 2 bitflips into 3."""
+    result = double_error_miscorrection(ONDIE_SEC_136_128, trials=3000)
+    assert 0.84 < result.miscorrection_rate < 0.92
+    assert result.miscorrected + result.detected + result.silent <= result.trials
+
+
+def test_miscorrection_deterministic():
+    a = double_error_miscorrection(ONDIE_SEC_136_128, trials=500)
+    b = double_error_miscorrection(ONDIE_SEC_136_128, trials=500)
+    assert a.miscorrected == b.miscorrected
+
+
+def test_secded_never_miscorrects_double_errors():
+    result = double_error_miscorrection(SECDED_72_64, trials=500)
+    assert result.miscorrection_rate == 0.0
+    assert result.detected == result.trials
+
+
+def test_encode_validation():
+    with pytest.raises(ValueError):
+        HAMMING_7_4.encode(np.ones(3, dtype=np.uint8))
+    with pytest.raises(ValueError):
+        HAMMING_7_4.encode(np.full(4, 2, dtype=np.uint8))
+    with pytest.raises(ValueError):
+        HAMMING_7_4.decode(np.zeros(6, dtype=np.uint8))
+
+
+def test_chunk_histogram():
+    mask = np.zeros((2, 128), dtype=bool)
+    mask[0, 0] = True  # chunk (0,0): 1 flip
+    mask[0, 64] = mask[0, 65] = True  # chunk (0,1): 2 flips
+    mask[1, 0:15] = True  # chunk (1,0): 15 flips
+    histogram = chunk_flip_histogram(mask)
+    assert histogram == {1: 1, 2: 1, 15: 1}
+
+
+def test_chunk_histogram_ignores_tail_columns():
+    mask = np.zeros((1, 70), dtype=bool)
+    mask[0, 65] = True  # beyond the last full 64-bit chunk
+    assert chunk_flip_histogram(mask) == {}
+
+
+def test_chunk_summary():
+    summary = ChunkProtectionSummary.from_histogram(
+        chunk_flip_histogram(np.zeros((1, 64), dtype=bool))
+    )
+    assert summary.total_chunks_with_flips == 0
+    summary = ChunkProtectionSummary.from_histogram({1: 5, 2: 3, 4: 2, 15: 1})
+    assert summary.sec_correctable == 5
+    assert summary.secded_detectable == 3
+    assert summary.beyond_secded == 3
+    assert summary.max_flips_in_chunk == 15
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_roundtrip_property(data):
+    code = data.draw(st.sampled_from([HAMMING_7_4, SECDED_72_64]))
+    bits = data.draw(
+        st.lists(st.integers(0, 1), min_size=code.data_bits,
+                 max_size=code.data_bits)
+    )
+    payload = np.array(bits, dtype=np.uint8)
+    assert np.array_equal(code.decode(code.encode(payload)).data, payload)
+
+
+def test_custom_code_sizes():
+    code = HammingCode(data_bits=11)
+    assert code.codeword_bits == 15
+    code = HammingCode(data_bits=26, extended=True)
+    assert code.codeword_bits == 32

@@ -1,0 +1,136 @@
+"""On-die ECC array: vectorized encode/decode and miscorrection effects."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc import (
+    ONDIE_SEC_136_128,
+    HammingCode,
+    OnDieEccArray,
+    decode_many,
+    encode_many,
+    parity_check_matrix,
+)
+
+CODE = ONDIE_SEC_136_128
+
+
+def random_data(words: int, seed: int = 0) -> np.ndarray:
+    return np.random.default_rng(seed).integers(
+        0, 2, size=(words, CODE.data_bits)
+    ).astype(np.uint8)
+
+
+class TestVectorizedCodec:
+    def test_parity_check_matrix_shape(self):
+        h = parity_check_matrix(CODE)
+        assert h.shape == (CODE.parity_bits, CODE.n)
+
+    def test_valid_codewords_have_zero_syndrome(self):
+        data = random_data(32)
+        codewords = encode_many(CODE, data)
+        h = parity_check_matrix(CODE)
+        assert not ((codewords @ h.T) % 2).any()
+
+    def test_matches_scalar_encoder(self):
+        data = random_data(8, seed=3)
+        batch = encode_many(CODE, data)
+        for i in range(8):
+            scalar = CODE.encode(data[i])
+            assert np.array_equal(batch[i], scalar)
+
+    def test_decode_clean(self):
+        data = random_data(16, seed=1)
+        result = decode_many(CODE, encode_many(CODE, data))
+        assert np.array_equal(result.data, data)
+        assert not result.corrected_mask.any()
+        assert not result.detected_mask.any()
+
+    def test_decode_single_errors(self):
+        data = random_data(CODE.n, seed=2)
+        codewords = encode_many(CODE, data)
+        for word in range(CODE.n):
+            codewords[word, word] ^= 1  # a different position per word
+        result = decode_many(CODE, codewords)
+        assert np.array_equal(result.data, data)
+        assert result.corrected_mask.all()
+
+    def test_decode_double_error_usually_miscorrects(self):
+        data = random_data(500, seed=4)
+        codewords = encode_many(CODE, data)
+        rng = np.random.default_rng(5)
+        for word in range(500):
+            a, b = rng.choice(CODE.n, size=2, replace=False)
+            codewords[word, a] ^= 1
+            codewords[word, b] ^= 1
+        result = decode_many(CODE, codewords)
+        wrong = (result.data != data).any(axis=1)
+        rate = (wrong & result.corrected_mask).mean()
+        assert rate > 0.8  # Obs 27 territory
+
+    def test_rejects_extended_codes(self):
+        extended = HammingCode(data_bits=64, extended=True)
+        with pytest.raises(ValueError):
+            parity_check_matrix(extended)
+        with pytest.raises(ValueError):
+            encode_many(extended, np.zeros((1, 64), dtype=np.uint8))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_roundtrip_property(self, seed):
+        data = random_data(4, seed=seed)
+        result = decode_many(CODE, encode_many(CODE, data))
+        assert np.array_equal(result.data, data)
+
+
+class TestOnDieEccArray:
+    def test_dimensions(self):
+        array = OnDieEccArray(words_per_row=4)
+        assert array.stored_columns == 4 * 136
+        assert array.data_columns == 4 * 128
+
+    def test_roundtrip_image(self):
+        array = OnDieEccArray(words_per_row=2)
+        data = random_data(6, seed=7).reshape(3, 2 * 128)
+        stored = array.encode_rows(data)
+        outcome = array.decode_rows(stored, data)
+        assert np.array_equal(outcome.data, data)
+        assert outcome.corrected_words == 0
+        assert outcome.silent_data_errors == 0
+
+    def test_single_flips_fully_corrected(self):
+        array = OnDieEccArray(words_per_row=2)
+        data = random_data(4, seed=8).reshape(2, 2 * 128)
+        stored = array.encode_rows(data)
+        stored[0, 5] ^= 1
+        stored[1, 200] ^= 1
+        outcome = array.decode_rows(stored, data)
+        assert np.array_equal(outcome.data, data)
+        assert outcome.corrected_words == 2
+        assert outcome.miscorrected_words == 0
+
+    def test_double_flips_amplified(self):
+        """Obs 27 end-to-end: two raw bitflips in a word usually become
+        three data errors after on-die 'correction'."""
+        array = OnDieEccArray(words_per_row=1)
+        rows = 300
+        data = random_data(rows, seed=9).reshape(rows, 128)
+        stored = array.encode_rows(data)
+        rng = np.random.default_rng(10)
+        for row in range(rows):
+            a, b = rng.choice(136, size=2, replace=False)
+            stored[row, a] ^= 1
+            stored[row, b] ^= 1
+        outcome = array.decode_rows(stored, data)
+        assert outcome.miscorrected_words > 0.7 * rows
+        amplified = outcome.word_errors_after >= 3
+        assert amplified.sum() > 0.6 * rows
+
+    def test_validation(self):
+        array = OnDieEccArray(words_per_row=2)
+        with pytest.raises(ValueError):
+            array.encode_rows(np.zeros((2, 100), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            OnDieEccArray(words_per_row=0)

@@ -1,0 +1,79 @@
+"""DRAM energy accounting: row-level refresh bookkeeping across policies."""
+
+import pytest
+
+from repro.sim import (
+    CompositePolicy,
+    DDR4_3200,
+    NoRefresh,
+    PeriodicRefresh,
+    RowLevelRefresh,
+    estimate_energy,
+    simulate_mix,
+)
+from repro.workloads import make_mix
+
+
+def test_periodic_refresh_counts_all_rows():
+    """One refresh window must account for every row of every bank."""
+    policy = PeriodicRefresh(DDR4_3200, rows_per_bank=65536)
+    rows_per_second = policy.refresh_rows_per_second(16)
+    assert rows_per_second == pytest.approx(16 * 65536 / 0.064, rel=0.01)
+
+
+def test_periodic_rate_multiplier_scales_rows():
+    base = PeriodicRefresh(DDR4_3200)
+    fast = PeriodicRefresh(DDR4_3200, rate_multiplier=4)
+    assert fast.refresh_rows_per_second(16) == pytest.approx(
+        4 * base.refresh_rows_per_second(16), rel=0.02
+    )
+
+
+def test_row_level_rows_equal_events():
+    policy = RowLevelRefresh(DDR4_3200, 1000.0)
+    assert policy.refresh_rows_per_second(4) == pytest.approx(
+        policy.refresh_events_per_second(4)
+    )
+
+
+def test_composite_sums_rows():
+    periodic = PeriodicRefresh(DDR4_3200)
+    rows = RowLevelRefresh(DDR4_3200, 500.0)
+    composite = CompositePolicy(periodic, rows)
+    assert composite.refresh_rows_per_second(8) == pytest.approx(
+        periodic.refresh_rows_per_second(8) + rows.refresh_rows_per_second(8)
+    )
+
+
+def test_energy_breakdown_components():
+    mix = make_mix(0, length=400)
+    result = simulate_mix(mix, PeriodicRefresh(DDR4_3200))
+    energy = estimate_energy(result, activations=result.requests)
+    assert energy.activation_mj > 0
+    assert energy.read_mj > 0
+    assert energy.refresh_mj > 0
+    assert energy.background_mj > 0
+    assert energy.total_mj == pytest.approx(
+        energy.activation_mj + energy.read_mj + energy.refresh_mj
+        + energy.background_mj
+    )
+
+
+def test_refresh_energy_grows_with_rate():
+    mix = make_mix(0, length=400)
+    fractions = []
+    for multiplier in (1, 4, 8):
+        result = simulate_mix(
+            mix, PeriodicRefresh(DDR4_3200, rate_multiplier=multiplier)
+        )
+        energy = estimate_energy(result, activations=result.requests)
+        fractions.append(energy.refresh_fraction)
+    assert fractions[0] < fractions[1] < fractions[2]
+
+
+def test_no_refresh_zero_refresh_energy():
+    mix = make_mix(1, length=300)
+    result = simulate_mix(mix, NoRefresh())
+    energy = estimate_energy(result, activations=result.requests)
+    assert energy.refresh_mj == 0.0
+    assert energy.refresh_fraction == 0.0

@@ -1,0 +1,85 @@
+"""Bender executor edge cases: open-row lifecycle, RowClone corners."""
+
+import numpy as np
+import pytest
+
+from repro.bender import (
+    Act,
+    DramBender,
+    Pre,
+    Read,
+    TestProgram,
+    Wait,
+    Write,
+)
+from repro.chip import BankGeometry, SimulatedModule, get_module
+
+
+@pytest.fixture
+def bender(small_geometry):
+    return DramBender(SimulatedModule(get_module("S0"), geometry=small_geometry))
+
+
+def test_read_closes_open_row(bender):
+    """A Read must precharge any open row first (its press is applied)."""
+    bender.execute(TestProgram([Write(4, 0xFF)]))
+    program = TestProgram([Act(4), Wait(1e-3), Read(4)])
+    bender.execute(program)
+    assert bender._open_row is None
+
+
+def test_write_closes_open_row(bender):
+    program = TestProgram([Act(3), Wait(1e-3), Write(5, 0xFF), Read(5)])
+    result = bender.execute(program)
+    assert result.reads[0].bits.all()
+    assert bender._open_row is None
+
+
+def test_program_end_closes_open_row(bender):
+    start = bender.bank.now
+    bender.execute(TestProgram([Act(2), Wait(0.25)]))
+    # The dangling open row is precharged at program end: its open interval
+    # advanced device time.
+    assert bender.bank.now - start == pytest.approx(0.25, rel=0.01)
+    assert bender._open_row is None
+
+
+def test_rowclone_same_row_is_noop(bender):
+    bender.execute(TestProgram([Write(6, 0x3C)]))
+    bender.execute(TestProgram([Act(6), Act(6), Pre()]))
+    read = bender.execute(TestProgram([Read(6)])).reads[0].bits
+    assert np.array_equal(read, bender.bank._coerce_bits(0x3C))
+
+
+def test_rowclone_copies_current_content_not_written(bender):
+    """RowClone copies the sensed (possibly decayed) content."""
+    source, destination = 1, 5
+    bender.execute(TestProgram([Write(source, 0xFF), Wait(64.0)]))
+    decayed = bender.execute(TestProgram([Read(source)])).reads[0].bits.copy()
+    bender.execute(TestProgram([Write(destination, 0x00)]))
+    bender.execute(TestProgram([Act(source), Act(destination), Pre()]))
+    cloned = bender.execute(TestProgram([Read(destination)])).reads[0].bits
+    assert np.array_equal(cloned, decayed)
+
+
+def test_refresh_during_program_preserves_content(bender):
+    from repro.bender import Refresh
+
+    bender.execute(TestProgram([Write(7, 0xA5)]))
+    result = bender.execute(TestProgram([Refresh(), Read(7)]))
+    assert np.array_equal(result.reads[0].bits, bender.bank._coerce_bits(0xA5))
+
+
+def test_unknown_instruction_rejected(bender):
+    class Bogus:
+        pass
+
+    with pytest.raises(TypeError):
+        bender.execute(TestProgram([Bogus()]))
+
+
+def test_elapsed_spans_whole_program(bender):
+    result = bender.execute(
+        TestProgram([Wait(0.1), Act(1), Wait(0.2), Pre(), Wait(0.3)])
+    )
+    assert result.elapsed == pytest.approx(0.6, rel=0.01)

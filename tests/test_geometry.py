@@ -1,0 +1,82 @@
+"""Bank geometry and open-bitline topology."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.chip import EVEN, ODD, BankGeometry
+
+
+@pytest.fixture
+def geometry():
+    return BankGeometry(subarrays=4, rows_per_subarray=128, columns=256)
+
+
+def test_totals(geometry):
+    assert geometry.rows == 512
+    assert geometry.cells == 512 * 256
+
+
+def test_validation_rejects_bad_shapes():
+    with pytest.raises(ValueError):
+        BankGeometry(subarrays=0, rows_per_subarray=8, columns=8)
+    with pytest.raises(ValueError):
+        BankGeometry(subarrays=1, rows_per_subarray=1, columns=8)
+    with pytest.raises(ValueError):
+        BankGeometry(subarrays=1, rows_per_subarray=8, columns=7)  # odd
+
+
+def test_subarray_of_row(geometry):
+    assert geometry.subarray_of_row(0) == 0
+    assert geometry.subarray_of_row(127) == 0
+    assert geometry.subarray_of_row(128) == 1
+    assert geometry.subarray_of_row(511) == 3
+    with pytest.raises(IndexError):
+        geometry.subarray_of_row(512)
+
+
+def test_middle_row_is_central(geometry):
+    middle = geometry.middle_row(1)
+    assert middle == 128 + 64
+    assert geometry.subarray_of_row(middle) == 1
+
+
+def test_neighbours_at_edges(geometry):
+    assert geometry.neighbouring_subarrays(0) == (1,)
+    assert geometry.neighbouring_subarrays(3) == (2,)
+    assert geometry.neighbouring_subarrays(2) == (1, 3)
+
+
+def test_shared_column_parity(geometry):
+    # Aggressor subarray k shares its EVEN columns upward (k-1 disturbed on
+    # ODD) and its ODD columns downward (k+1 disturbed on EVEN).
+    assert geometry.shared_column_parity(2, 1) == ODD
+    assert geometry.shared_column_parity(2, 3) == EVEN
+    with pytest.raises(ValueError):
+        geometry.shared_column_parity(0, 2)
+
+
+def test_disturbed_subarrays_cover_three(geometry):
+    disturbed = geometry.disturbed_subarrays(1)
+    assert set(disturbed) == {0, 1, 2}
+    assert disturbed[1] is None  # aggressor: all columns
+    assert disturbed[0] == ODD
+    assert disturbed[2] == EVEN
+
+
+def test_disturbed_parities_are_disjoint(geometry):
+    """Obs 5: the two neighbouring subarrays' victim columns never overlap."""
+    disturbed = geometry.disturbed_subarrays(1)
+    assert disturbed[0] != disturbed[2]
+
+
+@given(
+    st.integers(1, 8), st.integers(2, 64),
+    st.integers(1, 32).map(lambda c: 2 * c),
+)
+def test_row_range_partition(subarrays, rows, columns):
+    geometry = BankGeometry(subarrays, rows, columns)
+    seen = []
+    for subarray in range(subarrays):
+        seen.extend(geometry.row_range(subarray))
+    assert seen == list(range(geometry.rows))

@@ -1,0 +1,69 @@
+"""Logical-to-physical row mappings."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.chip import (
+    IdentityMapping,
+    MirroredMapping,
+    XorScrambleMapping,
+    make_mapping,
+)
+
+
+@pytest.mark.parametrize("scheme", ["identity", "mirrored", "xor"])
+def test_bijection(scheme):
+    mapping = make_mapping(scheme, 64)
+    physical = [mapping.to_physical(r) for r in range(64)]
+    assert sorted(physical) == list(range(64))
+    for row in range(64):
+        assert mapping.to_logical(mapping.to_physical(row)) == row
+
+
+def test_identity_is_identity():
+    mapping = IdentityMapping(16)
+    assert all(mapping.to_physical(r) == r for r in range(16))
+
+
+def test_mirrored_swaps_bits_1_and_2():
+    mapping = MirroredMapping(16)
+    assert mapping.to_physical(0b010) == 0b100
+    assert mapping.to_physical(0b100) == 0b010
+    assert mapping.to_physical(0b110) == 0b110
+    assert mapping.to_physical(0) == 0
+
+
+def test_mirrored_requires_multiple_of_8():
+    with pytest.raises(ValueError):
+        MirroredMapping(12)
+
+
+def test_xor_requires_power_of_two():
+    with pytest.raises(ValueError):
+        XorScrambleMapping(48)
+
+
+def test_xor_scrambles_some_rows():
+    mapping = XorScrambleMapping(64)
+    assert any(mapping.to_physical(r) != r for r in range(64))
+
+
+def test_unknown_scheme():
+    with pytest.raises(ValueError):
+        make_mapping("nope", 64)
+
+
+def test_out_of_range():
+    mapping = make_mapping("identity", 8)
+    with pytest.raises(IndexError):
+        mapping.to_physical(8)
+    with pytest.raises(IndexError):
+        mapping.to_logical(-1)
+
+
+@given(st.sampled_from([16, 64, 256]), st.data())
+def test_xor_roundtrip_property(rows, data):
+    mapping = XorScrambleMapping(rows)
+    row = data.draw(st.integers(0, rows - 1))
+    assert mapping.to_logical(mapping.to_physical(row)) == row

@@ -1,0 +1,126 @@
+"""Reactive mitigation mechanisms: dynamic (open-time) PRVR, TRR contrast."""
+
+import pytest
+
+from repro.sim import (
+    CONTROLLER_HZ,
+    DDR4_3200,
+    DynamicPrvr,
+    NeighbourRefreshTrr,
+    NoMechanism,
+    NoRefresh,
+    prvr_threshold_from_floor,
+    simulate_mix,
+)
+from repro.workloads import make_mix, press_attack_trace
+
+
+def cycles(seconds: float) -> int:
+    return int(seconds * CONTROLLER_HZ)
+
+
+class TestDynamicPrvr:
+    def test_short_open_times_cost_nothing(self):
+        prvr = DynamicPrvr(DDR4_3200, time_to_first_bitflip=63.6e-3)
+        # Benign-style activations: rows open for ~100 cycles each.
+        cycle = 0
+        busy = 0
+        for i in range(1000):
+            busy += prvr.on_activate(0, i % 7, cycle)
+            cycle += 100
+        # 1000 x 100 cycles spread over 7 rows stays below one quantum.
+        assert busy == 0
+        assert prvr.refresh_operations == 0
+
+    def test_pressing_triggers_victim_sweep(self):
+        # Two alternating aggressors split their open time across two
+        # per-row counters: safety_factor=2 covers them (see class docs).
+        prvr = DynamicPrvr(
+            DDR4_3200, victim_rows=64, time_to_first_bitflip=10e-3,
+            safety_factor=2.0, batch=8,
+        )
+        press = cycles(70.2e-6)
+        cycle = 0
+        rows = (5, 6)
+        for i in range(1 + cycles(10e-3) // press):
+            prvr.on_activate(0, rows[i % 2], cycle)
+            cycle += press
+        # A full 64-victim sweep completes within the 10 ms floor.
+        assert prvr.refresh_operations >= 64
+
+    def test_exposure_resets_after_budget(self):
+        prvr = DynamicPrvr(
+            DDR4_3200, victim_rows=8, time_to_first_bitflip=1e-3,
+            safety_factor=1.0, batch=8,
+        )
+        budget = prvr.exposure_budget_cycles
+        prvr.on_activate(0, 1, 0)
+        prvr.on_activate(0, 2, budget + 10)  # row 1 open past the budget
+        assert prvr._exposure[(0, 1)] == 0  # swept and reset
+
+    def test_protection_guarantee(self):
+        prvr = DynamicPrvr(
+            DDR4_3200, time_to_first_bitflip=63.6e-3, safety_factor=2.0
+        )
+        assert prvr.protects()
+        assert prvr.max_unrefreshed_exposure() <= 63.6e-3 / 1.9
+
+    def test_threshold_helper(self):
+        assert prvr_threshold_from_floor(63.6e-3, 70.2e-6) == int(
+            63.6e-3 / 70.2e-6
+        )
+        with pytest.raises(ValueError):
+            prvr_threshold_from_floor(-1.0, 1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicPrvr(DDR4_3200, victim_rows=0)
+        with pytest.raises(ValueError):
+            DynamicPrvr(DDR4_3200, safety_factor=0.5)
+        with pytest.raises(ValueError):
+            DynamicPrvr(DDR4_3200, time_to_first_bitflip=0.0)
+
+
+class TestTrr:
+    def test_refreshes_only_neighbours(self):
+        trr = NeighbourRefreshTrr(DDR4_3200, threshold=10, reach=4)
+        busy = sum(trr.on_activate(0, 3, i) for i in range(10))
+        assert trr.refresh_operations == 8
+        assert busy == 8 * DDR4_3200.row_refresh
+        assert trr.protected_rows() == 8  # vs 3072 ColumnDisturb victims
+
+    def test_below_threshold_free(self):
+        trr = NeighbourRefreshTrr(DDR4_3200, threshold=100)
+        assert sum(trr.on_activate(0, 3, i) for i in range(99)) == 0
+
+
+class TestControllerIntegration:
+    def test_benign_workload_near_zero_overhead(self):
+        mix = make_mix(1, length=600)
+        base = simulate_mix(mix, NoRefresh(), mechanism=NoMechanism())
+        prvr = DynamicPrvr(DDR4_3200, time_to_first_bitflip=63.6e-3)
+        with_prvr = simulate_mix(mix, NoRefresh(), mechanism=prvr)
+        slowdown = with_prvr.weighted_speedup(base)
+        assert slowdown > 0.99  # benign rows never press their bitlines
+
+    def test_press_attack_pays_but_is_protected(self):
+        attacker = press_attack_trace(length=600)
+        mix = [attacker] + make_mix(2, length=400)[:3]
+        base = simulate_mix(mix, NoRefresh())
+        prvr = DynamicPrvr(
+            DDR4_3200, time_to_first_bitflip=63.6e-3, safety_factor=2.0
+        )
+        result = simulate_mix(mix, NoRefresh(), mechanism=prvr)
+        assert prvr.refresh_operations > 0  # the attack earned real work
+        assert prvr.protects()
+        slowdown = result.weighted_speedup(base)
+        assert slowdown > 0.9  # distributed victim refreshes stay cheap
+
+    def test_trr_blind_to_pressing(self):
+        """A slow pressing attacker stays below any count threshold —
+        the TRR never fires, which is exactly the ColumnDisturb gap."""
+        attacker = press_attack_trace(length=600)
+        mix = [attacker] + make_mix(3, length=400)[:3]
+        trr = NeighbourRefreshTrr(DDR4_3200, threshold=16_000)
+        simulate_mix(mix, NoRefresh(), mechanism=trr)
+        assert trr.refresh_operations == 0

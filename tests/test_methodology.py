@@ -1,0 +1,159 @@
+"""Operational methodology: bisection, subarray RE, remap RE, retention
+profiling — all through the command-level bender interface."""
+
+import numpy as np
+import pytest
+
+from repro.bender import DramBender
+from repro.chip import BankGeometry, SimulatedModule, get_module
+from repro.core import (
+    DisturbConfig,
+    SubarrayRole,
+    WORST_CASE,
+    boundaries_from_clusters,
+    disturb_outcome,
+    find_physical_neighbours,
+    profile_retention,
+    recover_physical_order,
+    retention_failure_mask,
+    reverse_engineer_subarrays,
+    rows_share_subarray,
+    search_minimum_time,
+)
+
+
+@pytest.fixture
+def geometry():
+    return BankGeometry(subarrays=4, rows_per_subarray=64, columns=256)
+
+
+@pytest.fixture
+def m8(geometry):
+    return SimulatedModule(get_module("M8"), geometry=geometry)
+
+
+def test_bisection_matches_analytic(m8):
+    """The operational search and the closed-form metric must agree within
+    the 1% bisection tolerance."""
+    bender = DramBender(m8)
+    subarray = 1
+    rows = [m8.to_logical(r) for r in m8.geometry.row_range(subarray)]
+    aggressor = m8.to_logical(m8.geometry.middle_row(subarray))
+    result = search_minimum_time(
+        bender, aggressor, rows, WORST_CASE,
+        physical_of=m8.to_physical, repeats=2,
+    )
+    outcome = disturb_outcome(
+        m8.bank().population(subarray), WORST_CASE, m8.timing,
+        SubarrayRole.AGGRESSOR,
+        aggressor_local_row=m8.geometry.rows_per_subarray // 2,
+    )
+    assert result.time_to_first == pytest.approx(
+        outcome.time_to_first_flip(), rel=0.03
+    )
+
+
+def test_bisection_reports_inf_when_nothing_flips(geometry):
+    """A cold, barely-vulnerable module should show no bitflip within the
+    512 ms search window on a tiny subarray."""
+    module = SimulatedModule(get_module("H0"), geometry=geometry)
+    module.set_temperature(45.0)
+    bender = DramBender(module)
+    subarray = 1
+    rows = [module.to_logical(r) for r in module.geometry.row_range(subarray)]
+    aggressor = module.to_logical(module.geometry.middle_row(subarray))
+    config = WORST_CASE.at_temperature(45.0)
+    result = search_minimum_time(
+        bender, aggressor, rows, config,
+        physical_of=module.to_physical, repeats=1,
+    )
+    assert result.time_to_first == float("inf")
+    assert result.hammer_count is None
+
+
+def test_two_aggressor_search_slower_than_single(m8):
+    """Obs 21: the two-aggressor pattern needs ~2x longer."""
+    bender = DramBender(m8)
+    subarray = 2
+    rows = [m8.to_logical(r) for r in m8.geometry.row_range(subarray)]
+    aggressor = m8.to_logical(m8.geometry.middle_row(subarray))
+    single = search_minimum_time(
+        bender, aggressor, rows, WORST_CASE,
+        physical_of=m8.to_physical, repeats=1,
+    )
+    double = search_minimum_time(
+        bender, aggressor, rows,
+        DisturbConfig(
+            aggressor_pattern=0x00, victim_pattern=0xFF,
+            second_aggressor_pattern=0xFF,
+        ),
+        physical_of=m8.to_physical, repeats=1,
+    )
+    ratio = double.time_to_first / single.time_to_first
+    assert 1.5 < ratio < 3.0
+
+
+def test_subarray_reverse_engineering_small_exhaustive():
+    geometry = BankGeometry(subarrays=3, rows_per_subarray=8, columns=64)
+    module = SimulatedModule(get_module("S0"), geometry=geometry)
+    bender = DramBender(module)
+    clusters = reverse_engineer_subarrays(bender, exhaustive=True)
+    assert [len(c) for c in clusters] == [8, 8, 8]
+    ranges = boundaries_from_clusters(clusters, module.to_physical)
+    assert ranges == [(0, 8), (8, 16), (16, 24)]
+
+
+def test_subarray_re_with_scrambled_mapping():
+    geometry = BankGeometry(subarrays=2, rows_per_subarray=32, columns=64)
+    module = SimulatedModule(get_module("M0"), geometry=geometry)  # xor map
+    bender = DramBender(module)
+    clusters = reverse_engineer_subarrays(bender)
+    assert len(clusters) == 2
+    for cluster in clusters:
+        physical_subarrays = {
+            geometry.subarray_of_row(module.to_physical(r)) for r in cluster
+        }
+        assert len(physical_subarrays) == 1
+
+
+def test_rows_share_subarray_is_symmetric(m8):
+    bender = DramBender(m8)
+    assert rows_share_subarray(bender, 3, 5) == rows_share_subarray(bender, 5, 3)
+    assert rows_share_subarray(bender, 3, 3)
+
+
+def test_find_physical_neighbours(geometry):
+    module = SimulatedModule(get_module("H0"), geometry=geometry)  # mirrored
+    bender = DramBender(module)
+    candidates = [module.to_logical(r) for r in range(16)]
+    target = module.to_logical(8)
+    neighbours = find_physical_neighbours(bender, target, candidates)
+    assert sorted(module.to_physical(n) for n in neighbours) == [7, 9]
+
+
+def test_recover_physical_order():
+    geometry = BankGeometry(subarrays=1, rows_per_subarray=16, columns=64)
+    module = SimulatedModule(get_module("H0"), geometry=geometry)
+    bender = DramBender(module)
+    logical_rows = [module.to_logical(r) for r in range(16)]
+    order = recover_physical_order(bender, logical_rows)
+    physical = [module.to_physical(r) for r in order]
+    assert physical in (list(range(16)), list(range(15, -1, -1)))
+
+
+def test_retention_profile_matches_known_weak_cells():
+    geometry = BankGeometry(subarrays=1, rows_per_subarray=8, columns=64)
+    module = SimulatedModule(get_module("S4"), geometry=geometry)
+    bender = DramBender(module)
+    rows = list(range(8))
+    intervals = [1.0, 4.0, 16.0, 64.0]
+    profile = profile_retention(bender, rows, intervals, trials=3)
+    # Every profiled minimum must be one of the tested intervals or inf.
+    finite = profile[np.isfinite(profile)]
+    assert set(np.unique(finite)).issubset(set(intervals))
+    # The filter mask is monotone in the interval.
+    weak_4 = retention_failure_mask(profile, 4.0)
+    weak_64 = retention_failure_mask(profile, 64.0)
+    assert (weak_4 <= weak_64).all()
+    # At 64 s and 85C some cells of this small array should fail retention.
+    assert weak_64.any()

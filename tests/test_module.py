@@ -1,0 +1,74 @@
+"""SimulatedModule: bank caching, mapping, temperature propagation."""
+
+import pytest
+
+from repro.chip import BankGeometry, ModuleSpec, SimulatedModule, get_module
+
+
+def test_bank_cached(s0_module):
+    assert s0_module.bank(0, 0) is s0_module.bank(0, 0)
+
+
+def test_bank_bounds(s0_module):
+    with pytest.raises(IndexError):
+        s0_module.bank(chip=1)
+    with pytest.raises(IndexError):
+        s0_module.bank(bank=5)
+
+
+def test_iter_banks_counts(small_geometry):
+    module = SimulatedModule(
+        get_module("S0"), geometry=small_geometry, sim_chips=2, sim_banks=3
+    )
+    assert len(list(module.iter_banks())) == 6
+
+
+def test_sim_chips_cannot_exceed_spec(small_geometry):
+    with pytest.raises(ValueError):
+        SimulatedModule(get_module("S0"), geometry=small_geometry, sim_chips=99)
+
+
+def test_mapping_roundtrip(h0_module):
+    # H0 uses the mirrored scheme: non-trivial but self-inverse.
+    for row in range(h0_module.geometry.rows):
+        assert h0_module.to_logical(h0_module.to_physical(row)) == row
+
+
+def test_temperature_propagates(s0_module):
+    bank = s0_module.bank()
+    s0_module.set_temperature(45.0)
+    assert bank.temperature_c == 45.0
+    # Newly created banks inherit the module temperature too.
+    other = s0_module.bank(0, 0)
+    assert other.temperature_c == 45.0
+
+
+def test_hbm2_uses_hbm_timing(small_geometry):
+    module = SimulatedModule(get_module("HBM0"), geometry=small_geometry)
+    assert module.timing.t_rfc == pytest.approx(260e-9)
+
+
+def test_spec_validation():
+    profile = get_module("S0").profile
+    with pytest.raises(ValueError):
+        ModuleSpec(
+            serial="X0", manufacturer="Nokia", density="16Gb",
+            die_revision="A", organization="x8", interface="DDR4",
+            chips=8, profile=profile,
+        )
+    with pytest.raises(ValueError):
+        ModuleSpec(
+            serial="X0", manufacturer="Samsung", density="16Gb",
+            die_revision="A", organization="x8", interface="DDR6",
+            chips=8, profile=profile,
+        )
+
+
+def test_deterministic_across_instances(small_geometry):
+    a = SimulatedModule(get_module("S0"), geometry=small_geometry)
+    b = SimulatedModule(get_module("S0"), geometry=small_geometry)
+    import numpy as np
+
+    assert np.array_equal(
+        a.bank().population(0).kappa, b.bank().population(0).kappa
+    )

@@ -1,0 +1,55 @@
+"""RowHammer/RowPress neighbour model."""
+
+import numpy as np
+import pytest
+
+from repro.physics import (
+    ANTI_DIRECTION_FACTOR,
+    DisturbanceProfile,
+    effective_hammer_count,
+    neighbour_flip_mask,
+)
+
+PROFILE = DisturbanceProfile(
+    median_retention=500.0,
+    sigma_retention=1.3,
+    median_kappa=1e-5,
+    sigma_kappa=2.0,
+    alpha=4.0,
+    kappa_cap=0.05,
+)
+
+
+def test_effective_count_amplified_by_press():
+    pressed = effective_hammer_count(1000, 70.2e-6, 32e-9, PROFILE)
+    hammered = effective_hammer_count(1000, 32e-9, 32e-9, PROFILE)
+    assert hammered == pytest.approx(1000.0)
+    assert pressed > 100 * hammered
+
+
+def test_effective_count_rejects_negative():
+    with pytest.raises(ValueError):
+        effective_hammer_count(-1, 32e-9, 32e-9, PROFILE)
+
+
+def test_flip_mask_directional_asymmetry():
+    """Charged (bit 1) cells flip at lower effective counts than bit-0
+    cells — RowHammer induces both directions but 1->0 dominates."""
+    thresholds = np.full(8, 100.0, dtype=np.float32)
+    ones = np.ones(8, dtype=np.uint8)
+    zeros = np.zeros(8, dtype=np.uint8)
+    between = 100.0 * (1 + ANTI_DIRECTION_FACTOR) / 2
+    assert neighbour_flip_mask(thresholds, ones, between).all()
+    assert not neighbour_flip_mask(thresholds, zeros, between).any()
+    assert neighbour_flip_mask(thresholds, zeros, 100.0 * ANTI_DIRECTION_FACTOR).all()
+
+
+def test_flip_mask_below_threshold_nothing_flips():
+    thresholds = np.full(8, 1e6, dtype=np.float32)
+    bits = np.ones(8, dtype=np.uint8)
+    assert not neighbour_flip_mask(thresholds, bits, 10.0).any()
+
+
+def test_flip_mask_shape_mismatch():
+    with pytest.raises(ValueError):
+        neighbour_flip_mask(np.ones(4), np.ones(5, dtype=np.uint8), 1.0)

@@ -1,0 +1,75 @@
+"""Bitline waveforms and the §4.6 average-voltage metric."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.physics import (
+    VoltagePhase,
+    average_column_voltage,
+    duty_cycled_waveform,
+    idle_waveform,
+    single_aggressor_waveform,
+    two_aggressor_waveform,
+    waveform_period,
+)
+
+
+def test_paper_worked_example():
+    """§4.6: DP=GND, tAggOn=36ns, tRP=14ns -> AVG(V_COL) = 0.14 VDD."""
+    waveform = single_aggressor_waveform(0.0, 36e-9, 14e-9)
+    assert average_column_voltage(waveform) == pytest.approx(0.14, abs=1e-6)
+
+
+def test_idle_waveform_is_precharge():
+    assert average_column_voltage(idle_waveform(1.0)) == pytest.approx(0.5)
+
+
+def test_two_aggressor_average_is_half_vdd():
+    """§5.3: complementary aggressors average VDD/2 regardless of timing."""
+    waveform = two_aggressor_waveform(0.0, 1.0, 70.2e-6, 14e-9)
+    assert average_column_voltage(waveform) == pytest.approx(0.5)
+
+
+def test_pressing_drives_average_toward_pattern():
+    pressed = single_aggressor_waveform(0.0, 70.2e-6, 14e-9)
+    assert average_column_voltage(pressed) < 0.01
+
+
+def test_waveform_period():
+    waveform = single_aggressor_waveform(0.0, 36e-9, 14e-9)
+    assert waveform_period(waveform) == pytest.approx(50e-9)
+
+
+def test_duty_cycle_reaches_target():
+    for target in (0.0, 0.1, 0.3, 0.5):
+        waveform = duty_cycled_waveform(0.0, target, 1e-6)
+        assert average_column_voltage(waveform) == pytest.approx(target)
+
+
+def test_duty_cycle_toward_vdd():
+    waveform = duty_cycled_waveform(1.0, 0.8, 1e-6)
+    assert average_column_voltage(waveform) == pytest.approx(0.8)
+
+
+def test_duty_cycle_rejects_unreachable():
+    with pytest.raises(ValueError):
+        duty_cycled_waveform(0.0, 0.8, 1e-6)
+
+
+def test_phase_validation():
+    with pytest.raises(ValueError):
+        VoltagePhase(voltage=1.5, duration=1.0)
+    with pytest.raises(ValueError):
+        VoltagePhase(voltage=0.5, duration=-1.0)
+
+
+@given(
+    st.floats(0.0, 1.0),
+    st.floats(1e-9, 1e-3),
+    st.floats(1e-9, 1e-3),
+)
+def test_average_bounded_by_phase_voltages(value, t_on, t_rp):
+    waveform = single_aggressor_waveform(value, t_on, t_rp)
+    average = average_column_voltage(waveform)
+    assert min(value, 0.5) - 1e-9 <= average <= max(value, 0.5) + 1e-9

@@ -1,0 +1,88 @@
+"""Refresh planner: safe periods, classifications, mitigation comparison."""
+
+import numpy as np
+import pytest
+
+from repro.chip import BankGeometry, SimulatedModule, get_module
+from repro.core import SubarrayRole, WORST_CASE, disturb_outcome
+from repro.refresh import (
+    classify_rows,
+    columndisturb_safe_period,
+    compare_mitigations,
+    plan_raidr,
+)
+
+GEOMETRY = BankGeometry(subarrays=4, rows_per_subarray=128, columns=512)
+
+
+@pytest.fixture(scope="module")
+def m8_classification():
+    module = SimulatedModule(get_module("M8"), geometry=GEOMETRY)
+    return classify_rows(module, strong_interval=1.024, temperature_c=65.0)
+
+
+def test_safe_period_is_below_the_floor():
+    spec = get_module("M8")
+    period = columndisturb_safe_period(spec, 85.0, safety_factor=2.0)
+    assert period == pytest.approx(spec.profile.first_flip_floor(85.0) / 2)
+    with pytest.raises(ValueError):
+        columndisturb_safe_period(spec, 85.0, safety_factor=0.5)
+
+
+def test_safe_period_actually_protects():
+    """End-to-end guarantee: refreshing every safe-period leaves no cell
+    whose ColumnDisturb time-to-flip is shorter than the period."""
+    spec = get_module("M8")
+    period = columndisturb_safe_period(spec, 85.0)
+    module = SimulatedModule(spec, geometry=GEOMETRY)
+    for subarray in range(GEOMETRY.subarrays):
+        population = module.bank().population(subarray)
+        outcome = disturb_outcome(
+            population, WORST_CASE, module.timing, SubarrayRole.AGGRESSOR,
+            aggressor_local_row=population.rows // 2,
+        )
+        assert float(outcome.cd_times.min()) > period
+
+
+def test_classification_counts(m8_classification):
+    c = m8_classification
+    assert c.total_rows == GEOMETRY.rows
+    assert 0 <= c.retention_weak <= c.columndisturb_weak <= c.total_rows
+    assert c.columndisturb_weak > c.retention_weak  # ColumnDisturb inflates
+    assert c.inflation > 1.0
+    assert c.columndisturb_weak_fraction <= 1.0
+
+
+def test_plan_raidr_builds_both_stores(m8_classification):
+    plans = plan_raidr(m8_classification, module_rows=100_000)
+    assert set(plans) == {"bitmap", "bloom"}
+    bitmap_rate = plans["bitmap"].refresh_rate()
+    assert bitmap_rate > 100_000 / 1.024  # more than all-strong refreshing
+    # Bloom false positives can only increase the effective rate.
+    assert plans["bloom"].refresh_rate(sample=2000) >= bitmap_rate * 0.95
+
+
+def test_compare_mitigations_ordering():
+    # Project one technology generation ahead (the paper's §6.1 framing:
+    # a future chip with a time-to-first-bitflip of ~8 ms).
+    estimates = compare_mitigations(get_module("M8"), projected_scale=8.0)
+    by_name = {e.name.split(" ")[0]: e for e in estimates}
+    nominal = estimates[0]
+    cd_safe = estimates[1]
+    prvr = estimates[2]
+    # The status-quo period does not protect a module whose floor is
+    # inside the refresh window.
+    assert not nominal.protects_columndisturb
+    assert cd_safe.protects_columndisturb and prvr.protects_columndisturb
+    # PRVR costs far less than shortening the period to the safe value.
+    assert prvr.throughput_loss < cd_safe.throughput_loss
+    assert prvr.refresh_energy_rate < cd_safe.refresh_energy_rate
+    assert by_name  # names are distinct and non-empty
+
+
+def test_compare_mitigations_old_die_may_be_safe():
+    """A die whose floor exceeds the refresh window is already protected by
+    nominal refresh."""
+    estimates = compare_mitigations(get_module("H0"), temperature_c=45.0)
+    nominal = estimates[0]
+    assert nominal.protects_columndisturb

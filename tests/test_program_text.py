@@ -1,0 +1,141 @@
+"""Textual test-program format: parsing, serialization, round trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bender import (
+    Act,
+    DramBender,
+    Loop,
+    Pre,
+    ProgramSyntaxError,
+    Read,
+    Refresh,
+    TestProgram,
+    Wait,
+    Write,
+    format_program,
+    hammer_program,
+    parse_duration,
+    parse_program,
+)
+from repro.chip import BankGeometry, SimulatedModule, get_module
+
+EXAMPLE = """
+# hammer the middle row
+WRITE 12 0x00
+LOOP 100
+  ACT 12
+  WAIT 70.2us
+  PRE
+  WAIT 14ns
+ENDLOOP
+READ 11 tag=above
+READ 13
+REF
+"""
+
+
+class TestParse:
+    def test_example(self):
+        program = parse_program(EXAMPLE)
+        kinds = [type(i) for i in program.instructions]
+        assert kinds == [Write, Loop, Read, Read, Refresh]
+        loop = program.instructions[1]
+        assert loop.count == 100
+        assert [type(i) for i in loop.body] == [Act, Wait, Pre, Wait]
+        assert program.instructions[2].tag == "above"
+        assert program.instructions[3].tag == ""
+
+    def test_durations(self):
+        assert parse_duration("14ns") == pytest.approx(14e-9)
+        assert parse_duration("70.2us") == pytest.approx(70.2e-6)
+        assert parse_duration("512ms") == pytest.approx(0.512)
+        assert parse_duration("16s") == pytest.approx(16.0)
+        with pytest.raises(ValueError):
+            parse_duration("12")
+        with pytest.raises(ValueError):
+            parse_duration("-3ns")
+
+    def test_nested_loops(self):
+        program = parse_program(
+            "LOOP 2\n LOOP 3\n  ACT 1\n  WAIT 36ns\n  PRE\n  WAIT 14ns\n"
+            " ENDLOOP\nENDLOOP\n"
+        )
+        outer = program.instructions[0]
+        assert outer.count == 2
+        assert isinstance(outer.body[0], Loop)
+        assert outer.body[0].count == 3
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "JUMP 3",
+            "ACT",
+            "WRITE 1 0x1FF",
+            "WAIT 5",
+            "ENDLOOP",
+            "LOOP 5\nACT 1",
+            "LOOP -1\nENDLOOP",
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(ProgramSyntaxError):
+            parse_program(bad)
+
+    def test_comments_and_blanks_ignored(self):
+        program = parse_program("# nothing\n\n  # more\nPRE\n")
+        assert len(program.instructions) == 1
+
+
+class TestRoundTrip:
+    def test_format_parse_roundtrip(self):
+        program = parse_program(EXAMPLE, name="x")
+        text = format_program(program)
+        again = parse_program(text, name="x")
+        assert again.instructions == program.instructions
+
+    def test_builder_roundtrip(self):
+        program = hammer_program(7, 1000, 70.2e-6, 14e-9)
+        again = parse_program(format_program(program))
+        loop, again_loop = program.instructions[0], again.instructions[0]
+        assert again_loop.count == loop.count
+        assert again_loop.body[0] == loop.body[0]
+        assert again_loop.body[1].duration == pytest.approx(
+            loop.body[1].duration, rel=1e-9
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.one_of(
+                st.builds(Act, st.integers(0, 100)),
+                st.just(Pre()),
+                st.builds(Wait, st.sampled_from([14e-9, 36e-9, 70.2e-6, 1.0])),
+                st.builds(Write, st.integers(0, 100), st.integers(0, 255)),
+                st.builds(Read, st.integers(0, 100)),
+                st.just(Refresh()),
+            ),
+            max_size=8,
+        )
+    )
+    def test_roundtrip_property(self, instructions):
+        program = TestProgram(list(instructions))
+        again = parse_program(format_program(program))
+        assert len(again.instructions) == len(program.instructions)
+        for a, b in zip(again.instructions, program.instructions):
+            assert type(a) is type(b)
+
+
+class TestExecution:
+    def test_parsed_program_runs(self):
+        geometry = BankGeometry(subarrays=4, rows_per_subarray=64, columns=128)
+        module = SimulatedModule(get_module("S0"), geometry=geometry)
+        bender = DramBender(module)
+        program = parse_program(
+            "WRITE 5 0xFF\nWAIT 100ms\nREAD 5 tag=victim\n"
+        )
+        result = bender.execute(program)
+        assert result.reads[0].tag == "victim"
+        assert result.elapsed == pytest.approx(0.1)

@@ -1,0 +1,168 @@
+"""Refresh mechanisms: Bloom filter, RAIDR, Fig. 22 model, §6.1 costs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.refresh import (
+    BitmapStore,
+    BloomFilter,
+    BloomFilterStore,
+    PrvrModel,
+    RaidrMechanism,
+    RefreshRateModel,
+    columndisturb_penalty,
+    normalized_refresh_operations,
+)
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(bits=512, hashes=4)
+        for key in range(100):
+            bloom.insert(key)
+        assert all(key in bloom for key in range(100))
+
+    def test_empty_filter_rejects_everything(self):
+        bloom = BloomFilter()
+        assert not any(key in bloom for key in range(1000))
+
+    def test_false_positive_rate_near_analytic(self):
+        bloom = BloomFilter(bits=8192, hashes=6)
+        for key in range(4096):
+            bloom.insert(key)
+        measured = bloom.measured_false_positive_rate(
+            np.arange(100_000, 104_000)
+        )
+        assert measured == pytest.approx(
+            bloom.expected_false_positive_rate(), abs=0.05
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BloomFilter(bits=0)
+        with pytest.raises(ValueError):
+            BloomFilter(hashes=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(0, 10**9), max_size=50))
+    def test_membership_property(self, keys):
+        bloom = BloomFilter(bits=1024, hashes=3)
+        for key in keys:
+            bloom.insert(key)
+        assert all(key in bloom for key in keys)
+
+
+class TestRaidr:
+    def test_bitmap_store_exact(self):
+        mechanism = RaidrMechanism.from_weak_rows(
+            total_rows=1000, weak_rows=np.arange(10)
+        )
+        assert mechanism.effective_weak_rows() == 10
+
+    def test_bloom_store_inflates_weak_set(self):
+        """The paper's saturation effect: 20% true weak rows in an 8 Kb
+        filter make nearly everything look weak."""
+        weak = np.arange(0, 200_000)
+        mechanism = RaidrMechanism.from_weak_rows(
+            total_rows=1_000_000, weak_rows=weak, store=BloomFilterStore()
+        )
+        effective = mechanism.effective_weak_rows(sample=2000)
+        assert effective > 900_000
+
+    def test_refresh_rate_interpolates(self):
+        no_weak = RaidrMechanism.from_weak_rows(1000, np.array([]))
+        all_weak = RaidrMechanism.from_weak_rows(1000, np.arange(1000))
+        assert no_weak.refresh_rate() == pytest.approx(1000 / 1.024)
+        assert all_weak.refresh_rate() == pytest.approx(1000 / 0.064)
+
+    def test_normalized_operations(self):
+        no_weak = RaidrMechanism.from_weak_rows(1000, np.array([]))
+        assert no_weak.normalized_refresh_operations() == pytest.approx(
+            0.064 / 1.024
+        )
+
+    def test_storage_costs(self):
+        assert BitmapStore(2_000_000).storage_bits == 2_000_000
+        assert BloomFilterStore().storage_bits == 8192
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RaidrMechanism(
+                total_rows=10, store=BitmapStore(10),
+                weak_interval=2.0, strong_interval=1.0,
+            )
+
+
+class TestFig22Model:
+    def test_endpoints(self):
+        assert normalized_refresh_operations(1.0, 1.024) == pytest.approx(1.0)
+        assert normalized_refresh_operations(0.0, 0.064) == pytest.approx(1.0)
+
+    def test_monotone_in_weak_fraction(self):
+        values = [
+            normalized_refresh_operations(f, 1.024)
+            for f in (0.0, 0.01, 0.1, 0.5, 1.0)
+        ]
+        assert values == sorted(values)
+
+    def test_strong_retention_reduces_operations(self):
+        """Fig. 22 key observation 1: a larger strong-row retention time
+        substantially reduces refresh operations at small weak fractions
+        (the paper reports a 43.1% reduction at its empirical average
+        retention-weak proportion)."""
+        weak_fraction = 0.001
+        at_128 = normalized_refresh_operations(weak_fraction, 0.128)
+        at_1024 = normalized_refresh_operations(weak_fraction, 1.024)
+        assert (at_128 - at_1024) / at_128 > 0.4
+
+    def test_columndisturb_penalty(self):
+        penalty = columndisturb_penalty(0.001, 0.05, 1.024)
+        assert penalty > 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            normalized_refresh_operations(1.5, 1.024)
+        with pytest.raises(ValueError):
+            normalized_refresh_operations(0.5, 0.01)
+
+    @given(st.floats(0.0, 1.0), st.sampled_from([0.128, 0.256, 0.512, 1.024]))
+    def test_bounds_property(self, fraction, strong):
+        value = normalized_refresh_operations(fraction, strong)
+        assert 0.0 < value <= 1.0
+
+
+class TestSection61Models:
+    def test_throughput_loss_paper_values(self):
+        model = RefreshRateModel()
+        assert model.throughput_loss(0.032) == pytest.approx(0.105, abs=0.001)
+        assert model.throughput_loss(0.008) == pytest.approx(0.421, abs=0.001)
+
+    def test_energy_fraction_paper_values(self):
+        model = RefreshRateModel()
+        assert model.refresh_energy_fraction(0.032) == pytest.approx(
+            0.251, abs=0.002
+        )
+        assert model.refresh_energy_fraction(0.008) == pytest.approx(
+            0.675, abs=0.01
+        )
+
+    def test_loss_saturates_at_one(self):
+        model = RefreshRateModel()
+        assert model.throughput_loss(1e-5) == 1.0
+
+    def test_prvr_recovers_most_of_the_overhead(self):
+        prvr = PrvrModel()
+        assert prvr.throughput_recovery_vs(0.008) == pytest.approx(0.705, abs=0.05)
+        assert prvr.energy_recovery_vs(0.008) == pytest.approx(0.738, abs=0.08)
+
+    def test_prvr_scales_with_hammered_rows(self):
+        single = PrvrModel(hammered_rows_per_bank=1)
+        double = PrvrModel(hammered_rows_per_bank=2)
+        assert double.throughput_loss() > single.throughput_loss()
+
+    def test_validation(self):
+        model = RefreshRateModel()
+        with pytest.raises(ValueError):
+            model.throughput_loss(-1.0)

@@ -1,0 +1,235 @@
+"""Cycle-level simulator: timing, blockers, controller, cores, system."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import (
+    DDR4_3200,
+    MemoryController,
+    MemoryRequest,
+    NoRefresh,
+    PeriodicBlocker,
+    PeriodicRefresh,
+    RowLevelRefresh,
+    cycles_to_seconds,
+    estimate_energy,
+    prvr_policy,
+    raidr_policy,
+    seconds_to_cycles,
+    simulate_mix,
+)
+from repro.workloads import WorkloadTrace, make_mix
+
+
+def test_cycle_conversions_roundtrip():
+    assert cycles_to_seconds(seconds_to_cycles(1e-3)) == pytest.approx(1e-3)
+
+
+def test_latency_ordering():
+    assert DDR4_3200.hit_latency() < DDR4_3200.closed_latency()
+    assert DDR4_3200.closed_latency() < DDR4_3200.conflict_latency()
+
+
+class TestPeriodicBlocker:
+    def test_inside_window_pushes_out(self):
+        blocker = PeriodicBlocker(period=100, busy=10)
+        assert blocker.next_available(0) == 10
+        assert blocker.next_available(5) == 10
+        assert blocker.next_available(10) == 10
+        assert blocker.next_available(99) == 99
+        assert blocker.next_available(105) == 110
+
+    def test_offset(self):
+        blocker = PeriodicBlocker(period=100, busy=10, offset=50)
+        assert blocker.next_available(50) == 60
+        assert blocker.next_available(0) == 0
+
+    def test_busy_fraction(self):
+        assert PeriodicBlocker(period=100, busy=10).busy_fraction() == 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicBlocker(period=10, busy=10)
+
+    @given(st.integers(0, 10**7))
+    def test_next_available_idempotent(self, cycle):
+        blocker = PeriodicBlocker(period=137, busy=12, offset=5)
+        available = blocker.next_available(cycle)
+        assert available >= cycle
+        assert blocker.next_available(available) == available
+
+
+class TestPolicies:
+    def test_no_refresh_has_no_blockers(self):
+        assert NoRefresh().blockers(0) == ()
+        assert NoRefresh().refresh_events_per_second(16) == 0.0
+
+    def test_periodic_rate_multiplier(self):
+        base = PeriodicRefresh(DDR4_3200)
+        fast = PeriodicRefresh(DDR4_3200, rate_multiplier=4)
+        assert fast.blockers(0)[0].period == pytest.approx(
+            base.blockers(0)[0].period / 4, abs=1
+        )
+
+    def test_row_level_zero_rate(self):
+        policy = RowLevelRefresh(DDR4_3200, 0.0)
+        assert policy.blockers(3) == ()
+
+    def test_row_level_banks_offset(self):
+        policy = RowLevelRefresh(DDR4_3200, 1000.0)
+        assert policy.blockers(0)[0].offset != policy.blockers(1)[0].offset
+
+    def test_raidr_rate_scales_with_weak_fraction(self):
+        low = raidr_policy(DDR4_3200, 65536, 0.0)
+        high = raidr_policy(DDR4_3200, 65536, 1.0)
+        assert high.refresh_events_per_second(16) == pytest.approx(
+            16 * 65536 / 0.064, rel=0.01
+        )
+        assert low.refresh_events_per_second(16) < high.refresh_events_per_second(16)
+
+    def test_prvr_composes_periodic_and_victims(self):
+        policy = prvr_policy(DDR4_3200)
+        assert len(policy.blockers(0)) == 2
+
+
+class TestController:
+    def make_request(self, **kwargs):
+        defaults = dict(core=0, index=0, bank=0, row=5, arrival=0)
+        defaults.update(kwargs)
+        return MemoryRequest(**defaults)
+
+    def test_first_access_is_closed(self):
+        controller = MemoryController(banks=2)
+        request = self.make_request()
+        controller.enqueue(request)
+        served = controller.serve_next(0, 0)
+        assert served.completion == DDR4_3200.closed_latency()
+        assert controller.stats.row_closed == 1
+
+    def test_row_hit_faster_than_conflict(self):
+        controller = MemoryController(banks=1)
+        first = self.make_request(index=0, row=5)
+        controller.enqueue(first)
+        controller.serve_next(0, 0)
+        hit = self.make_request(index=1, row=5, arrival=200)
+        controller.enqueue(hit)
+        served_hit = controller.serve_next(0, 200)
+        assert served_hit.row_hit
+        conflict = self.make_request(index=2, row=9, arrival=400)
+        controller.enqueue(conflict)
+        served_conflict = controller.serve_next(0, 400)
+        assert (served_conflict.completion - 400) > (served_hit.completion - 200)
+
+    def test_fr_fcfs_prefers_row_hits(self):
+        controller = MemoryController(banks=1)
+        opener = self.make_request(index=0, row=5)
+        controller.enqueue(opener)
+        controller.serve_next(0, 0)
+        controller.enqueue(self.make_request(index=1, row=9, arrival=100))
+        controller.enqueue(self.make_request(index=2, row=5, arrival=110))
+        served = controller.serve_next(0, 200)
+        assert served.index == 2  # the row hit jumped the queue
+
+    def test_refresh_blocking_delays_issue(self):
+        policy = PeriodicRefresh(DDR4_3200)
+        controller = MemoryController(banks=1, policy=policy)
+        # Arrive exactly at the start of the refresh window.
+        request = self.make_request()
+        controller.enqueue(request)
+        served = controller.serve_next(0, 0)
+        assert served.issue >= DDR4_3200.t_rfc
+
+
+class TestSystem:
+    @pytest.fixture(scope="class")
+    def mix(self):
+        return make_mix(0, length=600)
+
+    def test_all_cores_finish(self, mix):
+        result = simulate_mix(mix, NoRefresh())
+        assert len(result.ipcs) == 4
+        assert all(ipc > 0 for ipc in result.ipcs)
+        assert result.requests == sum(len(t) for t in mix)
+
+    def test_deterministic(self, mix):
+        a = simulate_mix(mix, NoRefresh())
+        b = simulate_mix(mix, NoRefresh())
+        assert a.ipcs == b.ipcs
+
+    def test_refresh_slows_execution(self, mix):
+        base = simulate_mix(mix, NoRefresh())
+        refreshed = simulate_mix(mix, PeriodicRefresh(DDR4_3200))
+        ws = refreshed.weighted_speedup(base)
+        assert ws < 1.0
+        assert ws > 0.8  # nominal refresh costs a few percent, not half
+
+    def test_more_refresh_is_monotonically_worse(self, mix):
+        base = simulate_mix(mix, NoRefresh())
+        speedups = [
+            simulate_mix(mix, PeriodicRefresh(DDR4_3200, m)).weighted_speedup(base)
+            for m in (1, 4, 8)
+        ]
+        assert speedups[0] > speedups[1] > speedups[2]
+
+    def test_raidr_beats_aggressive_periodic(self, mix):
+        """The §6.1/§6.2 premise: refreshing only weak rows at the fast
+        rate outperforms refreshing everything fast."""
+        base = simulate_mix(mix, NoRefresh())
+        raidr = simulate_mix(
+            mix, raidr_policy(DDR4_3200, 65536, 1e-4)
+        ).weighted_speedup(base)
+        aggressive = simulate_mix(
+            mix, PeriodicRefresh(DDR4_3200, 8)
+        ).weighted_speedup(base)
+        assert raidr > aggressive
+
+    def test_prvr_cheaper_than_aggressive_periodic(self, mix):
+        base = simulate_mix(mix, NoRefresh())
+        prvr = simulate_mix(mix, prvr_policy(DDR4_3200)).weighted_speedup(base)
+        aggressive = simulate_mix(
+            mix, PeriodicRefresh(DDR4_3200, 4)
+        ).weighted_speedup(base)
+        assert prvr > aggressive
+
+    def test_weighted_speedup_of_self_is_one(self, mix):
+        result = simulate_mix(mix, NoRefresh())
+        assert result.weighted_speedup(result) == pytest.approx(1.0)
+
+    def test_energy_breakdown(self, mix):
+        result = simulate_mix(mix, PeriodicRefresh(DDR4_3200))
+        energy = estimate_energy(result, activations=result.requests)
+        assert energy.total_mj > 0
+        assert 0.0 < energy.refresh_fraction < 1.0
+
+
+class TestWorkloads:
+    def test_trace_deterministic(self):
+        a = WorkloadTrace(name="t", mpki=20.0, locality=0.5)
+        b = WorkloadTrace(name="t", mpki=20.0, locality=0.5)
+        assert a.request(7) == b.request(7)
+
+    def test_locality_extremes(self):
+        sticky = WorkloadTrace(name="s", mpki=20.0, locality=1.0, banks=1,
+                               length=100)
+        rows = {sticky.request(i)[1] for i in range(100)}
+        assert len(rows) == 1
+        scattered = WorkloadTrace(name="r", mpki=20.0, locality=0.0, banks=1,
+                                  length=100)
+        rows = {scattered.request(i)[1] for i in range(100)}
+        assert len(rows) > 50
+
+    def test_mix_properties(self):
+        mix = make_mix(3)
+        assert len(mix) == 4
+        assert all(trace.mpki >= 10.0 for trace in mix)
+
+    def test_mix_bounds(self):
+        with pytest.raises(ValueError):
+            make_mix(99)
+
+    def test_trace_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadTrace(name="x", mpki=-1.0, locality=0.5)
+        with pytest.raises(ValueError):
+            WorkloadTrace(name="x", mpki=10.0, locality=1.5)

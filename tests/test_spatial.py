@@ -1,0 +1,72 @@
+"""Fig. 2 spatial profile invariants."""
+
+import numpy as np
+import pytest
+
+from repro.chip import BankGeometry
+from repro.core import CampaignScale, three_subarray_profile
+
+SCALE = CampaignScale(BankGeometry(subarrays=4, rows_per_subarray=128, columns=256))
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return three_subarray_profile("S0", duration=16.0, scale=SCALE)
+
+
+def test_covers_three_subarrays(profile):
+    assert len(profile.rows) == 3 * 128
+    assert len(profile.boundaries) == 3
+
+
+def test_columndisturb_spans_all_three_subarrays(profile):
+    """Obs 4: ColumnDisturb bitflips appear in all three subarrays."""
+    rps = 128
+    for index in range(3):
+        segment = profile.columndisturb[index * rps : (index + 1) * rps]
+        assert (segment > 0).sum() > rps // 2
+
+
+def test_rowhammer_confined_to_immediate_neighbours(profile):
+    hammered = np.nonzero(profile.rowhammer > 0)[0]
+    aggressor_index = int(
+        np.where(profile.rows == profile.aggressor_row)[0][0]
+    )
+    assert set(hammered.tolist()) <= {aggressor_index - 1, aggressor_index + 1}
+    assert len(hammered) == 2
+
+
+def test_rowhammer_dominates_columndisturb_at_neighbours(profile):
+    """Fig. 2 shape: the +/-1 rows tower above the ColumnDisturb level."""
+    aggressor_index = int(
+        np.where(profile.rows == profile.aggressor_row)[0][0]
+    )
+    cd_typical = np.median(profile.columndisturb[profile.columndisturb > 0])
+    assert profile.rowhammer[aggressor_index - 1] > 3 * cd_typical
+    assert profile.rowpress[aggressor_index + 1] > 2 * cd_typical
+
+
+def test_rowpress_close_to_rowhammer(profile):
+    """Fig. 2: 16 s of pressing yields bitflip counts comparable to (a bit
+    below) 16 s of hammering."""
+    rh = profile.rowhammer[profile.rowhammer > 0].sum()
+    rp = profile.rowpress[profile.rowpress > 0].sum()
+    assert 0.3 * rh < rp <= rh
+
+
+def test_aggressor_subarray_has_more_flips_than_neighbours(profile):
+    """Obs 5: ~1.45x more bitflips per row in the aggressor subarray."""
+    rps = 128
+    upper = profile.columndisturb[:rps].mean()
+    aggressor = profile.columndisturb[rps : 2 * rps].mean()
+    lower = profile.columndisturb[2 * rps :].mean()
+    assert aggressor > upper
+    assert aggressor > lower
+    assert aggressor < 3 * max(upper, lower)
+
+
+def test_columndisturb_dwarfs_retention(profile):
+    """Obs 6: far more ColumnDisturb bitflips than retention failures
+    (note the ColumnDisturb counts here are retention-filtered, so the
+    comparison is conservative)."""
+    assert profile.columndisturb.sum() > 2 * profile.retention.sum()

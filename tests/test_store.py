@@ -1,0 +1,56 @@
+"""Campaign-record persistence."""
+
+import math
+
+import pytest
+
+from repro.chip import BankGeometry
+from repro.core import (
+    Campaign,
+    CampaignScale,
+    WORST_CASE,
+    load_records,
+    save_records,
+)
+
+SCALE = CampaignScale(BankGeometry(subarrays=2, rows_per_subarray=64,
+                                   columns=128))
+
+
+@pytest.fixture(scope="module")
+def records():
+    campaign = Campaign(scale=SCALE)
+    return campaign.characterize_module("M8", WORST_CASE,
+                                        intervals=(0.512, 16.0))
+
+
+def test_roundtrip(tmp_path, records):
+    path = tmp_path / "m8.json"
+    save_records(records, path, metadata={"config": "worst-case"})
+    loaded, metadata = load_records(path)
+    assert metadata == {"config": "worst-case"}
+    assert loaded == records
+
+
+def test_censored_times_survive(tmp_path, records):
+    import dataclasses
+
+    censored = [dataclasses.replace(records[0], time_to_first=float("inf"))]
+    path = tmp_path / "censored.json"
+    save_records(censored, path)
+    loaded, _ = load_records(path)
+    assert math.isinf(loaded[0].time_to_first)
+
+
+def test_interval_keys_are_floats(tmp_path, records):
+    path = tmp_path / "keys.json"
+    save_records(records, path)
+    loaded, _ = load_records(path)
+    assert set(loaded[0].cd_flips) == {0.512, 16.0}
+
+
+def test_version_check(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"format_version": 99, "records": []}')
+    with pytest.raises(ValueError):
+        load_records(path)

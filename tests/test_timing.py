@@ -1,0 +1,46 @@
+"""DRAM timing parameters."""
+
+import pytest
+
+from repro.chip import DDR4, DDR5_32GB, HBM2, TimingParameters
+
+
+def test_ddr4_paper_values():
+    # The §4.6 worked example relies on tRP = 14 ns.
+    assert DDR4.t_rp == pytest.approx(14e-9)
+    assert DDR4.t_refw == pytest.approx(64e-3)
+    assert DDR4.t_refi == pytest.approx(7.8e-6)
+
+
+def test_ddr5_trfc_for_mitigation_model():
+    # §6.1 uses tRFC = 410 ns for a 32 Gb DDR5 chip.
+    assert DDR5_32GB.t_rfc == pytest.approx(410e-9)
+    assert DDR5_32GB.t_refw == pytest.approx(32e-3)
+
+
+def test_t_rc_is_ras_plus_rp():
+    assert DDR4.t_rc == pytest.approx(DDR4.t_ras + DDR4.t_rp)
+
+
+def test_activations_possible_clamps_to_ras():
+    # tAggOn below tRAS behaves like tRAS.
+    fast = DDR4.activations_possible(1e-3, t_agg_on=1e-9)
+    nominal = DDR4.activations_possible(1e-3, t_agg_on=DDR4.t_ras)
+    assert fast == nominal
+    assert nominal == int(1e-3 // (DDR4.t_ras + DDR4.t_rp))
+
+
+def test_refreshes_per_window():
+    assert DDR4.refreshes_per_window() == round(64e-3 / 7.8e-6)
+    assert HBM2.refreshes_per_window() > 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TimingParameters(
+            t_ras=-1, t_rp=1, t_rcd=1, t_refi=1, t_refw=2, t_rfc=1, t_ck=1
+        )
+    with pytest.raises(ValueError):
+        TimingParameters(
+            t_ras=1, t_rp=1, t_rcd=1, t_refi=3, t_refw=2, t_rfc=1, t_ck=1
+        )

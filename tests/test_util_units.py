@@ -1,0 +1,25 @@
+"""Unit helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._util.units import format_seconds, from_milliseconds, to_milliseconds
+
+
+def test_milliseconds_roundtrip():
+    assert to_milliseconds(from_milliseconds(63.6)) == pytest.approx(63.6)
+
+
+def test_format_ranges():
+    assert format_seconds(36e-9) == "36.0ns"
+    assert format_seconds(70.2e-6) == "70.2us"
+    assert format_seconds(0.0636) == "63.6ms"
+    assert format_seconds(16.0) == "16.00s"
+    assert format_seconds(0) == "0s"
+    assert format_seconds(-0.5).startswith("-")
+
+
+@given(st.floats(min_value=1e-12, max_value=1e6, allow_nan=False))
+def test_format_always_returns_string(value):
+    assert isinstance(format_seconds(value), str)

@@ -1,0 +1,125 @@
+"""Variable subarray sizes: the paper notes real subarrays range from 512
+to 1024 rows within a chip (§4.4); the device model must handle
+heterogeneous layouts identically to uniform ones."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chip import (
+    BankGeometry,
+    SimulatedModule,
+    VariableBankGeometry,
+    get_module,
+)
+from repro.core import SubarrayRole, WORST_CASE, disturb_outcome
+
+
+@pytest.fixture
+def geometry():
+    return VariableBankGeometry(sizes=(32, 64, 48, 16), columns=128)
+
+
+class TestVariableGeometry:
+    def test_totals(self, geometry):
+        assert geometry.rows == 160
+        assert geometry.subarrays == 4
+        assert geometry.subarray_sizes == (32, 64, 48, 16)
+
+    def test_addressing(self, geometry):
+        assert geometry.subarray_start(0) == 0
+        assert geometry.subarray_start(2) == 96
+        assert geometry.subarray_of_row(0) == 0
+        assert geometry.subarray_of_row(31) == 0
+        assert geometry.subarray_of_row(32) == 1
+        assert geometry.subarray_of_row(159) == 3
+        assert geometry.row_within_subarray(100) == 4
+        with pytest.raises(IndexError):
+            geometry.subarray_of_row(160)
+
+    def test_row_ranges_partition(self, geometry):
+        covered = []
+        for subarray in range(geometry.subarrays):
+            covered.extend(geometry.row_range(subarray))
+        assert covered == list(range(geometry.rows))
+
+    def test_vectorized_matches_scalar(self, geometry):
+        rows = np.arange(geometry.rows)
+        vector_subs = geometry.subarrays_of_rows(rows)
+        vector_locals = geometry.rows_within_subarrays(rows)
+        for row in range(geometry.rows):
+            assert vector_subs[row] == geometry.subarray_of_row(row)
+            assert vector_locals[row] == geometry.row_within_subarray(row)
+
+    def test_middle_rows(self, geometry):
+        assert geometry.middle_row(1) == 32 + 32
+        assert geometry.middle_row(3) == 144 + 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VariableBankGeometry(sizes=(), columns=64)
+        with pytest.raises(ValueError):
+            VariableBankGeometry(sizes=(8, 1), columns=64)
+        with pytest.raises(ValueError):
+            VariableBankGeometry(sizes=(8, 8), columns=63)
+
+    def test_uniform_equivalence(self):
+        """A variable geometry with equal sizes behaves exactly like the
+        uniform geometry."""
+        uniform = BankGeometry(subarrays=3, rows_per_subarray=16, columns=64)
+        variable = VariableBankGeometry(sizes=(16, 16, 16), columns=64)
+        for row in range(uniform.rows):
+            assert uniform.subarray_of_row(row) == variable.subarray_of_row(row)
+            assert uniform.row_within_subarray(row) == (
+                variable.row_within_subarray(row)
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(2, 40), min_size=1, max_size=6))
+    def test_partition_property(self, sizes):
+        geometry = VariableBankGeometry(sizes=tuple(sizes), columns=8)
+        rows = np.arange(geometry.rows)
+        subs = geometry.subarrays_of_rows(rows)
+        # Each subarray's claimed size matches the partition.
+        for subarray, size in enumerate(sizes):
+            assert int((subs == subarray).sum()) == size
+
+
+class TestVariableGeometryDevice:
+    def test_bank_operations(self, geometry):
+        module = SimulatedModule(get_module("S4"), geometry=geometry)
+        bank = module.bank()
+        bank.fill(0xFF)
+        aggressor = geometry.middle_row(1)
+        bank.write_row(aggressor, 0x00)
+        bank.hammer(aggressor, 50_000, t_agg_on=70.2e-6)
+        for subarray in range(geometry.subarrays):
+            data = bank.read_subarray(subarray)
+            assert data.shape == (geometry.subarray_rows(subarray),
+                                  geometry.columns)
+        # Subarray 3 shares no bitlines with subarray 1: retention only.
+        far = bank.read_subarray(3)
+        assert (far == 0).sum() <= 2
+
+    def test_population_sizes_follow_geometry(self, geometry):
+        module = SimulatedModule(get_module("S4"), geometry=geometry)
+        bank = module.bank()
+        for subarray in range(geometry.subarrays):
+            population = bank.population(subarray)
+            assert population.rows == geometry.subarray_rows(subarray)
+
+    def test_fraction_metric_motivation(self, geometry):
+        """§4.4's rationale for the fraction metric: subarrays of different
+        sizes are only comparable after normalizing by cell count."""
+        module = SimulatedModule(get_module("S4"), geometry=geometry)
+        bank = module.bank()
+        fractions = []
+        for subarray in (1, 3):  # 64 rows vs 16 rows
+            population = bank.population(subarray)
+            outcome = disturb_outcome(
+                population, WORST_CASE, module.timing, SubarrayRole.AGGRESSOR,
+                aggressor_local_row=population.rows // 2,
+            )
+            fractions.append(outcome.fraction_with_flips(16.0))
+        assert all(0.0 <= fraction <= 1.0 for fraction in fractions)

@@ -1,0 +1,56 @@
+"""Attack traces and write-fraction support."""
+
+import pytest
+
+from repro.sim import CONTROLLER_HZ
+from repro.sim.cpu import PEAK_IPC_PER_CYCLE, Core
+from repro.workloads import WorkloadTrace, attack_trace, press_attack_trace
+
+
+class TestAttackTrace:
+    def test_alternates_two_rows_one_bank(self):
+        trace = attack_trace(length=100, bank=3, rows=(10, 20))
+        banks = {trace.request(i)[0] for i in range(100)}
+        assert banks == {3}
+        assert trace.request(0)[1] == 10
+        assert trace.request(1)[1] == 20
+        assert trace.request(2)[1] == 10
+
+    def test_every_access_is_a_conflict(self):
+        """Consecutive requests never repeat a row: each forces an ACT."""
+        trace = attack_trace(length=50)
+        rows = [trace.request(i)[1] for i in range(50)]
+        assert all(a != b for a, b in zip(rows, rows[1:]))
+
+
+class TestPressAttackTrace:
+    def test_request_pacing_matches_press_period(self):
+        period = 70.2e-6
+        trace = press_attack_trace(length=10, press_period_s=period)
+        core = Core(core_id=0, trace=trace)
+        expected_gap = period * CONTROLLER_HZ
+        assert core.gap_cycles == pytest.approx(expected_gap, rel=0.01)
+
+    def test_slow_mpki(self):
+        trace = press_attack_trace(press_period_s=70.2e-6)
+        # A pressing attacker is NOT memory-intensive by MPKI standards.
+        assert trace.mpki < 0.01
+
+
+class TestWriteFraction:
+    def test_default_no_writes(self):
+        trace = WorkloadTrace(name="r", mpki=20.0, locality=0.5, length=50)
+        assert not any(trace.is_write(i) for i in range(50))
+
+    def test_fraction_respected(self):
+        trace = WorkloadTrace(
+            name="w", mpki=20.0, locality=0.5, length=2000,
+            write_fraction=0.3,
+        )
+        writes = sum(trace.is_write(i) for i in range(2000))
+        assert 450 < writes < 750
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadTrace(name="x", mpki=20.0, locality=0.5,
+                          write_fraction=1.5)
