@@ -21,7 +21,7 @@ from pathlib import Path
 from repro.chip import BankGeometry, SimulatedModule, ddr4_modules, get_module
 from repro.chip.cells import CellPopulation
 from repro.chip.module import ModuleSpec
-from repro.core import CampaignScale
+from repro.core import CampaignScale, CharacterizationEngine, OutcomeCache
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -35,6 +35,38 @@ else:
 BENCH_SCALE = CampaignScale(BENCH_GEOMETRY)
 
 MANUFACTURERS = ("SK Hynix", "Micron", "Samsung")
+
+#: Engine opt-in for the figure benches: ``REPRO_BENCH_WORKERS=N`` runs
+#: campaigns on N worker processes, ``REPRO_BENCH_CACHE=DIR`` adds a
+#: persistent outcome cache shared across benches and runs.  Both default
+#: off; results are bit-identical either way.
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "0"))
+BENCH_CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE") or None
+
+#: Process-wide cache instance so every bench in one run shares outcomes.
+_BENCH_CACHE: OutcomeCache | None = None
+
+
+def bench_cache() -> OutcomeCache | None:
+    """The shared engine cache, or ``None`` when neither knob is set.
+
+    An in-memory cache is still worthwhile with ``REPRO_BENCH_WORKERS``
+    alone unset — benches that repeat a condition skip recomputation — so
+    a cache is created whenever either knob is enabled.
+    """
+    global _BENCH_CACHE
+    if _BENCH_CACHE is None and (BENCH_CACHE_DIR or BENCH_WORKERS):
+        _BENCH_CACHE = OutcomeCache(BENCH_CACHE_DIR)
+    return _BENCH_CACHE
+
+
+def bench_engine(scale: CampaignScale | None = None) -> CharacterizationEngine:
+    """A characterization engine configured from the bench env knobs."""
+    return CharacterizationEngine(
+        scale=scale or BENCH_SCALE,
+        workers=BENCH_WORKERS,
+        cache=bench_cache(),
+    )
 
 
 def emit(name: str, text: str) -> None:

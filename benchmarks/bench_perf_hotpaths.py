@@ -4,19 +4,50 @@ Unlike the figure benches (one-shot experiment regeneration), these run
 multiple rounds so pytest-benchmark's statistics are meaningful — use them
 to catch performance regressions in the device model, the analytic path,
 the ECC codec, and the cycle simulator.
+
+The campaign-engine suite at the bottom (``test_perf_engine_full_catalog``,
+or ``python benchmarks/bench_perf_hotpaths.py``) times the full Table 1
+DDR4 catalog at paper scale through the serial, parallel, and warm-cache
+paths, asserts record parity, and writes machine-readable
+``BENCH_engine.json``.  It is marked ``slow``; the smoke set
+(``pytest -m "not slow"``) skips it.
 """
 
-import numpy as np
+import json
+import os
+import time
+from pathlib import Path
 
-from repro.chip import BankGeometry, DDR4, SimulatedModule, get_module
+import numpy as np
+import pytest
+
+from _common import run_once
+from repro.chip import BankGeometry, DDR4, SimulatedModule, ddr4_modules, get_module
 from repro.chip.cells import CellPopulation
-from repro.core import SubarrayRole, WORST_CASE, disturb_outcome
+from repro.core import (
+    STANDARD_SCALE,
+    QUICK_SCALE,
+    CampaignScale,
+    CharacterizationEngine,
+    OutcomeCache,
+    SubarrayRole,
+    WORST_CASE,
+    disturb_outcome,
+    plan_units,
+)
+
 from repro.ecc import ONDIE_SEC_136_128, decode_many, encode_many
 from repro.refresh import BloomFilter
 from repro.sim import DDR4_3200, NoRefresh, PeriodicRefresh, simulate_mix
 from repro.workloads import make_mix
 
 GEOMETRY = BankGeometry(subarrays=4, rows_per_subarray=512, columns=1024)
+
+#: The refresh intervals the engine suite queries (paper's §4 sweep points).
+ENGINE_INTERVALS = (0.512, 1.0, 4.0, 16.0)
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 
 def test_perf_hammer_fast_path(benchmark):
@@ -103,3 +134,168 @@ def test_perf_cycle_sim_no_refresh(benchmark):
     """Baseline (no refresh) simulator run, for overhead comparison."""
     mix = make_mix(0, length=800)
     benchmark(simulate_mix, mix, NoRefresh())
+
+
+# ---------------------------------------------------------------------------
+# Interval-metric and campaign-engine benchmarks
+# ---------------------------------------------------------------------------
+
+_METRIC_INTERVALS = (0.064, 0.128, 0.512, 1.0, 2.0, 4.0, 8.0, 16.0)
+
+
+def _metric_outcome():
+    population = CellPopulation(
+        key=("perf-metrics", 0), profile=get_module("S0").profile,
+        rows=512, columns=1024,
+    )
+    return disturb_outcome(
+        population, WORST_CASE, DDR4, SubarrayRole.AGGRESSOR,
+        aggressor_local_row=256,
+    )
+
+
+def _query_all(outcome):
+    return [
+        (
+            outcome.flip_count(t),
+            outcome.rows_with_flips(t),
+            outcome.retention_flip_count(t),
+            outcome.retention_rows_with_flips(t),
+        )
+        for t in _METRIC_INTERVALS
+    ]
+
+
+def test_perf_multi_interval_masks(benchmark):
+    """All four metrics at 8 intervals via the per-interval mask path."""
+    outcome = _metric_outcome()
+
+    def run():
+        outcome._summary = None  # force the full-array mask fallback
+        return _query_all(outcome)
+
+    benchmark(run)
+
+
+def test_perf_multi_interval_summary_cold(benchmark):
+    """Same queries through one sorted-event sweep plus binary searches."""
+    outcome = _metric_outcome()
+    horizon = max(_METRIC_INTERVALS)
+
+    def run():
+        outcome._summary = None  # rebuild the summary every round
+        outcome.summarize(horizon)
+        return _query_all(outcome)
+
+    benchmark(run)
+
+
+def test_perf_multi_interval_summary_warm(benchmark):
+    """Queries against a built summary — the cache-hit path of the engine."""
+    outcome = _metric_outcome()
+    outcome.summarize(max(_METRIC_INTERVALS))
+    benchmark(_query_all, outcome)
+
+
+def test_perf_engine_quick(benchmark):
+    """Quick-scale engine campaign: serial compute, in-memory cache."""
+    engine = CharacterizationEngine(scale=QUICK_SCALE, cache=OutcomeCache())
+    benchmark(
+        engine.characterize_modules, ("S0", "M8"), WORST_CASE, ENGINE_INTERVALS
+    )
+
+
+def run_engine_suite(
+    serials: tuple[str, ...] | None = None,
+    scale: CampaignScale | None = None,
+    intervals: tuple[float, ...] = ENGINE_INTERVALS,
+    workers: int = 4,
+    cache_dir: str | None = None,
+    write_json: bool = True,
+) -> dict:
+    """Time the engine's three execution paths over the DDR4 catalog.
+
+    Passes: (1) serial cold — the pre-engine `Campaign` behaviour; (2)
+    parallel cold — ``workers`` processes, filling ``cache``; (3) warm —
+    the same campaign again, answered from cache.  Asserts all three
+    produce identical records, then reports timings and speedups as a
+    machine-readable dict (written to ``BENCH_engine.json`` at the repo
+    root and under ``benchmarks/results/`` unless ``write_json=False``).
+    """
+    if serials is None:
+        serials = tuple(spec.serial for spec in ddr4_modules())
+    scale = scale or STANDARD_SCALE
+    units = len(plan_units(serials, WORST_CASE, scale))
+
+    serial_engine = CharacterizationEngine(scale=scale, workers=0)
+    start = time.perf_counter()
+    serial_records = serial_engine.characterize_modules(
+        serials, WORST_CASE, intervals
+    )
+    serial_s = time.perf_counter() - start
+
+    cache = OutcomeCache(cache_dir)
+    parallel_engine = CharacterizationEngine(
+        scale=scale, workers=workers, cache=cache
+    )
+    start = time.perf_counter()
+    parallel_records = parallel_engine.characterize_modules(
+        serials, WORST_CASE, intervals
+    )
+    parallel_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm_records = parallel_engine.characterize_modules(
+        serials, WORST_CASE, intervals
+    )
+    warm_s = time.perf_counter() - start
+
+    assert parallel_records == serial_records, "parallel records diverged"
+    assert warm_records == serial_records, "warm-cache records diverged"
+
+    geometry = scale.geometry
+    result = {
+        "bench": "engine",
+        "cpu_count": os.cpu_count(),
+        "modules": len(serials),
+        "units": units,
+        "records": len(serial_records),
+        "scale": {
+            "subarrays": geometry.subarrays,
+            "rows_per_subarray": geometry.rows_per_subarray,
+            "columns": geometry.columns,
+        },
+        "config": "WORST_CASE",
+        "intervals": list(intervals),
+        "workers": workers,
+        "serial_cold_s": round(serial_s, 3),
+        "parallel_cold_s": round(parallel_s, 3),
+        "warm_cache_s": round(warm_s, 3),
+        "parallel_speedup": round(serial_s / parallel_s, 3),
+        "warm_cache_speedup": round(serial_s / warm_s, 3),
+        "parity": True,
+        "cache": cache.stats,
+    }
+    if write_json:
+        payload = json.dumps(result, indent=2) + "\n"
+        (_REPO_ROOT / "BENCH_engine.json").write_text(payload)
+        _RESULTS_DIR.mkdir(exist_ok=True)
+        (_RESULTS_DIR / "BENCH_engine.json").write_text(payload)
+    return result
+
+
+@pytest.mark.slow
+def test_perf_engine_full_catalog(benchmark):
+    """Full Table 1 DDR4 catalog at paper scale; writes BENCH_engine.json."""
+    result = run_once(benchmark, run_engine_suite)
+    assert result["parity"]
+    assert result["warm_cache_speedup"] > 1.0
+
+
+def main() -> None:
+    result = run_engine_suite()
+    print(json.dumps(result, indent=2))
+
+
+if __name__ == "__main__":
+    main()

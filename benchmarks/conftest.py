@@ -1,0 +1,17 @@
+"""Benchmark collection hooks: mark heavyweight benches as ``slow``.
+
+Every figure/table/ablation bench regenerates a full paper artifact and
+takes seconds to minutes; the smoke set (``pytest -m "not slow"``) keeps
+only the fast microbenchmarks in ``bench_perf_hotpaths.py`` (which marks
+its own full-catalog suite ``slow`` explicitly).
+"""
+
+import pytest
+
+_SLOW_PREFIXES = ("bench_fig", "bench_table1", "bench_ablation", "bench_sec61")
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if item.path.name.startswith(_SLOW_PREFIXES):
+            item.add_marker(pytest.mark.slow)

@@ -175,6 +175,26 @@ class SimulatedBank:
                 checkpoints[version] = self._extra[subarray].copy()
             in_sub = idx[idx_subarrays == subarray]
             self._extra_ckpt_id[in_sub] = version
+            self._prune_checkpoints(int(subarray))
+
+    def _prune_checkpoints(self, subarray: int) -> None:
+        """Drop exposure checkpoints no longer referenced by any row.
+
+        Restoring a row moves its ``_extra_ckpt_id`` forward; without
+        pruning, refresh-heavy runs accumulate one column-vector copy per
+        version forever.  A checkpoint is only ever consulted through the
+        subarray's own rows, so liveness is decidable locally.
+        """
+        checkpoints = self._extra_checkpoints[subarray]
+        if len(checkpoints) <= 1:
+            return
+        row_range = self.geometry.row_range(subarray)
+        live = set(
+            np.unique(self._extra_ckpt_id[row_range.start:row_range.stop])
+            .tolist()
+        )
+        for version in [v for v in checkpoints if v not in live]:
+            del checkpoints[version]
 
     def _coerce_bits(self, bits: np.ndarray | int) -> np.ndarray:
         if isinstance(bits, (int, np.integer)):

@@ -14,7 +14,15 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro._util.rng import derive_rng
+from repro.physics.constants import V_PRECHARGE
+from repro.physics.coupling import times_to_flip, total_leakage_rates
 from repro.physics.profile import DisturbanceProfile
+
+#: The paper's retention-test repetition count (§3.2) and the expected
+#: maximum of that many standard normal draws — used as the conservative
+#: (worst-case-VRT) leakage multiplier of the analytic retention filter.
+VRT_TRIALS = 50
+_EXPECTED_MAX_Z_50 = 2.25
 
 
 @dataclass
@@ -38,6 +46,9 @@ class CellPopulation:
         init=False, repr=False, default=None
     )
     _anti_mask: np.ndarray | None = field(init=False, repr=False, default=None)
+    _retention_cache: dict[float, tuple[np.ndarray, np.ndarray]] = field(
+        init=False, repr=False, default_factory=dict
+    )
 
     def __post_init__(self) -> None:
         if self.rows < 1 or self.columns < 1:
@@ -93,6 +104,37 @@ class CellPopulation:
                 rng = derive_rng(*self.key, "anti")
                 self._anti_mask = rng.random(self.shape) < fraction
         return self._anti_mask
+
+    def retention_time_arrays(
+        self, temperature_c: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(nominal, conservative-worst-VRT) per-cell retention times.
+
+        Retention times depend only on the population and the temperature —
+        never on the disturb condition — so they are computed once per
+        temperature and memoized.  Callers must treat the returned arrays as
+        read-only (`disturb_outcome` composes them with ``np.where``, which
+        copies).
+        """
+        key = float(temperature_c)
+        if key not in self._retention_cache:
+            cm_pre = self.profile.coupling_multiplier(V_PRECHARGE)
+            nominal_rates = total_leakage_rates(
+                self.lambda_int, self.kappa, cm_pre, self.profile, key
+            )
+            vrt_worst = float(np.exp(self.profile.vrt_sigma * _EXPECTED_MAX_Z_50))
+            worst_rates = total_leakage_rates(
+                self.lambda_int * np.float32(vrt_worst),
+                self.kappa,
+                cm_pre,
+                self.profile,
+                key,
+            )
+            self._retention_cache[key] = (
+                times_to_flip(nominal_rates),
+                times_to_flip(worst_rates),
+            )
+        return self._retention_cache[key]
 
     def vrt_jitter(self, trial_nonce: object) -> np.ndarray:
         """Per-cell VRT multipliers for one trial.

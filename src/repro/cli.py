@@ -90,13 +90,19 @@ def _cmd_risk(args: argparse.Namespace) -> str:
 
 
 def _cmd_characterize(args: argparse.Namespace) -> str:
+    from repro.core import OutcomeCache
+
     scale = CampaignScale(
         BankGeometry(
             subarrays=args.subarrays, rows_per_subarray=args.rows,
             columns=args.columns,
         )
     )
-    campaign = Campaign(scale=scale)
+    campaign = Campaign(
+        scale=scale,
+        workers=args.workers,
+        cache=OutcomeCache(args.cache) if args.cache else None,
+    )
     records = campaign.characterize_module(
         args.serial, WORST_CASE, intervals=(0.512, 16.0)
     )
@@ -203,6 +209,14 @@ def build_parser() -> argparse.ArgumentParser:
     character.add_argument("--subarrays", type=int, default=4)
     character.add_argument("--rows", type=int, default=256)
     character.add_argument("--columns", type=int, default=512)
+    character.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes for the parallel engine (0 = serial)",
+    )
+    character.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="on-disk outcome cache directory (reused across runs)",
+    )
 
     mitigations = sub.add_parser(
         "mitigations", help="compare §6.1 mitigation costs"

@@ -5,8 +5,10 @@ row-mapping reverse engineering, retention profiling, and campaign drivers.
 """
 
 from repro.core.analytic import (
+    DEFAULT_SUMMARY_HORIZON,
     GUARDBAND_ROWS,
     VRT_TRIALS,
+    OutcomeSummary,
     SubarrayOutcome,
     SubarrayRole,
     aggressor_column_multipliers,
@@ -16,6 +18,7 @@ from repro.core.analytic import (
     retention_time_arrays,
 )
 from repro.core.bisection import BisectionResult, search_minimum_time
+from repro.core.cache import CACHE_FORMAT_VERSION, OutcomeCache, outcome_cache_key
 from repro.core.cd_profiler import WeakRowProfile, profile_weak_rows
 from repro.core.campaign import (
     QUICK_SCALE,
@@ -25,6 +28,14 @@ from repro.core.campaign import (
     CampaignScale,
     ModulePool,
     SubarrayRecord,
+)
+from repro.core.engine import (
+    DEFAULT_ENGINE_HORIZON,
+    CharacterizationEngine,
+    WorkUnit,
+    execute_unit,
+    plan_units,
+    record_from_summary,
 )
 from repro.core.config import (
     AGGRESSOR_LOCATIONS,
@@ -52,10 +63,21 @@ from repro.core.subarrays import (
 )
 
 __all__ = [
+    "DEFAULT_SUMMARY_HORIZON",
     "GUARDBAND_ROWS",
     "VRT_TRIALS",
+    "OutcomeSummary",
     "SubarrayOutcome",
     "SubarrayRole",
+    "CACHE_FORMAT_VERSION",
+    "OutcomeCache",
+    "outcome_cache_key",
+    "DEFAULT_ENGINE_HORIZON",
+    "CharacterizationEngine",
+    "WorkUnit",
+    "execute_unit",
+    "plan_units",
+    "record_from_summary",
     "aggressor_column_multipliers",
     "disturb_outcome",
     "neighbour_column_multipliers",

@@ -17,23 +17,22 @@ the two on small geometries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
 
 import numpy as np
 
-from repro.chip.cells import CellPopulation
+from repro.chip.cells import VRT_TRIALS, CellPopulation
 from repro.chip.datapattern import expand_pattern
 from repro.chip.timing import DDR4, TimingParameters
 from repro.core.config import SEARCH_INTERVAL, DisturbConfig
 from repro.physics.constants import V_PRECHARGE
 from repro.physics.coupling import times_to_flip, total_leakage_rates
 
-#: The paper's retention-test repetition count (§3.2) and the expected
-#: maximum of that many standard normal draws — used as the conservative
-#: (worst-case-VRT) leakage multiplier of the analytic retention filter.
-VRT_TRIALS = 50
-_EXPECTED_MAX_Z_50 = 2.25
+#: Default event horizon of `SubarrayOutcome.summarize`: interval metrics can
+#: be answered from a summary for any interval up to its horizon.  128 s is
+#: 8x the longest interval the paper tests (16 s, §4.3).
+DEFAULT_SUMMARY_HORIZON = 128.0
 
 #: RowHammer/RowPress guardband: rows excluded around the aggressor (§3.2).
 GUARDBAND_ROWS = 8
@@ -109,6 +108,116 @@ def neighbour_column_multipliers(
     return multipliers
 
 
+@dataclass(frozen=True)
+class OutcomeSummary:
+    """Compact event-list form of a `SubarrayOutcome`.
+
+    A cell contributes a ColumnDisturb bitflip at refresh interval ``t``
+    exactly when ``cd_time <= t < retention_worst`` (§3.2 filtering), i.e.
+    during one half-open time interval per cell.  Keeping only the interval
+    *endpoints* of cells whose interval starts within ``horizon`` — sorted —
+    turns every count metric into two binary searches:
+
+        count(t) = #{starts <= t} - #{ends <= t}
+
+    Row-level metrics store the per-row unions of those cell intervals the
+    same way, and retention metrics (monotone in ``t``) store plain sorted
+    failure times.  The arrays are small (weak cells only), picklable, and
+    answer *any* interval ``<= horizon`` bit-identically to the full
+    per-cell masks — which makes this the unit the campaign engine ships
+    between processes and the outcome cache stores on disk.
+
+    Attributes:
+        rows: rows in the summarized subarray.
+        cells: cells in the summarized subarray.
+        horizon: largest queryable interval (seconds).
+        time_to_first: the subarray's time-to-first-bitflip metric.
+        cd_cell_starts / cd_cell_ends: sorted per-cell interval endpoints.
+        cd_row_starts / cd_row_ends: sorted per-row merged-union endpoints.
+        ret_cell_times: sorted per-cell nominal retention-failure times.
+        ret_row_times: sorted per-row first retention-failure times.
+    """
+
+    rows: int
+    cells: int
+    horizon: float
+    time_to_first: float
+    cd_cell_starts: np.ndarray
+    cd_cell_ends: np.ndarray
+    cd_row_starts: np.ndarray
+    cd_row_ends: np.ndarray
+    ret_cell_times: np.ndarray
+    ret_row_times: np.ndarray
+
+    def _check(self, interval: float) -> None:
+        if interval > self.horizon:
+            raise ValueError(
+                f"interval {interval} exceeds the summary horizon "
+                f"{self.horizon}; rebuild the summary with a larger horizon"
+            )
+
+    @staticmethod
+    def _count(starts: np.ndarray, ends: np.ndarray, interval: float) -> int:
+        inside = np.searchsorted(starts, interval, side="right")
+        left = np.searchsorted(ends, interval, side="right")
+        return int(inside - left)
+
+    def flip_count(self, interval: float) -> int:
+        """Number of ColumnDisturb bitflips after ``interval`` seconds."""
+        self._check(interval)
+        return self._count(self.cd_cell_starts, self.cd_cell_ends, interval)
+
+    def rows_with_flips(self, interval: float) -> int:
+        """Blast radius: rows with at least one ColumnDisturb bitflip."""
+        self._check(interval)
+        return self._count(self.cd_row_starts, self.cd_row_ends, interval)
+
+    def retention_flip_count(self, interval: float) -> int:
+        """Retention failures (nominal leakage) within ``interval``."""
+        self._check(interval)
+        return int(np.searchsorted(self.ret_cell_times, interval, side="right"))
+
+    def retention_rows_with_flips(self, interval: float) -> int:
+        """Rows with at least one retention failure within ``interval``."""
+        self._check(interval)
+        return int(np.searchsorted(self.ret_row_times, interval, side="right"))
+
+
+def _merged_row_intervals(
+    row_index: np.ndarray, starts: np.ndarray, ends: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge each row's half-open cell intervals into disjoint unions.
+
+    Returns the (unsorted) concatenated start/end endpoints of the merged
+    intervals across all rows.
+    """
+    if row_index.size == 0:
+        empty = np.empty(0, dtype=np.float64)
+        return empty, empty
+    order = np.lexsort((starts, row_index))
+    row_index = row_index[order]
+    starts = starts[order]
+    ends = ends[order]
+    out_starts: list[np.ndarray] = []
+    out_ends: list[np.ndarray] = []
+    boundaries = np.nonzero(np.diff(row_index))[0] + 1
+    for lo, hi in zip(
+        np.concatenate(([0], boundaries)),
+        np.concatenate((boundaries, [row_index.size])),
+    ):
+        group_starts = starts[lo:hi]
+        running_end = np.maximum.accumulate(ends[lo:hi])
+        # A merged interval begins wherever a cell interval starts after
+        # every earlier interval of the row has already ended.
+        new = np.empty(hi - lo, dtype=bool)
+        new[0] = True
+        new[1:] = group_starts[1:] > running_end[:-1]
+        first = np.nonzero(new)[0]
+        out_starts.append(group_starts[first])
+        out_ends.append(running_end[np.append(first[1:] - 1, hi - lo - 1)])
+    return np.concatenate(out_starts), np.concatenate(out_ends)
+
+
 @dataclass
 class SubarrayOutcome:
     """Per-cell analysis of one subarray under one test condition.
@@ -132,6 +241,52 @@ class SubarrayOutcome:
     retention_worst: np.ndarray
     victim_bits: np.ndarray
     included_rows: np.ndarray
+    _summary: OutcomeSummary | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def summarize(self, horizon: float = DEFAULT_SUMMARY_HORIZON) -> OutcomeSummary:
+        """Build (and memoize) the sorted-event summary of this outcome.
+
+        One O(cells) pass extracts the weak cells and one O(weak log weak)
+        sort orders their flip times; every interval metric afterwards is a
+        binary search.  Counts are bit-identical to the per-interval mask
+        implementations for any interval ``<= horizon``.
+        """
+        if self._summary is None or self._summary.horizon < horizon:
+            self._summary = self._build_summary(horizon)
+        return self._summary
+
+    def _build_summary(self, horizon: float) -> OutcomeSummary:
+        starts = self.cd_times
+        ends = self.retention_worst
+        # A cell whose retention-worst time precedes its ColumnDisturb time
+        # is filtered out at every interval; drop it from the event lists.
+        eligible = (starts <= horizon) & (starts < ends)
+        row_index, _ = np.nonzero(eligible)
+        cell_starts = starts[eligible]
+        cell_ends = ends[eligible]
+        row_starts, row_ends = _merged_row_intervals(
+            row_index, cell_starts, cell_ends
+        )
+        nominal = self.retention_nominal
+        row_first_retention = (
+            nominal.min(axis=1) if nominal.size else np.empty(0)
+        )
+        return OutcomeSummary(
+            rows=self.cd_times.shape[0],
+            cells=self.cd_times.size,
+            horizon=horizon,
+            time_to_first=self.time_to_first_flip(),
+            cd_cell_starts=np.sort(cell_starts),
+            cd_cell_ends=np.sort(cell_ends[cell_ends <= horizon]),
+            cd_row_starts=np.sort(row_starts),
+            cd_row_ends=np.sort(row_ends[row_ends <= horizon]),
+            ret_cell_times=np.sort(nominal[nominal <= horizon], axis=None),
+            ret_row_times=np.sort(
+                row_first_retention[row_first_retention <= horizon]
+            ),
+        )
 
     def _cd_flips(self, interval: float) -> np.ndarray:
         """Mask of ColumnDisturb bitflips at ``interval``, after filtering
@@ -144,6 +299,8 @@ class SubarrayOutcome:
         bitflip in the subarray (``inf`` if none within the 512 ms search
         window).  Retention-weak cells (worst-case VRT, 512 ms window) are
         excluded, as in the paper's filtering methodology."""
+        if self._summary is not None:
+            return self._summary.time_to_first
         eligible = self.retention_worst > SEARCH_INTERVAL
         times = np.where(eligible, self.cd_times, np.inf)
         first = float(times.min()) if times.size else float("inf")
@@ -151,6 +308,8 @@ class SubarrayOutcome:
 
     def flip_count(self, interval: float) -> int:
         """Number of ColumnDisturb bitflips after ``interval`` seconds."""
+        if self._summary is not None and interval <= self._summary.horizon:
+            return self._summary.flip_count(interval)
         return int(self._cd_flips(interval).sum())
 
     def raw_flip_count(self, interval: float) -> int:
@@ -171,6 +330,8 @@ class SubarrayOutcome:
 
     def rows_with_flips(self, interval: float) -> int:
         """Blast radius: rows with at least one ColumnDisturb bitflip."""
+        if self._summary is not None and interval <= self._summary.horizon:
+            return self._summary.rows_with_flips(interval)
         return int(self._cd_flips(interval).any(axis=1).sum())
 
     def per_row_flip_counts(self, interval: float) -> np.ndarray:
@@ -179,10 +340,14 @@ class SubarrayOutcome:
 
     def retention_flip_count(self, interval: float) -> int:
         """Retention failures (nominal leakage) within ``interval``."""
+        if self._summary is not None and interval <= self._summary.horizon:
+            return self._summary.retention_flip_count(interval)
         return int((self.retention_nominal <= interval).sum())
 
     def retention_rows_with_flips(self, interval: float) -> int:
         """Rows with at least one retention failure within ``interval``."""
+        if self._summary is not None and interval <= self._summary.horizon:
+            return self._summary.retention_rows_with_flips(interval)
         return int((self.retention_nominal <= interval).any(axis=1).sum())
 
     def per_row_retention_counts(self, interval: float) -> np.ndarray:
@@ -253,8 +418,8 @@ def disturb_outcome(
         cd_times = cd_times.copy()
         cd_times[lo:hi, :] = np.inf
 
-    retention_nominal, retention_worst = retention_time_arrays(
-        population, temperature
+    retention_nominal, retention_worst = population.retention_time_arrays(
+        temperature
     )
     retention_nominal = np.where(charged, retention_nominal, np.inf)
     retention_worst = np.where(charged, retention_worst, np.inf)
@@ -285,24 +450,16 @@ def retention_outcome(
     # the primary times and disabling the retention-exclusion filter.
     outcome.cd_times = outcome.retention_nominal
     outcome.retention_worst = np.full_like(outcome.retention_nominal, np.inf)
+    outcome._summary = None  # fields changed; drop any memoized events
     return outcome
 
 
 def retention_time_arrays(
     population: CellPopulation, temperature_c: float
 ) -> tuple[np.ndarray, np.ndarray]:
-    """(nominal, conservative-worst-VRT) per-cell retention times."""
-    profile = population.profile
-    cm_pre = profile.coupling_multiplier(V_PRECHARGE)
-    nominal_rates = total_leakage_rates(
-        population.lambda_int, population.kappa, cm_pre, profile, temperature_c
-    )
-    vrt_worst = float(np.exp(profile.vrt_sigma * _EXPECTED_MAX_Z_50))
-    worst_rates = total_leakage_rates(
-        population.lambda_int * np.float32(vrt_worst),
-        population.kappa,
-        cm_pre,
-        profile,
-        temperature_c,
-    )
-    return times_to_flip(nominal_rates), times_to_flip(worst_rates)
+    """(nominal, conservative-worst-VRT) per-cell retention times.
+
+    Memoized per (population, temperature) on the population itself — see
+    `CellPopulation.retention_time_arrays`.  Treat the result as read-only.
+    """
+    return population.retention_time_arrays(temperature_c)

@@ -1,0 +1,162 @@
+"""Content-addressed cache of characterization outcomes.
+
+The ~20 figure benches repeatedly characterize the same (module, config,
+temperature) conditions — often differing only in the refresh intervals they
+query.  Because an `OutcomeSummary` answers *any* interval up to its horizon,
+one cached summary per condition serves them all: the cache key addresses
+the *condition* (population identity, geometry, disturb config, role,
+guardband), never the intervals.
+
+Two tiers:
+
+* in-memory — a plain dict, always on; shares summaries within one process
+  (e.g. across figure benches in one pytest run);
+* on-disk (optional) — one ``.npz`` file per key under a user-chosen
+  directory, so repeated campaign runs skip recomputation entirely.
+
+Keys are content hashes over every input that determines the outcome,
+including a fingerprint of the die profile's calibrated parameters — a
+recalibrated catalog silently invalidates stale entries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.analytic import OutcomeSummary, SubarrayRole
+from repro.core.config import DisturbConfig
+from repro.physics.profile import DisturbanceProfile
+
+#: Bump when the summary layout or the outcome semantics change: old disk
+#: entries become unreachable instead of wrong.
+CACHE_FORMAT_VERSION = 1
+
+_ARRAY_FIELDS = (
+    "cd_cell_starts",
+    "cd_cell_ends",
+    "cd_row_starts",
+    "cd_row_ends",
+    "ret_cell_times",
+    "ret_row_times",
+)
+
+
+def outcome_cache_key(
+    population_key: tuple,
+    rows: int,
+    columns: int,
+    profile: DisturbanceProfile,
+    config: DisturbConfig,
+    role: SubarrayRole,
+    guardband: int,
+    aggressor_local_row: int | None,
+) -> str:
+    """Stable content hash of one characterization condition."""
+    fields = (
+        CACHE_FORMAT_VERSION,
+        tuple(population_key),
+        rows,
+        columns,
+        dataclasses.astuple(profile),
+        dataclasses.astuple(config),
+        role.value,
+        guardband,
+        aggressor_local_row,
+    )
+    return hashlib.sha256(repr(fields).encode()).hexdigest()
+
+
+class OutcomeCache:
+    """Two-tier (memory + optional disk) store of `OutcomeSummary` values.
+
+    Args:
+        directory: optional on-disk tier; created if missing.  ``None``
+            keeps the cache purely in-memory.
+    """
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        self._memory: dict[str, OutcomeSummary] = {}
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def get(self, key: str, min_horizon: float = 0.0) -> OutcomeSummary | None:
+        """Look up a summary able to answer intervals up to ``min_horizon``.
+
+        A stored summary with a smaller horizon is treated as a miss (and
+        replaced by the caller's subsequent `put`).
+        """
+        summary = self._memory.get(key)
+        if summary is None and self.directory is not None:
+            summary = self._load(key)
+            if summary is not None:
+                self._memory[key] = summary
+                self.disk_hits += 1
+        if summary is None or summary.horizon < min_horizon:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return summary
+
+    def put(self, key: str, summary: OutcomeSummary) -> None:
+        """Store a summary in memory (and on disk when configured)."""
+        self._memory[key] = summary
+        if self.directory is not None:
+            self._save(key, summary)
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Hit/miss counters (disk hits are also counted as hits)."""
+        return {
+            "entries": len(self._memory),
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+        }
+
+    # ------------------------------------------------------------------
+    # Disk tier
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.npz"
+
+    def _save(self, key: str, summary: OutcomeSummary) -> None:
+        arrays = {name: getattr(summary, name) for name in _ARRAY_FIELDS}
+        scalars = np.array(
+            [summary.rows, summary.cells, summary.horizon, summary.time_to_first],
+            dtype=np.float64,
+        )
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        with open(tmp, "wb") as handle:
+            np.savez(handle, scalars=scalars, **arrays)
+        os.replace(tmp, path)
+
+    def _load(self, key: str) -> OutcomeSummary | None:
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path) as data:
+                scalars = data["scalars"]
+                return OutcomeSummary(
+                    rows=int(scalars[0]),
+                    cells=int(scalars[1]),
+                    horizon=float(scalars[2]),
+                    time_to_first=float(scalars[3]),
+                    **{name: data[name] for name in _ARRAY_FIELDS},
+                )
+        except (OSError, KeyError, ValueError, IndexError):
+            # A truncated or foreign file is a miss, not an error.
+            return None

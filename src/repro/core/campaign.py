@@ -11,12 +11,16 @@ deterministic, so any scale is a strict subset of a larger one.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.chip.catalog import get_module
 from repro.chip.geometry import DEFAULT_BANK_GEOMETRY, BankGeometry
 from repro.chip.module import ModuleSpec, SimulatedModule
 from repro.core.analytic import SubarrayRole, disturb_outcome
-from repro.core.config import DisturbConfig
+from repro.core.config import SEARCH_INTERVAL, DisturbConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine -> campaign)
+    from repro.core.cache import OutcomeCache
 
 
 @dataclass(frozen=True)
@@ -107,10 +111,28 @@ class ModulePool:
 
 @dataclass
 class Campaign:
-    """Campaign driver bound to a scale and a (reusable) module pool."""
+    """Campaign driver bound to a scale and a (reusable) module pool.
+
+    ``workers`` / ``cache`` opt in to the parallel characterization engine
+    (`repro.core.engine`); the defaults keep the serial in-process path.
+    Either way the records are bit-identical — the engine re-derives the
+    same deterministic populations and computes the same metrics.
+    """
 
     scale: CampaignScale = STANDARD_SCALE
     pool: ModulePool = field(default_factory=ModulePool)
+    workers: int = 0
+    cache: "OutcomeCache | None" = None
+
+    def _delegate_to_engine(self) -> bool:
+        return self.workers > 1 or self.cache is not None
+
+    def _engine(self):
+        from repro.core.engine import CharacterizationEngine
+
+        return CharacterizationEngine(
+            scale=self.scale, workers=self.workers, cache=self.cache
+        )
 
     def characterize_module(
         self,
@@ -124,6 +146,9 @@ class Campaign:
         the *tested* subarray (at the configured location) and bitflips are
         recorded in that subarray.
         """
+        if self._delegate_to_engine():
+            return self._engine().characterize_module(serial, config,
+                                                      tuple(intervals))
         spec = get_module(serial)
         module = self.pool.get(serial, self.scale)
         records = []
@@ -146,6 +171,10 @@ class Campaign:
         intervals: tuple[float, ...] = (),
     ) -> list[SubarrayRecord]:
         """Run `characterize_module` over several modules."""
+        if self._delegate_to_engine():
+            return self._engine().characterize_modules(
+                tuple(serials), config, tuple(intervals)
+            )
         records = []
         for serial in serials:
             records.extend(self.characterize_module(serial, config, intervals))
@@ -173,6 +202,9 @@ class Campaign:
             role=SubarrayRole.AGGRESSOR,
             aggressor_local_row=aggressor_local,
         )
+        # One sorted-event sweep answers every requested interval (and the
+        # time-to-first metric) instead of one full-array mask per interval.
+        outcome.summarize(max((SEARCH_INTERVAL, *intervals)))
         return SubarrayRecord(
             serial=spec.serial,
             manufacturer=spec.manufacturer,

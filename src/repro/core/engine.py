@@ -1,0 +1,257 @@
+"""Parallel characterization engine: work units, sharding, and caching.
+
+`Campaign.characterize_modules` walks modules x chips x banks x subarrays
+serially.  This module decomposes that walk into self-describing
+:class:`WorkUnit` values — ``(serial, chip, bank, subarray, config,
+geometry)`` — and executes them on a ``ProcessPoolExecutor``.  Because cell
+populations are *deterministic functions of their key* (see
+`repro.chip.cells`), a worker re-derives its subarray's silicon locally from
+the unit alone: task payloads and results stay tiny (a unit plus an
+`OutcomeSummary` of weak-cell event times; no per-cell array ever crosses a
+process boundary).
+
+Determinism guarantee: the record list is assembled in plan order (serial ->
+chip -> bank -> subarray, exactly the serial loop's order) and each summary
+is a pure function of its unit, so results are bit-identical for any
+``workers`` count, with or without a cache, and identical to the serial
+`Campaign` path.
+
+Outcome caching: units are content-addressed (`repro.core.cache`), keyed on
+the *condition* rather than the queried intervals, so benches that share a
+condition — same module, same ``WORST_CASE`` config, different refresh
+intervals — compute each subarray outcome exactly once per run (memory
+tier) and, with ``cache=OutcomeCache(path)``, once across runs (disk tier).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from functools import partial
+
+from repro.chip.catalog import get_module
+from repro.chip.cells import CellPopulation
+from repro.chip.geometry import BankGeometry
+from repro.chip.module import ModuleSpec
+from repro.chip.timing import DDR4, HBM2, TimingParameters
+from repro.core.analytic import (
+    GUARDBAND_ROWS,
+    OutcomeSummary,
+    SubarrayRole,
+    disturb_outcome,
+)
+from repro.core.cache import OutcomeCache, outcome_cache_key
+from repro.core.campaign import (
+    STANDARD_SCALE,
+    CampaignScale,
+    SubarrayRecord,
+)
+from repro.core.config import SEARCH_INTERVAL, DisturbConfig
+
+#: Default event horizon of engine summaries; 8x the paper's longest tested
+#: refresh interval, so every figure bench hits the same cache entries.
+DEFAULT_ENGINE_HORIZON = 128.0
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One self-describing unit of campaign work: a (subarray, condition).
+
+    Every field is a small immutable value; the unit pickles in a few
+    hundred bytes and carries everything a worker needs to re-derive the
+    subarray's cell population deterministically.
+    """
+
+    serial: str
+    chip: int
+    bank: int
+    subarray: int
+    config: DisturbConfig
+    geometry: BankGeometry
+
+    @property
+    def population_key(self) -> tuple:
+        """The `CellPopulation` identity this unit characterizes."""
+        return (self.serial, self.chip, self.bank, self.subarray)
+
+    def aggressor_local_row(self) -> int:
+        """Aggressor row offset within the tested subarray."""
+        aggressor_row = self.config.aggressor_row(self.geometry, self.subarray)
+        return self.geometry.row_within_subarray(aggressor_row)
+
+    def cache_key(self, guardband: int = GUARDBAND_ROWS) -> str:
+        """Content hash addressing this unit's outcome in an `OutcomeCache`."""
+        spec = get_module(self.serial)
+        return outcome_cache_key(
+            self.population_key,
+            self.geometry.subarray_rows(self.subarray),
+            self.geometry.columns,
+            spec.profile,
+            self.config,
+            SubarrayRole.AGGRESSOR,
+            guardband,
+            self.aggressor_local_row(),
+        )
+
+
+def plan_units(
+    serials: tuple[str, ...],
+    config: DisturbConfig,
+    scale: CampaignScale,
+) -> list[WorkUnit]:
+    """Decompose a campaign into work units, in the serial loop's order."""
+    units = []
+    for serial in serials:
+        spec = get_module(serial)
+        for chip in range(min(scale.chips, spec.chips)):
+            for bank in range(scale.banks):
+                for subarray in scale.subarray_indices():
+                    units.append(
+                        WorkUnit(
+                            serial=serial,
+                            chip=chip,
+                            bank=bank,
+                            subarray=subarray,
+                            config=config,
+                            geometry=scale.geometry,
+                        )
+                    )
+    return units
+
+
+def _unit_timing(spec: ModuleSpec) -> TimingParameters:
+    return HBM2 if spec.interface == "HBM2" else DDR4
+
+
+def execute_unit(
+    unit: WorkUnit,
+    horizon: float = DEFAULT_ENGINE_HORIZON,
+    guardband: int = GUARDBAND_ROWS,
+) -> OutcomeSummary:
+    """Characterize one unit from scratch (the worker-side entry point).
+
+    Re-derives the subarray's cell population locally — populations are
+    deterministic in their key, so this is bit-identical to characterizing
+    through a `SimulatedModule` — and returns the compact event summary.
+    """
+    spec = get_module(unit.serial)
+    population = CellPopulation(
+        key=unit.population_key,
+        profile=spec.profile,
+        rows=unit.geometry.subarray_rows(unit.subarray),
+        columns=unit.geometry.columns,
+    )
+    outcome = disturb_outcome(
+        population,
+        unit.config,
+        timing=_unit_timing(spec),
+        role=SubarrayRole.AGGRESSOR,
+        aggressor_local_row=unit.aggressor_local_row(),
+        guardband=guardband,
+    )
+    return outcome.summarize(horizon)
+
+
+def record_from_summary(
+    unit: WorkUnit,
+    summary: OutcomeSummary,
+    intervals: tuple[float, ...],
+) -> SubarrayRecord:
+    """Assemble the campaign record for one unit from its summary."""
+    spec = get_module(unit.serial)
+    return SubarrayRecord(
+        serial=spec.serial,
+        manufacturer=spec.manufacturer,
+        die_label=spec.die_label,
+        chip=unit.chip,
+        bank=unit.bank,
+        subarray=unit.subarray,
+        rows=summary.rows,
+        cells=summary.cells,
+        time_to_first=summary.time_to_first,
+        cd_flips={t: summary.flip_count(t) for t in intervals},
+        cd_rows={t: summary.rows_with_flips(t) for t in intervals},
+        ret_flips={t: summary.retention_flip_count(t) for t in intervals},
+        ret_rows={t: summary.retention_rows_with_flips(t) for t in intervals},
+    )
+
+
+@dataclass
+class CharacterizationEngine:
+    """Campaign executor with process-level parallelism and outcome caching.
+
+    Attributes:
+        scale: how much silicon to instantiate per module (shared with
+            `Campaign`).
+        workers: worker processes; ``0``/``1`` run in-process (serial).
+        cache: optional `OutcomeCache`; hits skip computation entirely.
+        horizon: event horizon of computed summaries — any interval up to
+            this is answerable from cache without recomputation.
+    """
+
+    scale: CampaignScale = STANDARD_SCALE
+    workers: int = 0
+    cache: OutcomeCache | None = None
+    horizon: float = DEFAULT_ENGINE_HORIZON
+    guardband: int = GUARDBAND_ROWS
+
+    def characterize_module(
+        self,
+        serial: str,
+        config: DisturbConfig,
+        intervals: tuple[float, ...] = (),
+    ) -> list[SubarrayRecord]:
+        """Engine equivalent of `Campaign.characterize_module`."""
+        return self.characterize_modules((serial,), config, intervals)
+
+    def characterize_modules(
+        self,
+        serials: tuple[str, ...],
+        config: DisturbConfig,
+        intervals: tuple[float, ...] = (),
+    ) -> list[SubarrayRecord]:
+        """Characterize every in-scale subarray of ``serials``.
+
+        Records come back in plan order and are bit-identical to the serial
+        `Campaign` path for any ``workers``/``cache`` setting.
+        """
+        units = plan_units(tuple(serials), config, self.scale)
+        horizon = max((self.horizon, SEARCH_INTERVAL, *intervals))
+        summaries = self._summaries(units, horizon)
+        return [
+            record_from_summary(unit, summary, tuple(intervals))
+            for unit, summary in zip(units, summaries)
+        ]
+
+    def _summaries(
+        self, units: list[WorkUnit], horizon: float
+    ) -> list[OutcomeSummary]:
+        summaries: list[OutcomeSummary | None] = [None] * len(units)
+        keys: list[str | None] = [None] * len(units)
+        if self.cache is not None:
+            for i, unit in enumerate(units):
+                keys[i] = unit.cache_key(self.guardband)
+                summaries[i] = self.cache.get(keys[i], min_horizon=horizon)
+        pending = [i for i, summary in enumerate(summaries) if summary is None]
+        for i, summary in zip(pending, self._compute(units, pending, horizon)):
+            summaries[i] = summary
+            if self.cache is not None:
+                self.cache.put(keys[i], summary)
+        return summaries
+
+    def _compute(self, units, pending, horizon):
+        """Yield summaries for ``pending`` unit indices, in that order."""
+        compute = partial(
+            execute_unit, horizon=horizon, guardband=self.guardband
+        )
+        todo = [units[i] for i in pending]
+        if self.workers <= 1 or len(todo) <= 1:
+            yield from map(compute, todo)
+            return
+        workers = min(self.workers, len(todo))
+        # Deterministic sharding: executor.map hands out contiguous chunks
+        # and yields results in submission order, so completion timing never
+        # reorders records.
+        chunksize = max(1, len(todo) // (workers * 4))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            yield from pool.map(compute, todo, chunksize=chunksize)

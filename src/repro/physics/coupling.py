@@ -98,6 +98,9 @@ def time_to_first_flip(rates: np.ndarray) -> float:
 
 
 def times_to_flip(rates: np.ndarray) -> np.ndarray:
-    """Per-cell time-to-flip (seconds; inf where the rate is zero)."""
+    """Per-cell time-to-flip (seconds; inf where the rate is not positive)."""
+    rates = np.asarray(rates)
+    out = np.full(rates.shape, np.inf, dtype=np.result_type(rates, np.float64))
     with np.errstate(divide="ignore"):
-        return np.where(rates > 0, Q_CRIT / np.maximum(rates, 1e-300), np.inf)
+        np.divide(Q_CRIT, rates, out=out, where=rates > 0)
+    return out

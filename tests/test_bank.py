@@ -189,3 +189,35 @@ def test_temperature_accelerates_decay(bank):
     cold_flips = int((bank.read_subarray(0) == 0).sum())
     hot_flips = int((hot_bank.read_subarray(0) == 0).sum())
     assert hot_flips > cold_flips
+
+
+def test_checkpoint_pruning_bounds_memory(bank):
+    """Refresh-heavy runs must not accumulate dead exposure checkpoints."""
+    bank.fill(0xFF)
+    aggressor = bank.geometry.middle_row(1)
+    for _ in range(10):
+        bank.hammer(aggressor, 1)
+        bank.refresh_all()
+    for subarray in range(bank.geometry.subarrays):
+        live = np.unique(
+            bank._extra_ckpt_id[bank.geometry.row_range(subarray)]
+        )
+        checkpoints = bank._extra_checkpoints[subarray]
+        assert set(checkpoints) == set(live.tolist())
+        assert len(checkpoints) == 1
+
+
+def test_checkpoint_pruning_keeps_live_versions(bank):
+    """A partially refreshed subarray keeps every still-referenced version."""
+    bank.fill(0xFF)
+    aggressor = bank.geometry.middle_row(1)
+    bank.hammer(aggressor, 100)
+    rows = bank.geometry.row_range(2)
+    half = range(rows.start, rows.start + len(rows) // 2)
+    bank.refresh_rows(half)
+    live = set(np.unique(bank._extra_ckpt_id[rows]).tolist())
+    assert len(live) == 2  # refreshed half + untouched half
+    assert set(bank._extra_checkpoints[2]) == live
+    bank.read_subarray(2)  # both checkpoints still evaluate
+    bank.refresh_all()
+    assert len(bank._extra_checkpoints[2]) == 1

@@ -62,3 +62,23 @@ def test_vrt_trials_distinct_but_reproducible():
 def test_validation():
     with pytest.raises(ValueError):
         make_population(rows=0)
+
+
+def test_retention_time_arrays_memoized_per_temperature():
+    population = make_population()
+    nominal, worst = population.retention_time_arrays(85.0)
+    again = population.retention_time_arrays(85.0)
+    assert again[0] is nominal and again[1] is worst  # cached, not recomputed
+    cooler = population.retention_time_arrays(45.0)
+    assert cooler[0] is not nominal
+    assert (cooler[0] >= nominal).all()  # cooler silicon retains longer
+    assert (worst <= nominal).all()  # conservative VRT can only shorten
+
+
+def test_retention_time_arrays_match_module_level_helper():
+    from repro.core import retention_time_arrays
+
+    population = make_population()
+    nominal, worst = retention_time_arrays(population, 85.0)
+    direct = population.retention_time_arrays(85.0)
+    assert nominal is direct[0] and worst is direct[1]
