@@ -30,6 +30,7 @@ from repro.core import (
     CampaignScale,
     CharacterizationEngine,
     OutcomeCache,
+    RunTrace,
     SubarrayRole,
     WORST_CASE,
     disturb_outcome,
@@ -212,6 +213,7 @@ def run_engine_suite(
     workers: int = 4,
     cache_dir: str | None = None,
     write_json: bool = True,
+    trace_path: str | None = None,
 ) -> dict:
     """Time the engine's three execution paths over the DDR4 catalog.
 
@@ -221,11 +223,16 @@ def run_engine_suite(
     produce identical records, then reports timings and speedups as a
     machine-readable dict (written to ``BENCH_engine.json`` at the repo
     root and under ``benchmarks/results/`` unless ``write_json=False``).
+
+    ``trace_path`` (or ``REPRO_BENCH_TRACE``) streams per-unit JSONL
+    telemetry from the parallel and warm passes and adds the aggregate
+    summary to the result dict.
     """
     if serials is None:
         serials = tuple(spec.serial for spec in ddr4_modules())
     scale = scale or STANDARD_SCALE
     units = len(plan_units(serials, WORST_CASE, scale))
+    trace = RunTrace(trace_path) if trace_path else None
 
     serial_engine = CharacterizationEngine(scale=scale, workers=0)
     start = time.perf_counter()
@@ -236,7 +243,7 @@ def run_engine_suite(
 
     cache = OutcomeCache(cache_dir)
     parallel_engine = CharacterizationEngine(
-        scale=scale, workers=workers, cache=cache
+        scale=scale, workers=workers, cache=cache, trace=trace
     )
     start = time.perf_counter()
     parallel_records = parallel_engine.characterize_modules(
@@ -249,6 +256,8 @@ def run_engine_suite(
         serials, WORST_CASE, intervals
     )
     warm_s = time.perf_counter() - start
+    if trace is not None:
+        trace.close()
 
     assert parallel_records == serial_records, "parallel records diverged"
     assert warm_records == serial_records, "warm-cache records diverged"
@@ -276,6 +285,8 @@ def run_engine_suite(
         "parity": True,
         "cache": cache.stats,
     }
+    if trace is not None:
+        result["trace"] = trace.summary()
     if write_json:
         payload = json.dumps(result, indent=2) + "\n"
         (_REPO_ROOT / "BENCH_engine.json").write_text(payload)
@@ -293,7 +304,9 @@ def test_perf_engine_full_catalog(benchmark):
 
 
 def main() -> None:
-    result = run_engine_suite()
+    result = run_engine_suite(
+        trace_path=os.environ.get("REPRO_BENCH_TRACE") or None
+    )
     print(json.dumps(result, indent=2))
 
 

@@ -90,7 +90,7 @@ def _cmd_risk(args: argparse.Namespace) -> str:
 
 
 def _cmd_characterize(args: argparse.Namespace) -> str:
-    from repro.core import OutcomeCache
+    from repro.core import OutcomeCache, RunTrace
 
     scale = CampaignScale(
         BankGeometry(
@@ -98,22 +98,34 @@ def _cmd_characterize(args: argparse.Namespace) -> str:
             columns=args.columns,
         )
     )
+    trace = RunTrace(args.trace) if args.trace else None
     campaign = Campaign(
         scale=scale,
         workers=args.workers,
         cache=OutcomeCache(args.cache) if args.cache else None,
+        retries=args.retries,
+        timeout=args.timeout,
+        failure_policy=args.failure_policy,
+        trace=trace,
     )
-    records = campaign.characterize_module(
-        args.serial, WORST_CASE, intervals=(0.512, 16.0)
-    )
+    try:
+        records = campaign.characterize_module(
+            args.serial, WORST_CASE, intervals=(0.512, 16.0)
+        )
+    finally:
+        if trace is not None:
+            trace.close()
+    measured = [r for r in records if r.status == "ok"]
     summary = DistributionSummary.from_values(
-        [r.time_to_first for r in records]
+        [r.time_to_first for r in measured]
     )
     rows = [
         [
             r.subarray, seconds(r.time_to_first), r.cd_flips[0.512],
             r.cd_rows[0.512], r.cd_flips[16.0], r.ret_flips[16.0],
         ]
+        if r.status == "ok"
+        else [r.subarray, "SKIPPED", "-", "-", "-", "-"]
         for r in records
     ]
     body = table(
@@ -127,6 +139,11 @@ def _cmd_characterize(args: argparse.Namespace) -> str:
         if summary.count
         else "\nno bitflips within the 512 ms search window"
     )
+    skipped = len(records) - len(measured)
+    if skipped:
+        footer += f"\nWARNING: {skipped} subarray(s) skipped after failures"
+    if trace is not None:
+        footer += "\n\n" + trace.summary_table()
     return body + footer
 
 
@@ -216,6 +233,24 @@ def build_parser() -> argparse.ArgumentParser:
     character.add_argument(
         "--cache", default=None, metavar="DIR",
         help="on-disk outcome cache directory (reused across runs)",
+    )
+    character.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write per-unit run telemetry as JSONL and print a summary",
+    )
+    character.add_argument(
+        "--retries", type=int, default=0,
+        help="extra attempts per unit after a failed execution",
+    )
+    character.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-unit wall-clock limit (parallel workers only)",
+    )
+    character.add_argument(
+        "--failure-policy", choices=("raise", "skip-with-record"),
+        default="raise",
+        help="abort the campaign on an exhausted unit, or complete it "
+             "with an explicit skipped record in that unit's slot",
     )
 
     mitigations = sub.add_parser(

@@ -32,11 +32,14 @@ from repro.core.campaign import (
 from repro.core.engine import (
     DEFAULT_ENGINE_HORIZON,
     CharacterizationEngine,
+    FailurePolicy,
+    UnitExecutionError,
     WorkUnit,
     execute_unit,
     plan_units,
     record_from_summary,
 )
+from repro.core.telemetry import RunTrace, UnitTrace, load_trace
 from repro.core.config import (
     AGGRESSOR_LOCATIONS,
     REFRESH_INTERVALS_LONG,
@@ -78,6 +81,11 @@ __all__ = [
     "execute_unit",
     "plan_units",
     "record_from_summary",
+    "FailurePolicy",
+    "UnitExecutionError",
+    "RunTrace",
+    "UnitTrace",
+    "load_trace",
     "aggressor_column_multipliers",
     "disturb_outcome",
     "neighbour_column_multipliers",

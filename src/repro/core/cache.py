@@ -9,10 +9,17 @@ guardband), never the intervals.
 
 Two tiers:
 
-* in-memory — a plain dict, always on; shares summaries within one process
-  (e.g. across figure benches in one pytest run);
+* in-memory — always on; shares summaries within one process (e.g. across
+  figure benches in one pytest run).  Optionally LRU-bounded
+  (``max_memory_entries``) so multi-day campaigns cannot grow without limit;
 * on-disk (optional) — one ``.npz`` file per key under a user-chosen
   directory, so repeated campaign runs skip recomputation entirely.
+
+The disk tier is crash-safe: writes go to a unique temp file that is
+fsync'd before an atomic ``os.replace`` (a torn write can never surface as
+a valid-looking entry), stale temp files orphaned by a killed process are
+swept on ``__init__``, and a corrupt/truncated entry is quarantined (renamed
+to ``<key>.bad``) on first read instead of silently re-missing every run.
 
 Keys are content hashes over every input that determines the outcome,
 including a fingerprint of the die profile's calibrated parameters — a
@@ -23,7 +30,11 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import itertools
 import os
+import time
+import zipfile
+from collections import OrderedDict
 from pathlib import Path
 
 import numpy as np
@@ -36,6 +47,10 @@ from repro.physics.profile import DisturbanceProfile
 #: entries become unreachable instead of wrong.
 CACHE_FORMAT_VERSION = 1
 
+#: Temp files older than this are presumed orphaned by a dead process and
+#: swept on init; younger ones may belong to a live concurrent writer.
+TMP_SWEEP_AGE_S = 600.0
+
 _ARRAY_FIELDS = (
     "cd_cell_starts",
     "cd_cell_ends",
@@ -44,6 +59,14 @@ _ARRAY_FIELDS = (
     "ret_cell_times",
     "ret_row_times",
 )
+
+#: Everything np.load can raise on a truncated, torn, or foreign file.
+_CORRUPT_ENTRY_ERRORS = (
+    OSError, EOFError, KeyError, ValueError, IndexError, zipfile.BadZipFile,
+)
+
+#: Disambiguates temp files written by threads sharing one pid.
+_TMP_SEQUENCE = itertools.count()
 
 
 def outcome_cache_key(
@@ -77,53 +100,97 @@ class OutcomeCache:
     Args:
         directory: optional on-disk tier; created if missing.  ``None``
             keeps the cache purely in-memory.
+        max_memory_entries: optional LRU bound on the memory tier; the
+            least recently used entry is evicted past this size (the disk
+            tier, when configured, still holds every entry).
+        tmp_sweep_age_s: age threshold for the init-time sweep of orphaned
+            ``*.tmp*`` files left behind by crashed writers.
     """
 
-    def __init__(self, directory: str | Path | None = None) -> None:
-        self._memory: dict[str, OutcomeSummary] = {}
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        max_memory_entries: int | None = None,
+        tmp_sweep_age_s: float = TMP_SWEEP_AGE_S,
+    ) -> None:
+        self._memory: OrderedDict[str, OutcomeSummary] = OrderedDict()
+        self.max_memory_entries = max_memory_entries
         self.directory = Path(directory) if directory is not None else None
-        if self.directory is not None:
-            self.directory.mkdir(parents=True, exist_ok=True)
+        self.lookups = 0
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
+        self.quarantined = 0
+        self.evictions = 0
+        self.swept_tmp = 0
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._sweep_tmp(tmp_sweep_age_s)
 
     def __len__(self) -> int:
         return len(self._memory)
 
-    def get(self, key: str, min_horizon: float = 0.0) -> OutcomeSummary | None:
-        """Look up a summary able to answer intervals up to ``min_horizon``.
+    def lookup(
+        self, key: str, min_horizon: float = 0.0
+    ) -> tuple[OutcomeSummary | None, str]:
+        """Look up ``key`` and report which tier answered.
 
-        A stored summary with a smaller horizon is treated as a miss (and
-        replaced by the caller's subsequent `put`).
+        Returns ``(summary, tier)`` with tier one of ``"memory"``,
+        ``"disk"``, or ``"miss"``.  A stored summary whose horizon cannot
+        answer ``min_horizon`` is a miss — it is *not* promoted between
+        tiers, and the caller's subsequent `put` replaces it.
         """
+        self.lookups += 1
         summary = self._memory.get(key)
-        if summary is None and self.directory is not None:
-            summary = self._load(key)
-            if summary is not None:
-                self._memory[key] = summary
+        if summary is not None and summary.horizon >= min_horizon:
+            self._memory.move_to_end(key)
+            self.hits += 1
+            return summary, "memory"
+        if self.directory is not None:
+            loaded = self._load(key)
+            if loaded is not None and loaded.horizon >= min_horizon:
+                self._remember(key, loaded)
                 self.disk_hits += 1
-        if summary is None or summary.horizon < min_horizon:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return summary
+                self.hits += 1
+                return loaded, "disk"
+        self.misses += 1
+        return None, "miss"
+
+    def get(self, key: str, min_horizon: float = 0.0) -> OutcomeSummary | None:
+        """Look up a summary able to answer intervals up to ``min_horizon``."""
+        return self.lookup(key, min_horizon)[0]
 
     def put(self, key: str, summary: OutcomeSummary) -> None:
         """Store a summary in memory (and on disk when configured)."""
-        self._memory[key] = summary
+        self._remember(key, summary)
         if self.directory is not None:
             self._save(key, summary)
 
     @property
     def stats(self) -> dict[str, int]:
-        """Hit/miss counters (disk hits are also counted as hits)."""
+        """Mutually consistent counters: ``hits + misses == lookups``;
+        ``disk_hits`` is the subset of ``hits`` answered from disk."""
         return {
             "entries": len(self._memory),
+            "lookups": self.lookups,
             "hits": self.hits,
             "misses": self.misses,
             "disk_hits": self.disk_hits,
+            "quarantined": self.quarantined,
+            "evictions": self.evictions,
+            "swept_tmp": self.swept_tmp,
         }
+
+    # ------------------------------------------------------------------
+    # Memory tier
+    # ------------------------------------------------------------------
+    def _remember(self, key: str, summary: OutcomeSummary) -> None:
+        self._memory[key] = summary
+        self._memory.move_to_end(key)
+        if self.max_memory_entries is not None:
+            while len(self._memory) > self.max_memory_entries:
+                self._memory.popitem(last=False)
+                self.evictions += 1
 
     # ------------------------------------------------------------------
     # Disk tier
@@ -138,9 +205,13 @@ class OutcomeCache:
             dtype=np.float64,
         )
         path = self._path(key)
-        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        tmp = path.parent / (
+            f"{path.name}.tmp{os.getpid()}-{next(_TMP_SEQUENCE)}"
+        )
         with open(tmp, "wb") as handle:
             np.savez(handle, scalars=scalars, **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
 
     def _load(self, key: str) -> OutcomeSummary | None:
@@ -157,6 +228,27 @@ class OutcomeCache:
                     time_to_first=float(scalars[3]),
                     **{name: data[name] for name in _ARRAY_FIELDS},
                 )
-        except (OSError, KeyError, ValueError, IndexError):
-            # A truncated or foreign file is a miss, not an error.
+        except _CORRUPT_ENTRY_ERRORS:
+            self._quarantine(path)
             return None
+
+    def _quarantine(self, path: Path) -> None:
+        """Rename a corrupt entry to ``<key>.bad`` so the next run misses
+        cleanly (and the evidence survives for inspection)."""
+        try:
+            os.replace(path, path.with_suffix(".bad"))
+            self.quarantined += 1
+        except OSError:
+            # Lost a race with another reader/writer: nothing to keep.
+            pass
+
+    def _sweep_tmp(self, age_s: float) -> None:
+        now = time.time()
+        for orphan in self.directory.glob("*.tmp*"):
+            try:
+                if now - orphan.stat().st_mtime >= age_s:
+                    orphan.unlink()
+                    self.swept_tmp += 1
+            except OSError:
+                # Concurrent sweep or a live writer finishing: fine.
+                pass

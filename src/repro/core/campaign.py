@@ -21,6 +21,7 @@ from repro.core.config import SEARCH_INTERVAL, DisturbConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine -> campaign)
     from repro.core.cache import OutcomeCache
+    from repro.core.telemetry import RunTrace
 
 
 @dataclass(frozen=True)
@@ -65,6 +66,11 @@ class SubarrayRecord:
     ``cd_*`` metrics are ColumnDisturb results with the paper's filtering
     applied (retention-weak cells and the RowHammer guardband excluded);
     ``ret_*`` are idle-bank retention results on the same cells.
+
+    ``status`` is ``"ok"`` for a measured subarray.  Under the engine's
+    ``skip-with-record`` failure policy, a unit that exhausted its retry
+    budget yields a ``"skipped"`` record (empty metric maps) in its plan
+    slot — an explicit hole rather than a silent one.
     """
 
     serial: str
@@ -80,6 +86,7 @@ class SubarrayRecord:
     cd_rows: dict[float, int]
     ret_flips: dict[float, int]
     ret_rows: dict[float, int]
+    status: str = "ok"
 
     def cd_fraction(self, interval: float) -> float:
         """Fraction of the subarray's cells with ColumnDisturb flips."""
@@ -114,24 +121,43 @@ class Campaign:
     """Campaign driver bound to a scale and a (reusable) module pool.
 
     ``workers`` / ``cache`` opt in to the parallel characterization engine
-    (`repro.core.engine`); the defaults keep the serial in-process path.
-    Either way the records are bit-identical — the engine re-derives the
-    same deterministic populations and computes the same metrics.
+    (`repro.core.engine`), as does any of the robustness/telemetry knobs
+    (``retries``, ``timeout``, ``failure_policy``, ``trace``); the defaults
+    keep the serial in-process path.  Either way the records are
+    bit-identical — the engine re-derives the same deterministic
+    populations and computes the same metrics.
     """
 
     scale: CampaignScale = STANDARD_SCALE
     pool: ModulePool = field(default_factory=ModulePool)
     workers: int = 0
     cache: "OutcomeCache | None" = None
+    retries: int = 0
+    timeout: float | None = None
+    failure_policy: str = "raise"
+    trace: "RunTrace | None" = None
 
     def _delegate_to_engine(self) -> bool:
-        return self.workers > 1 or self.cache is not None
+        return (
+            self.workers > 1
+            or self.cache is not None
+            or self.trace is not None
+            or self.retries > 0
+            or self.timeout is not None
+            or self.failure_policy != "raise"
+        )
 
     def _engine(self):
         from repro.core.engine import CharacterizationEngine
 
         return CharacterizationEngine(
-            scale=self.scale, workers=self.workers, cache=self.cache
+            scale=self.scale,
+            workers=self.workers,
+            cache=self.cache,
+            retries=self.retries,
+            timeout=self.timeout,
+            failure_policy=self.failure_policy,
+            trace=self.trace,
         )
 
     def characterize_module(

@@ -13,8 +13,22 @@ process boundary).
 Determinism guarantee: the record list is assembled in plan order (serial ->
 chip -> bank -> subarray, exactly the serial loop's order) and each summary
 is a pure function of its unit, so results are bit-identical for any
-``workers`` count, with or without a cache, and identical to the serial
-`Campaign` path.
+``workers`` count, with or without a cache, and for any retry/timeout
+setting, and identical to the serial `Campaign` path.
+
+Fault tolerance: per-unit execution is wrapped with configurable retries
+(exponential backoff) and an optional per-unit timeout.  A worker that dies
+(``BrokenProcessPool``) triggers one automatic pool respawn; a second pool
+failure degrades gracefully to in-process serial execution, where each unit
+still gets its own retry budget.  When a unit exhausts its attempts, the
+:class:`FailurePolicy` decides: ``raise`` aborts the campaign with a
+:class:`UnitExecutionError`, ``skip-with-record`` completes the campaign
+with an explicit ``status="skipped"`` record in the unit's plan slot —
+never a silent hole.
+
+Telemetry: pass ``trace=RunTrace(...)`` (`repro.core.telemetry`) to record
+per-unit wall time, retry counts, cache tier, and worker pid, streamed as
+JSONL while the campaign runs.
 
 Outcome caching: units are content-addressed (`repro.core.cache`), keyed on
 the *condition* rather than the queried intervals, so benches that share a
@@ -25,8 +39,12 @@ tier) and, with ``cache=OutcomeCache(path)``, once across runs (disk tier).
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+import json
+import os
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from enum import Enum
 from functools import partial
 
 from repro.chip.catalog import get_module
@@ -47,10 +65,34 @@ from repro.core.campaign import (
     SubarrayRecord,
 )
 from repro.core.config import SEARCH_INTERVAL, DisturbConfig
+from repro.core.telemetry import RunTrace, UnitTrace
 
 #: Default event horizon of engine summaries; 8x the paper's longest tested
 #: refresh interval, so every figure bench hits the same cache entries.
 DEFAULT_ENGINE_HORIZON = 128.0
+
+#: Exponential backoff never sleeps longer than this between attempts.
+MAX_BACKOFF_S = 2.0
+
+
+class FailurePolicy(str, Enum):
+    """What a campaign does when a unit exhausts its retry budget."""
+
+    RAISE = "raise"
+    SKIP = "skip-with-record"
+
+
+class UnitExecutionError(RuntimeError):
+    """A work unit failed every attempt under ``FailurePolicy.RAISE``."""
+
+    def __init__(self, unit: "WorkUnit", attempts: int, error: str | None):
+        self.unit = unit
+        self.attempts = attempts
+        self.error = error
+        super().__init__(
+            f"unit {unit.population_key} failed after {attempts} "
+            f"attempt(s): {error or 'unknown error'}"
+        )
 
 
 @dataclass(frozen=True)
@@ -79,9 +121,12 @@ class WorkUnit:
         aggressor_row = self.config.aggressor_row(self.geometry, self.subarray)
         return self.geometry.row_within_subarray(aggressor_row)
 
-    def cache_key(self, guardband: int = GUARDBAND_ROWS) -> str:
+    def cache_key(
+        self, guardband: int = GUARDBAND_ROWS, spec: ModuleSpec | None = None
+    ) -> str:
         """Content hash addressing this unit's outcome in an `OutcomeCache`."""
-        spec = get_module(self.serial)
+        if spec is None:
+            spec = get_module(self.serial)
         return outcome_cache_key(
             self.population_key,
             self.geometry.subarray_rows(self.subarray),
@@ -152,13 +197,131 @@ def execute_unit(
     return outcome.summarize(horizon)
 
 
+# ---------------------------------------------------------------------------
+# Deterministic fault injection (test-only, env-driven)
+# ---------------------------------------------------------------------------
+
+#: JSON fault spec consumed by `_maybe_inject_fault`, e.g.
+#: ``{"mode": "crash", "subarray": 1, "times": 1, "dir": "/tmp/faults"}``.
+#: ``mode`` is ``crash`` (worker dies via ``os._exit``), ``poison`` (worker
+#: raises), or ``hang`` (worker sleeps past any sane timeout).  ``times``
+#: limits how many attempts fault (claimed atomically via files in ``dir``,
+#: so the count is shared across worker processes); ``subarray`` selects
+#: the victim units.  Unset (the default) costs one dict lookup per unit.
+FAULT_ENV = "REPRO_ENGINE_FAULT"
+
+#: Set by the pool initializer: crash faults only ever ``os._exit`` inside
+#: a sacrificial worker process, never the campaign's own process.
+_IN_POOL_WORKER = False
+
+
+def _mark_pool_worker() -> None:
+    global _IN_POOL_WORKER
+    _IN_POOL_WORKER = True
+
+
+def _maybe_inject_fault(unit: WorkUnit) -> None:
+    raw = os.environ.get(FAULT_ENV)
+    if not raw:
+        return
+    spec = json.loads(raw)
+    if unit.subarray != spec.get("subarray", 0):
+        return
+    times = spec.get("times", 1)
+    token = "-".join(str(part) for part in unit.population_key)
+    fault_dir = spec["dir"]
+    for attempt in range(times + 1):
+        try:
+            fd = os.open(
+                os.path.join(fault_dir, f"{token}.{attempt}"),
+                os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+            )
+        except FileExistsError:
+            continue
+        os.close(fd)
+        if attempt >= times:
+            return  # fault budget spent: execute normally
+        break
+    else:
+        return
+    mode = spec["mode"]
+    if mode == "crash":
+        if _IN_POOL_WORKER:
+            os._exit(17)
+        raise RuntimeError("injected crash fault (in-process)")
+    if mode == "hang":
+        if _IN_POOL_WORKER:
+            time.sleep(spec.get("hang_s", 3600.0))
+        raise RuntimeError("injected hang fault (in-process)")
+    raise RuntimeError("injected poison fault")
+
+
+def _worker_run(
+    unit: WorkUnit, horizon: float, guardband: int
+) -> tuple[OutcomeSummary, int, float]:
+    """Pool/in-process execution wrapper: returns (summary, pid, wall_s)."""
+    _maybe_inject_fault(unit)
+    start = time.perf_counter()
+    summary = execute_unit(unit, horizon=horizon, guardband=guardband)
+    return summary, os.getpid(), time.perf_counter() - start
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear down a broken or hung pool without waiting on its workers."""
+    procs = getattr(pool, "_processes", None)
+    processes = list(procs.values()) if procs else []
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+    for process in processes:
+        process.join(timeout=5.0)
+
+
+@dataclass
+class _ExecResult:
+    """Outcome of executing one pending unit (``summary is None`` =>
+    skipped under ``FailurePolicy.SKIP``)."""
+
+    summary: OutcomeSummary | None
+    attempts: int
+    wall: float
+    worker: int | None
+    error: str | None
+
+
 def record_from_summary(
     unit: WorkUnit,
-    summary: OutcomeSummary,
+    summary: OutcomeSummary | None,
     intervals: tuple[float, ...],
+    spec: ModuleSpec | None = None,
 ) -> SubarrayRecord:
-    """Assemble the campaign record for one unit from its summary."""
-    spec = get_module(unit.serial)
+    """Assemble the campaign record for one unit from its summary.
+
+    ``summary=None`` produces an explicit hole — a ``status="skipped"``
+    record with empty metric maps — for units abandoned under
+    ``FailurePolicy.SKIP``.
+    """
+    if spec is None:
+        spec = get_module(unit.serial)
+    if summary is None:
+        rows = unit.geometry.subarray_rows(unit.subarray)
+        return SubarrayRecord(
+            serial=spec.serial,
+            manufacturer=spec.manufacturer,
+            die_label=spec.die_label,
+            chip=unit.chip,
+            bank=unit.bank,
+            subarray=unit.subarray,
+            rows=rows,
+            cells=rows * unit.geometry.columns,
+            time_to_first=float("inf"),
+            cd_flips={},
+            cd_rows={},
+            ret_flips={},
+            ret_rows={},
+            status="skipped",
+        )
     return SubarrayRecord(
         serial=spec.serial,
         manufacturer=spec.manufacturer,
@@ -178,7 +341,8 @@ def record_from_summary(
 
 @dataclass
 class CharacterizationEngine:
-    """Campaign executor with process-level parallelism and outcome caching.
+    """Campaign executor with process-level parallelism, outcome caching,
+    fault tolerance, and structured run telemetry.
 
     Attributes:
         scale: how much silicon to instantiate per module (shared with
@@ -187,6 +351,17 @@ class CharacterizationEngine:
         cache: optional `OutcomeCache`; hits skip computation entirely.
         horizon: event horizon of computed summaries — any interval up to
             this is answerable from cache without recomputation.
+        retries: extra attempts per unit after a failed first execution.
+        retry_backoff: base of the exponential backoff between attempts
+            (``backoff * 2**(failures - 1)`` seconds, capped).
+        timeout: optional per-unit wall-clock limit (pool execution only —
+            the in-process path cannot preempt a hung computation).  A
+            timed-out worker is killed with its pool; the pool is
+            respawned and the unit's attempt is charged.
+        failure_policy: ``raise`` (default) aborts the campaign on an
+            exhausted unit; ``skip-with-record`` completes it with an
+            explicit ``status="skipped"`` record in the unit's slot.
+        trace: optional `RunTrace` receiving one `UnitTrace` per unit.
     """
 
     scale: CampaignScale = STANDARD_SCALE
@@ -194,6 +369,16 @@ class CharacterizationEngine:
     cache: OutcomeCache | None = None
     horizon: float = DEFAULT_ENGINE_HORIZON
     guardband: int = GUARDBAND_ROWS
+    retries: int = 0
+    retry_backoff: float = 0.05
+    timeout: float | None = None
+    failure_policy: FailurePolicy | str = FailurePolicy.RAISE
+    trace: RunTrace | None = None
+    _key_memo: dict = field(default_factory=dict, repr=False, compare=False)
+    _spec_memo: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.failure_policy = FailurePolicy(self.failure_policy)
 
     def characterize_module(
         self,
@@ -213,45 +398,257 @@ class CharacterizationEngine:
         """Characterize every in-scale subarray of ``serials``.
 
         Records come back in plan order and are bit-identical to the serial
-        `Campaign` path for any ``workers``/``cache`` setting.
+        `Campaign` path for any ``workers``/``cache``/retry setting.
         """
         units = plan_units(tuple(serials), config, self.scale)
         horizon = max((self.horizon, SEARCH_INTERVAL, *intervals))
         summaries = self._summaries(units, horizon)
         return [
-            record_from_summary(unit, summary, tuple(intervals))
+            record_from_summary(
+                unit, summary, tuple(intervals), spec=self._spec(unit.serial)
+            )
             for unit, summary in zip(units, summaries)
         ]
 
+    # ------------------------------------------------------------------
+    # Memoized per-serial/per-unit lookups
+    # ------------------------------------------------------------------
+    def _spec(self, serial: str) -> ModuleSpec:
+        spec = self._spec_memo.get(serial)
+        if spec is None:
+            spec = self._spec_memo[serial] = get_module(serial)
+        return spec
+
+    def _unit_key(self, unit: WorkUnit) -> str:
+        """`WorkUnit.cache_key`, hashed once per unit per engine."""
+        key = self._key_memo.get(unit)
+        if key is None:
+            key = self._key_memo[unit] = unit.cache_key(
+                self.guardband, spec=self._spec(unit.serial)
+            )
+        return key
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _trace_unit(
+        self,
+        index: int,
+        unit: WorkUnit,
+        source: str,
+        wall: float,
+        attempts: int = 0,
+        worker: int | None = None,
+        error: str | None = None,
+    ) -> None:
+        if self.trace is None:
+            return
+        self.trace.record(
+            UnitTrace(
+                index=index,
+                serial=unit.serial,
+                chip=unit.chip,
+                bank=unit.bank,
+                subarray=unit.subarray,
+                source=source,
+                wall_s=wall,
+                attempts=attempts,
+                worker=worker,
+                error=error,
+            )
+        )
+
     def _summaries(
         self, units: list[WorkUnit], horizon: float
-    ) -> list[OutcomeSummary]:
+    ) -> list[OutcomeSummary | None]:
         summaries: list[OutcomeSummary | None] = [None] * len(units)
         keys: list[str | None] = [None] * len(units)
+        resolved = [False] * len(units)
         if self.cache is not None:
             for i, unit in enumerate(units):
-                keys[i] = unit.cache_key(self.guardband)
-                summaries[i] = self.cache.get(keys[i], min_horizon=horizon)
-        pending = [i for i, summary in enumerate(summaries) if summary is None]
-        for i, summary in zip(pending, self._compute(units, pending, horizon)):
-            summaries[i] = summary
-            if self.cache is not None:
-                self.cache.put(keys[i], summary)
+                keys[i] = self._unit_key(unit)
+                start = time.perf_counter()
+                summary, tier = self.cache.lookup(keys[i], min_horizon=horizon)
+                if summary is not None:
+                    summaries[i] = summary
+                    resolved[i] = True
+                    self._trace_unit(
+                        i, unit, tier, time.perf_counter() - start,
+                        worker=os.getpid(),
+                    )
+        pending = [i for i, done in enumerate(resolved) if not done]
+        results = self._execute_pending(units, pending, horizon)
+        for i in pending:
+            result = results[i]
+            if result.summary is not None:
+                summaries[i] = result.summary
+                if self.cache is not None:
+                    self.cache.put(keys[i], result.summary)
+            self._trace_unit(
+                i, units[i],
+                "computed" if result.summary is not None else "skipped",
+                result.wall, result.attempts, result.worker, result.error,
+            )
         return summaries
 
-    def _compute(self, units, pending, horizon):
-        """Yield summaries for ``pending`` unit indices, in that order."""
-        compute = partial(
-            execute_unit, horizon=horizon, guardband=self.guardband
+    def _execute_pending(
+        self, units: list[WorkUnit], pending: list[int], horizon: float
+    ) -> dict[int, _ExecResult]:
+        """Execute ``pending`` unit indices with retries, timeout, pool
+        recovery, and the failure policy; returns results keyed by index."""
+        compute = partial(_worker_run, horizon=horizon, guardband=self.guardband)
+        results: dict[int, _ExecResult] = {}
+        attempts = {i: 0 for i in pending}
+        errors: dict[int, str] = {}
+        queue = list(pending)
+        respawns_left = 1
+        pool_mode = self.workers > 1 and len(pending) > 1
+        while queue and pool_mode:
+            queue, broke = self._pool_pass(
+                units, queue, compute, results, attempts, errors
+            )
+            if not broke:
+                break
+            if respawns_left == 0:
+                # Second pool failure: degrade to in-process execution.
+                pool_mode = False
+            else:
+                respawns_left -= 1
+        for i in queue:
+            self._run_in_process(
+                units[i], i, compute, results, attempts, errors
+            )
+        return results
+
+    def _pool_pass(
+        self, units, queue, compute, results, attempts, errors
+    ) -> tuple[list[int], bool]:
+        """One pool lifetime: submit ``queue``, collect until done or the
+        pool fails (worker death or unit timeout).  Returns the indices
+        still unresolved and whether the pool failed."""
+        pool = ProcessPoolExecutor(
+            max_workers=min(self.workers, len(queue)),
+            initializer=_mark_pool_worker,
         )
-        todo = [units[i] for i in pending]
-        if self.workers <= 1 or len(todo) <= 1:
-            yield from map(compute, todo)
+        futures = {}
+        broke = False
+        try:
+            try:
+                for i in queue:
+                    futures[i] = pool.submit(compute, units[i])
+            except BrokenExecutor as exc:
+                # The pool died before the campaign was even fully
+                # submitted (an instant crasher): fail over immediately.
+                for i in queue:
+                    errors.setdefault(i, f"worker pool broke: {exc!r}")
+                broke = True
+            for i in (() if broke else queue):
+                while True:
+                    try:
+                        summary, worker, wall = futures[i].result(
+                            timeout=self.timeout
+                        )
+                    except BrokenExecutor as exc:
+                        # Worker death poisons every in-flight future; the
+                        # crashing unit is unknowable, so nobody is charged
+                        # an attempt — the respawned pool re-runs them all.
+                        errors[i] = f"worker pool broke: {exc!r}"
+                        broke = True
+                    except TimeoutError:
+                        attempts[i] += 1
+                        errors[i] = (
+                            f"unit timed out after {self.timeout:g}s"
+                        )
+                        broke = True
+                        if attempts[i] > self.retries:
+                            self._register_failure(
+                                units[i], i, attempts, errors, results
+                            )
+                    except (KeyboardInterrupt, SystemExit):
+                        raise
+                    except Exception as exc:
+                        attempts[i] += 1
+                        errors[i] = f"{type(exc).__name__}: {exc}"
+                        if attempts[i] <= self.retries:
+                            self._backoff(attempts[i])
+                            try:
+                                futures[i] = pool.submit(compute, units[i])
+                            except Exception:
+                                broke = True
+                            else:
+                                continue
+                        else:
+                            self._register_failure(
+                                units[i], i, attempts, errors, results
+                            )
+                    else:
+                        attempts[i] += 1
+                        results[i] = _ExecResult(
+                            summary, attempts[i], wall, worker, None
+                        )
+                    break
+                if broke:
+                    break
+        except BaseException:
+            _kill_pool(pool)
+            raise
+        if broke:
+            self._harvest(queue, futures, results, attempts)
+            _kill_pool(pool)
+        else:
+            pool.shutdown(wait=True)
+        remaining = [i for i in queue if i not in results]
+        return remaining, broke
+
+    @staticmethod
+    def _harvest(queue, futures, results, attempts) -> None:
+        """Keep results of futures that finished before the pool died."""
+        for i in queue:
+            future = futures.get(i)
+            if i in results or future is None or not future.done():
+                continue
+            try:
+                summary, worker, wall = future.result(timeout=0)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException:
+                continue
+            attempts[i] += 1
+            results[i] = _ExecResult(summary, attempts[i], wall, worker, None)
+
+    def _run_in_process(
+        self, unit, index, compute, results, attempts, errors
+    ) -> None:
+        """Serial execution of one unit with the same retry/policy rules."""
+        while True:
+            attempts[index] += 1
+            try:
+                summary, worker, wall = compute(unit)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:
+                errors[index] = f"{type(exc).__name__}: {exc}"
+                if attempts[index] <= self.retries:
+                    self._backoff(attempts[index])
+                    continue
+                self._register_failure(unit, index, attempts, errors, results)
+            else:
+                results[index] = _ExecResult(
+                    summary, attempts[index], wall, worker, None
+                )
             return
-        workers = min(self.workers, len(todo))
-        # Deterministic sharding: executor.map hands out contiguous chunks
-        # and yields results in submission order, so completion timing never
-        # reorders records.
-        chunksize = max(1, len(todo) // (workers * 4))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            yield from pool.map(compute, todo, chunksize=chunksize)
+
+    def _register_failure(
+        self, unit, index, attempts, errors, results
+    ) -> None:
+        if self.failure_policy is FailurePolicy.RAISE:
+            raise UnitExecutionError(unit, attempts[index], errors.get(index))
+        results[index] = _ExecResult(
+            None, attempts[index], 0.0, None, errors.get(index)
+        )
+
+    def _backoff(self, failures: int) -> None:
+        if self.retry_backoff > 0:
+            time.sleep(
+                min(MAX_BACKOFF_S, self.retry_backoff * 2 ** (failures - 1))
+            )

@@ -35,6 +35,7 @@ def _record_to_dict(record: SubarrayRecord) -> dict:
         "cd_rows": {str(k): v for k, v in record.cd_rows.items()},
         "ret_flips": {str(k): v for k, v in record.ret_flips.items()},
         "ret_rows": {str(k): v for k, v in record.ret_rows.items()},
+        "status": record.status,
     }
 
 
@@ -56,6 +57,9 @@ def _record_from_dict(data: dict) -> SubarrayRecord:
         cd_rows={float(k): v for k, v in data["cd_rows"].items()},
         ret_flips={float(k): v for k, v in data["ret_flips"].items()},
         ret_rows={float(k): v for k, v in data["ret_rows"].items()},
+        # Documents written before the engine grew failure policies have
+        # no status field; every such record was measured.
+        status=data.get("status", "ok"),
     )
 
 

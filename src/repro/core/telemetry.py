@@ -1,0 +1,167 @@
+"""Structured run telemetry for the characterization engine.
+
+A 28-module campaign spends minutes to hours across hundreds of work
+units; when it is slow (or silently served stale cache entries) the only
+way to know *where* the time went is a per-unit trace.  :class:`RunTrace`
+collects one :class:`UnitTrace` per work unit — wall time, retry count,
+cache tier (memory / disk / computed / skipped), and the worker pid that
+produced it — and can stream them as JSONL while the campaign runs, so a
+crashed run still leaves a usable trace behind.
+
+The end-of-run :meth:`RunTrace.summary` aggregates the records into the
+numbers an operator actually wants: p50/p95 unit latency, cache hit
+ratio, and how many units were retried or skipped.
+
+Opting in: ``CharacterizationEngine(trace=RunTrace(path))``,
+``Campaign(trace=...)``, ``repro characterize --trace FILE`` on the CLI,
+or ``REPRO_BENCH_TRACE=FILE`` for the figure benches.  Tracing is off by
+default and costs nothing when off.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Where a unit's summary came from.  ``computed`` means a worker (or the
+#: in-process fallback) ran the characterization; ``skipped`` means every
+#: attempt failed and the engine's ``FailurePolicy`` recorded an explicit
+#: hole instead of raising.
+UNIT_SOURCES = ("memory", "disk", "computed", "skipped")
+
+
+@dataclass(frozen=True)
+class UnitTrace:
+    """Telemetry for one work unit of one campaign run.
+
+    Attributes:
+        index: the unit's plan-order position within its campaign call.
+        serial / chip / bank / subarray: the unit's identity.
+        source: one of :data:`UNIT_SOURCES`.
+        wall_s: wall-clock seconds spent obtaining the summary — worker
+            execution time for computed units, lookup time for cache hits.
+        attempts: execution attempts made (0 for cache hits).
+        worker: pid of the process that produced the summary (``None``
+            for skipped units).
+        error: last failure message, for skipped (and retried) units.
+    """
+
+    index: int
+    serial: str
+    chip: int
+    bank: int
+    subarray: int
+    source: str
+    wall_s: float
+    attempts: int = 0
+    worker: int | None = None
+    error: str | None = None
+
+    @property
+    def retries(self) -> int:
+        """Attempts beyond the first (0 for cache hits and clean runs)."""
+        return max(0, self.attempts - 1)
+
+    def to_json(self) -> str:
+        """One JSONL line for this unit."""
+        return json.dumps(dataclasses.asdict(self), sort_keys=True)
+
+
+def _percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile; 0.0 for an empty sample."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return ordered[min(len(ordered) - 1, max(0, rank - 1))]
+
+
+@dataclass
+class RunTrace:
+    """Accumulates per-unit telemetry, optionally streaming JSONL.
+
+    Args:
+        path: optional JSONL destination.  Records are appended as they
+            arrive (one line per unit), so a crashed campaign still
+            leaves every completed unit on disk.  ``None`` keeps the
+            trace purely in memory.
+    """
+
+    path: str | Path | None = None
+    records: list[UnitTrace] = field(default_factory=list)
+    _handle: object = field(default=None, repr=False, compare=False)
+
+    def record(self, unit_trace: UnitTrace) -> None:
+        """Append one unit's telemetry (and stream it when configured)."""
+        self.records.append(unit_trace)
+        if self.path is not None:
+            if self._handle is None:
+                self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle.write(unit_trace.to_json() + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        """Flush and close the JSONL stream (safe to call repeatedly)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunTrace":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """Aggregate statistics over every recorded unit."""
+        walls = [r.wall_s for r in self.records]
+        computed = [r for r in self.records if r.source == "computed"]
+        memory = sum(1 for r in self.records if r.source == "memory")
+        disk = sum(1 for r in self.records if r.source == "disk")
+        skipped = sum(1 for r in self.records if r.source == "skipped")
+        retried = sum(1 for r in self.records if r.retries > 0)
+        units = len(self.records)
+        return {
+            "units": units,
+            "computed": len(computed),
+            "memory_hits": memory,
+            "disk_hits": disk,
+            "skipped": skipped,
+            "units_retried": retried,
+            "total_attempts": sum(r.attempts for r in self.records),
+            "cache_hit_ratio": (memory + disk) / units if units else 0.0,
+            "wall_p50_s": _percentile(walls, 50.0),
+            "wall_p95_s": _percentile(walls, 95.0),
+            "total_wall_s": sum(walls),
+        }
+
+    def summary_table(self) -> str:
+        """Human-readable end-of-run summary (the `--trace` footer)."""
+        s = self.summary()
+        return "\n".join([
+            "run trace summary:",
+            f"  units: {s['units']} ({s['computed']} computed, "
+            f"{s['memory_hits']} memory hits, {s['disk_hits']} disk hits, "
+            f"{s['skipped']} skipped)",
+            f"  cache hit ratio: {s['cache_hit_ratio']:.1%}",
+            f"  units retried: {s['units_retried']} "
+            f"({s['total_attempts']} total attempts)",
+            f"  unit latency: p50 {s['wall_p50_s'] * 1e3:.2f} ms, "
+            f"p95 {s['wall_p95_s'] * 1e3:.2f} ms",
+            f"  total unit wall time: {s['total_wall_s']:.3f} s",
+        ])
+
+
+def load_trace(path: str | Path) -> list[UnitTrace]:
+    """Read a JSONL trace file back into :class:`UnitTrace` records."""
+    records = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        if line.strip():
+            records.append(UnitTrace(**json.loads(line)))
+    return records

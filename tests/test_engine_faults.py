@@ -1,0 +1,238 @@
+"""Fault injection for the characterization engine.
+
+Faults are injected deterministically through ``REPRO_ENGINE_FAULT``
+(`repro.core.engine.FAULT_ENV`): a JSON spec selects a victim subarray, a
+fault mode (``poison`` = worker raises, ``crash`` = worker process dies,
+``hang`` = worker sleeps past any timeout), and how many attempts fault
+before the unit starts succeeding (claimed atomically via marker files, so
+the budget is shared across worker processes).
+
+The invariants under test: a campaign never leaves a *silent* hole — a
+failed unit is either retried to success, reported via
+`UnitExecutionError`, or recorded as an explicit ``status="skipped"``
+record in its exact plan slot — and whatever survives is bit-identical to
+the serial, fault-free path.
+"""
+
+import json
+from functools import lru_cache
+
+import pytest
+
+from repro.core import (
+    QUICK_SCALE,
+    WORST_CASE,
+    Campaign,
+    CharacterizationEngine,
+    FailurePolicy,
+    OutcomeCache,
+    RunTrace,
+    UnitExecutionError,
+    load_trace,
+)
+from repro.core.engine import FAULT_ENV
+
+INTERVALS = (0.512, 16.0)
+VICTIM = 1  # subarray index the injected faults target
+
+pytestmark = pytest.mark.engine
+
+
+@lru_cache(maxsize=1)
+def baseline():
+    """Fault-free serial records for S0 at quick scale (4 units)."""
+    return tuple(
+        CharacterizationEngine(scale=QUICK_SCALE).characterize_module(
+            "S0", WORST_CASE, INTERVALS
+        )
+    )
+
+
+@pytest.fixture
+def inject(monkeypatch, tmp_path):
+    """Arm the deterministic fault injector for this test."""
+
+    def _inject(mode: str, subarray: int = VICTIM, times: int = 1, **extra):
+        fault_dir = tmp_path / "faults"
+        fault_dir.mkdir(exist_ok=True)
+        spec = {
+            "mode": mode, "subarray": subarray, "times": times,
+            "dir": str(fault_dir), **extra,
+        }
+        monkeypatch.setenv(FAULT_ENV, json.dumps(spec))
+
+    return _inject
+
+
+def run(**knobs):
+    engine = CharacterizationEngine(scale=QUICK_SCALE, **knobs)
+    return engine.characterize_module("S0", WORST_CASE, INTERVALS)
+
+
+# ---------------------------------------------------------------------------
+# Poisoned workers (exceptions)
+# ---------------------------------------------------------------------------
+
+def test_poison_retried_serial(inject):
+    inject("poison", times=1)
+    assert run(retries=1, retry_backoff=0.0) == list(baseline())
+
+
+def test_poison_retried_parallel(inject):
+    inject("poison", times=1)
+    assert run(workers=2, retries=1, retry_backoff=0.0) == list(baseline())
+
+
+def test_poison_exhausted_raises_by_default(inject):
+    inject("poison", times=99)
+    with pytest.raises(UnitExecutionError, match="poison"):
+        run(retries=1, retry_backoff=0.0)
+
+
+def test_poison_exhausted_raises_in_pool(inject):
+    inject("poison", times=99)
+    with pytest.raises(UnitExecutionError, match="poison"):
+        run(workers=2, retries=0)
+
+
+@pytest.mark.parametrize("workers", (0, 2), ids=("serial", "parallel"))
+def test_poison_skip_policy_leaves_explicit_hole(inject, workers):
+    inject("poison", times=99)
+    records = run(
+        workers=workers, retries=1, retry_backoff=0.0,
+        failure_policy=FailurePolicy.SKIP,
+    )
+    assert len(records) == len(baseline())
+    assert records[VICTIM].status == "skipped"
+    assert records[VICTIM].subarray == VICTIM
+    assert records[VICTIM].cd_flips == {}
+    for i, record in enumerate(records):
+        if i != VICTIM:
+            assert record == baseline()[i]
+
+
+# ---------------------------------------------------------------------------
+# Killed workers (BrokenProcessPool)
+# ---------------------------------------------------------------------------
+
+def test_worker_crash_recovered_by_pool_respawn(inject):
+    """One worker death costs one pool respawn, not the campaign."""
+    inject("crash", times=1)
+    assert run(workers=2, retries=0) == list(baseline())
+
+
+def test_persistent_crasher_degrades_to_serial_and_skips(inject):
+    """Two pool failures degrade to in-process execution; the crashing
+    unit is skipped under the policy, everything else completes."""
+    inject("crash", times=99)
+    records = run(
+        workers=2, retries=0, failure_policy="skip-with-record"
+    )
+    assert records[VICTIM].status == "skipped"
+    for i, record in enumerate(records):
+        if i != VICTIM:
+            assert record == baseline()[i]
+
+
+def test_persistent_crasher_raise_policy_aborts(inject):
+    inject("crash", times=99)
+    with pytest.raises(UnitExecutionError):
+        run(workers=2, retries=0, failure_policy="raise")
+
+
+# ---------------------------------------------------------------------------
+# Hung workers (per-unit timeout)
+# ---------------------------------------------------------------------------
+
+def test_hung_worker_times_out_and_skips(inject):
+    inject("hang", times=99, hang_s=60.0)
+    records = run(
+        workers=2, retries=0, timeout=1.5,
+        failure_policy=FailurePolicy.SKIP,
+    )
+    assert records[VICTIM].status == "skipped"
+    assert records[VICTIM].cd_flips == {}
+    for i, record in enumerate(records):
+        if i != VICTIM:
+            assert record == baseline()[i]
+
+
+def test_hung_worker_times_out_and_raises(inject):
+    inject("hang", times=99, hang_s=60.0)
+    with pytest.raises(UnitExecutionError, match="timed out"):
+        run(workers=2, retries=0, timeout=1.5)
+
+
+# ---------------------------------------------------------------------------
+# Telemetry under faults
+# ---------------------------------------------------------------------------
+
+def test_trace_records_every_unit_with_cache_tiers(tmp_path):
+    trace_path = tmp_path / "trace.jsonl"
+    trace = RunTrace(trace_path)
+    engine = CharacterizationEngine(
+        scale=QUICK_SCALE, cache=OutcomeCache(), trace=trace
+    )
+    engine.characterize_module("S0", WORST_CASE, INTERVALS)
+    engine.characterize_module("S0", WORST_CASE, INTERVALS)
+    trace.close()
+
+    records = load_trace(trace_path)
+    assert len(records) == 2 * len(baseline())  # one line per unit per run
+    assert [r.source for r in records[:4]] == ["computed"] * 4
+    assert [r.source for r in records[4:]] == ["memory"] * 4
+    assert all(r.wall_s >= 0.0 for r in records)
+    assert all(r.worker is not None for r in records)
+
+    summary = trace.summary()
+    assert summary["units"] == 8
+    assert summary["computed"] == 4
+    assert summary["memory_hits"] == 4
+    assert summary["cache_hit_ratio"] == pytest.approx(0.5)
+    assert summary["wall_p95_s"] >= summary["wall_p50_s"] >= 0.0
+    assert "cache hit ratio: 50.0%" in trace.summary_table()
+
+
+def test_trace_records_retries_and_skips(inject, tmp_path):
+    inject("poison", times=1)
+    trace = RunTrace()
+    run(retries=2, retry_backoff=0.0, trace=trace)
+    victim = [r for r in trace.records if r.subarray == VICTIM]
+    assert len(victim) == 1
+    assert victim[0].attempts == 2  # one poisoned attempt + one success
+    assert victim[0].retries == 1
+    assert victim[0].source == "computed"
+    assert trace.summary()["units_retried"] == 1
+
+
+def test_trace_marks_skipped_units(inject):
+    inject("poison", times=99)
+    trace = RunTrace()
+    run(retries=0, failure_policy="skip-with-record", trace=trace)
+    victim = [r for r in trace.records if r.subarray == VICTIM][0]
+    assert victim.source == "skipped"
+    assert "poison" in victim.error
+    assert trace.summary()["skipped"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Campaign-level integration
+# ---------------------------------------------------------------------------
+
+def test_campaign_passes_fault_knobs_through(inject):
+    inject("poison", times=1)
+    campaign = Campaign(scale=QUICK_SCALE, retries=1)
+    records = campaign.characterize_module("S0", WORST_CASE, INTERVALS)
+    assert records == list(baseline())
+
+
+def test_skipped_records_roundtrip_through_store(inject, tmp_path):
+    from repro.core import load_records, save_records
+
+    inject("poison", times=99)
+    records = run(retries=0, failure_policy="skip-with-record")
+    path = tmp_path / "records.json"
+    save_records(records, path)
+    loaded, _ = load_records(path)
+    assert loaded == records
+    assert loaded[VICTIM].status == "skipped"

@@ -52,6 +52,43 @@ def test_parallel_cached_engine_matches_serial(tmp_path, config):
 
 
 @pytest.mark.engine
+@pytest.mark.parametrize("workers", (0, 2, 4), ids=lambda w: f"workers{w}")
+def test_fault_tolerance_knobs_preserve_parity(tmp_path, workers):
+    """Retries, backoff, timeout, and failure policy must never move a
+    record: on a fault-free run they are pure control-plane settings."""
+    serial_records = _serial(WORST_CASE)
+    engine = CharacterizationEngine(
+        scale=QUICK_SCALE,
+        workers=workers,
+        cache=OutcomeCache(tmp_path),
+        retries=3,
+        retry_backoff=0.01,
+        timeout=120.0,
+        failure_policy="skip-with-record",
+    )
+    cold = engine.characterize_modules(MODULES, WORST_CASE, INTERVALS)
+    assert cold == serial_records
+    assert all(record.status == "ok" for record in cold)
+    warm = engine.characterize_modules(MODULES, WORST_CASE, INTERVALS)
+    assert warm == serial_records
+
+
+@pytest.mark.engine
+def test_trace_does_not_perturb_records(tmp_path):
+    from repro.core import RunTrace
+
+    serial_records = _serial(WORST_CASE)
+    trace = RunTrace(tmp_path / "trace.jsonl")
+    engine = CharacterizationEngine(
+        scale=QUICK_SCALE, workers=2, cache=OutcomeCache(), trace=trace
+    )
+    assert engine.characterize_modules(MODULES, WORST_CASE, INTERVALS) \
+        == serial_records
+    trace.close()
+    assert len(trace.records) == len(serial_records)
+
+
+@pytest.mark.engine
 def test_campaign_delegates_to_engine(tmp_path):
     """`Campaign(workers=..., cache=...)` is a drop-in for the serial path."""
     serial_records = _serial(WORST_CASE)
