@@ -1,0 +1,117 @@
+"""Paired observability-overhead benchmark: the same characterization
+campaign with metrics/spans disabled and enabled.
+
+The observability layer promises zero cost when off (a single module-
+attribute check per instrumentation site) and <=5% when on.  This bench
+holds it to that: it runs one serial campaign per state, interleaving
+rounds so drift hits both states equally, and reports the best-of-round
+wall times.  Run standalone to refresh the ``obs`` block in
+``BENCH_engine.json``::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+
+Exit status is non-zero when the enabled overhead exceeds the gate
+(``REPRO_OBS_GATE_PCT``, default 5.0) — CI uses that as the regression
+check.  The pytest wrapper (marked ``slow``) asserts the same bound.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.chip import BankGeometry
+from repro.core import Campaign, CampaignScale, WORST_CASE
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_BENCH_JSON = _REPO_ROOT / "BENCH_engine.json"
+
+#: Small enough to keep a paired multi-round run under a minute, large
+#: enough that per-command metric increments (the hot path) dominate any
+#: constant setup cost.
+GEOMETRY = BankGeometry(subarrays=4, rows_per_subarray=512, columns=1024)
+INTERVALS = (0.512, 1.0, 4.0, 16.0)
+GATE_PCT = float(os.environ.get("REPRO_OBS_GATE_PCT", "5.0"))
+
+
+def _campaign_once() -> None:
+    Campaign(scale=CampaignScale(GEOMETRY)).characterize_module(
+        "S0", WORST_CASE, INTERVALS
+    )
+
+
+def measure_overhead(rounds: int = 10) -> dict:
+    """Median-of-``rounds`` wall time per state.  Rounds are interleaved so
+    CPU-frequency / scheduler drift is shared rather than attributed to one
+    state, and the median (not the best) is compared because single-run
+    noise on this workload is of the same order as the overhead itself."""
+    times: dict[str, list[float]] = {"disabled": [], "enabled": []}
+    _campaign_once()  # common warm-up: imports, memoised retention arrays
+    for _ in range(rounds):
+        for state in ("disabled", "enabled"):
+            obs.disable()
+            obs.reset()
+            if state == "enabled":
+                obs.enable()
+            start = time.perf_counter()
+            _campaign_once()
+            times[state].append(time.perf_counter() - start)
+    obs.disable()
+    obs.reset()
+    median = {state: statistics.median(walls)
+              for state, walls in times.items()}
+    overhead = (median["enabled"] - median["disabled"]) / median["disabled"]
+    return {
+        "rounds": rounds,
+        "geometry": {
+            "subarrays": GEOMETRY.subarrays,
+            "rows_per_subarray": GEOMETRY.rows_per_subarray,
+            "columns": GEOMETRY.columns,
+        },
+        "intervals": list(INTERVALS),
+        "disabled_s": round(median["disabled"], 3),
+        "enabled_s": round(median["enabled"], 3),
+        "overhead_pct": round(100.0 * overhead, 2),
+    }
+
+
+def _record(result: dict) -> None:
+    data = json.loads(_BENCH_JSON.read_text()) if _BENCH_JSON.exists() else {
+        "bench": "engine"
+    }
+    data["obs"] = result
+    _BENCH_JSON.write_text(json.dumps(data, indent=2) + "\n")
+
+
+@pytest.mark.slow
+def test_obs_enabled_overhead_within_gate():
+    result = measure_overhead()
+    assert result["overhead_pct"] <= GATE_PCT, (
+        f"metrics-enabled campaign is {result['overhead_pct']}% slower than "
+        f"disabled ({result['enabled_s']}s vs {result['disabled_s']}s); "
+        f"gate is {GATE_PCT}%"
+    )
+
+
+def main() -> int:
+    result = measure_overhead(rounds=int(os.environ.get("REPRO_OBS_ROUNDS",
+                                                        "10")))
+    _record(result)
+    print(f"disabled: {result['disabled_s']} s")
+    print(f"enabled:  {result['enabled_s']} s")
+    print(f"overhead: {result['overhead_pct']}% (gate {GATE_PCT}%)")
+    if result["overhead_pct"] > GATE_PCT:
+        print("FAIL: enabled-metrics overhead exceeds gate", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,11 +16,35 @@ Public packages:
 * ``repro.sim``       — cycle-level memory-system simulator.
 * ``repro.workloads`` — synthetic memory-intensive workload mixes.
 * ``repro.analysis``  — distribution statistics and text rendering.
+* ``repro.obs``       — process-wide metrics, span tracing, and exporters.
 """
 
-__version__ = "1.0.0"
+from importlib import metadata as _metadata
 
-from repro import analysis, bender, chip, core, ecc, physics, refresh, sim, workloads
+
+def _resolve_version() -> str:
+    # Installed distribution metadata wins; fall back for source checkouts
+    # run via PYTHONPATH without an installed dist.
+    try:
+        return _metadata.version("repro")
+    except _metadata.PackageNotFoundError:
+        return "1.0.0"
+
+
+__version__ = _resolve_version()
+
+from repro import (  # noqa: E402 (version must exist before submodules load)
+    analysis,
+    bender,
+    chip,
+    core,
+    ecc,
+    obs,
+    physics,
+    refresh,
+    sim,
+    workloads,
+)
 
 __all__ = [
     "__version__",
@@ -29,6 +53,7 @@ __all__ = [
     "chip",
     "core",
     "ecc",
+    "obs",
     "physics",
     "refresh",
     "sim",

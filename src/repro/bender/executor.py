@@ -24,10 +24,12 @@ core learns, it learns from command sequences and read-back data.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.bender.commands import (
     Act,
     Instruction,
@@ -40,6 +42,34 @@ from repro.bender.commands import (
     Write,
 )
 from repro.chip.module import SimulatedModule
+from repro.obs import state as _obs_state
+
+# DRAM command accounting (`repro.obs`): one child per command kind,
+# pre-bound so the dispatch loop pays one guarded increment per command.
+# Hammer loops taken through the bank fast path still count every
+# constituent ACT/PRE (count x aggressor rows), so the totals match what a
+# real tester would have issued.
+_COMMANDS = obs.counter(
+    "bender_commands_total",
+    "DRAM commands issued by the Bender executor, by command kind.",
+    labelnames=("kind",),
+)
+_CMD_ACT = _COMMANDS.labels(kind="ACT")
+_CMD_PRE = _COMMANDS.labels(kind="PRE")
+_CMD_RD = _COMMANDS.labels(kind="RD")
+_CMD_WR = _COMMANDS.labels(kind="WR")
+_CMD_REF = _COMMANDS.labels(kind="REF")
+_PROGRAMS = obs.counter(
+    "bender_programs_total", "Test programs executed to completion."
+)
+_PROGRAM_WALL = obs.histogram(
+    "bender_program_wall_seconds",
+    "Host wall-clock seconds per executed test program.",
+)
+_DEVICE_SECONDS = obs.counter(
+    "bender_program_device_seconds_total",
+    "Simulated device time elapsed across executed programs.",
+)
 
 
 @dataclass
@@ -86,10 +116,16 @@ class DramBender:
         """Run a test program and return its read-backs."""
         result = ExecutionResult(program_name=program.name)
         start = self.bank.now
-        for instruction in program.instructions:
-            self._dispatch(instruction, result)
-        self._close_open_row()
+        wall_start = time.perf_counter()
+        with obs.span("bender.execute", program=program.name):
+            for instruction in program.instructions:
+                self._dispatch(instruction, result)
+            self._close_open_row()
         result.elapsed = self.bank.now - start
+        if _obs_state.enabled:
+            _PROGRAMS.inc()
+            _PROGRAM_WALL.observe(time.perf_counter() - wall_start)
+            _DEVICE_SECONDS.inc(result.elapsed)
         return result
 
     def _dispatch(self, instruction: Instruction, result: ExecutionResult) -> None:
@@ -103,12 +139,14 @@ class DramBender:
             self._wait(instruction.duration)
         elif isinstance(instruction, Write):
             self._close_open_row()
+            _CMD_WR.inc()
             pattern = instruction.pattern
             if isinstance(pattern, tuple):
                 pattern = np.asarray(pattern, dtype=np.uint8)
             self.bank.write_row(self.module.to_physical(instruction.row), pattern)
         elif isinstance(instruction, Read):
             self._close_open_row()
+            _CMD_RD.inc()
             physical = self.module.to_physical(instruction.row)
             result.reads.append(
                 ReadRecord(
@@ -119,6 +157,7 @@ class DramBender:
             )
         elif isinstance(instruction, Refresh):
             self._close_open_row()
+            _CMD_REF.inc()
             self.bank.refresh_all()
             self.bank.idle(self.bank.timing.t_rfc)
         else:
@@ -128,6 +167,7 @@ class DramBender:
     # Command semantics
     # ------------------------------------------------------------------
     def _act(self, physical_row: int) -> None:
+        _CMD_ACT.inc()
         if self._open_row is not None:
             # Consecutive ACT without full precharge: RowClone semantics.
             source = self._open_row
@@ -152,6 +192,7 @@ class DramBender:
     def _close_open_row(self) -> None:
         if self._open_row is None:
             return
+        _CMD_PRE.inc()
         self.bank.press_interval(self._open_row, self._open_duration)
         self._open_row = None
         self._open_duration = 0.0
@@ -164,6 +205,11 @@ class DramBender:
         if pattern is not None and loop.count > 0:
             rows, t_agg_on, t_rp = pattern
             self._close_open_row()
+            if _obs_state.enabled:
+                # The fast path issues count x rows ACT/PRE pairs in
+                # aggregate; account for them as a real tester would.
+                _CMD_ACT.inc(loop.count * len(rows))
+                _CMD_PRE.inc(loop.count * len(rows))
             self.bank.hammer_sequence(
                 [self.module.to_physical(row) for row in rows],
                 loop.count,

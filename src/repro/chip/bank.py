@@ -38,13 +38,41 @@ from collections.abc import Iterable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.chip.cells import CellPopulation
 from repro.chip.datapattern import expand_pattern
 from repro.chip.geometry import BankGeometry
 from repro.chip.timing import TimingParameters
+from repro.obs import state as _obs_state
 from repro.physics.constants import Q_CRIT, T_REFERENCE_C, V_PRECHARGE
 from repro.physics.profile import DisturbanceProfile
 from repro.physics.rowhammer import neighbour_flip_mask
+
+_REBASELINED = obs.counter(
+    "bank_rebaselined_rows_total",
+    "Rows whose damage baselines were reset (writes/refreshes/activations).",
+)
+_CHECKPOINTS = obs.counter(
+    "bank_exposure_checkpoints_total",
+    "Column-exposure checkpoints materialized during rebaselining.",
+)
+_CHECKPOINTS_PRUNED = obs.counter(
+    "bank_exposure_checkpoints_pruned_total",
+    "Exposure checkpoints dropped once no row referenced them.",
+)
+_ACTIVATIONS = obs.counter(
+    "bank_activations_total",
+    "Row activations applied to bank physics (hammer loops count each "
+    "constituent activation).",
+)
+_DRIVEN_SECONDS = obs.counter(
+    "bank_column_driven_seconds_total",
+    "Seconds of bitline driving accumulated across activations.",
+)
+_READ_FLIPS = obs.counter(
+    "bank_read_flips_total",
+    "Bitflips observed by read-time evaluation (recounted on re-reads).",
+)
 
 
 class SimulatedBank:
@@ -164,6 +192,8 @@ class SimulatedBank:
     def _rebaseline(self, rows: Iterable[int]) -> None:
         """Reset damage baselines of freshly-restored rows to 'now'."""
         idx = np.fromiter(rows, dtype=np.int64)
+        if _obs_state.enabled:
+            _REBASELINED.inc(idx.size)
         self._int_base[idx] = self._intrinsic_clock
         self._pre_base[idx] = self._precharge_clock
         self._hammer_base[idx] = self._hammer_in[idx]
@@ -173,6 +203,7 @@ class SimulatedBank:
             checkpoints = self._extra_checkpoints[subarray]
             if version not in checkpoints:
                 checkpoints[version] = self._extra[subarray].copy()
+                _CHECKPOINTS.inc()
             in_sub = idx[idx_subarrays == subarray]
             self._extra_ckpt_id[in_sub] = version
             self._prune_checkpoints(int(subarray))
@@ -195,6 +226,7 @@ class SimulatedBank:
         )
         for version in [v for v in checkpoints if v not in live]:
             del checkpoints[version]
+            _CHECKPOINTS_PRUNED.inc()
 
     def _coerce_bits(self, bits: np.ndarray | int) -> np.ndarray:
         if isinstance(bits, (int, np.integer)):
@@ -263,6 +295,8 @@ class SimulatedBank:
             raise ValueError(f"t_rp {t_rp} below the minimum {self.timing.t_rp}")
 
         duration = count * len(rows) * (t_agg_on + t_rp)
+        if _obs_state.enabled:
+            _ACTIVATIONS.inc(count * len(rows))
 
         aggressor_bits = {}
         for row in rows:
@@ -294,6 +328,7 @@ class SimulatedBank:
         self.geometry._check_row(row)
         duration = max(duration, self.timing.t_ras)
         bits = self.read_row(row)
+        _ACTIVATIONS.inc()
         self._register_driving(row, bits, duration)
         self._register_hammer(
             row, self.profile.rowpress_amplification(duration, self.timing.t_ras)
@@ -307,6 +342,8 @@ class SimulatedBank:
         """Account for ``row``'s content driving its subarray's bitlines (and
         the shared halves of the neighbouring subarrays') for ``driven_time``
         seconds."""
+        if _obs_state.enabled:
+            _DRIVEN_SECONDS.inc(driven_time)
         a_cd = self.profile.coupling_temperature_factor(self.temperature_c)
         cm_pre = self.profile.coupling_multiplier(V_PRECHARGE)
         cm_gnd = self.profile.coupling_multiplier(0.0)
@@ -436,6 +473,8 @@ class SimulatedBank:
                     bits[member],
                     float(hammer[member]),
                 )
+            if _obs_state.enabled:
+                _READ_FLIPS.inc(int(flips.sum()))
             out[members] = bits ^ flips.astype(np.uint8)
         return out
 

@@ -13,10 +13,20 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro._util.rng import derive_rng
 from repro.physics.constants import V_PRECHARGE
 from repro.physics.coupling import times_to_flip, total_leakage_rates
 from repro.physics.profile import DisturbanceProfile
+
+_POPULATIONS_SAMPLED = obs.counter(
+    "cells_populations_sampled_total",
+    "Cell populations sampled from scratch (not served by a module pool).",
+)
+_RETENTION_BUILDS = obs.counter(
+    "cells_retention_array_builds_total",
+    "Retention-time array computations (memoization misses).",
+)
 
 #: The paper's retention-test repetition count (§3.2) and the expected
 #: maximum of that many standard normal draws — used as the conservative
@@ -67,6 +77,7 @@ class CellPopulation:
             derive_rng(*self.key, "subarray_scale")
         )
         self._kappa *= np.float32(self.subarray_scale)
+        _POPULATIONS_SAMPLED.inc()
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -118,6 +129,7 @@ class CellPopulation:
         """
         key = float(temperature_c)
         if key not in self._retention_cache:
+            _RETENTION_BUILDS.inc()
             cm_pre = self.profile.coupling_multiplier(V_PRECHARGE)
             nominal_rates = total_leakage_rates(
                 self.lambda_int, self.kappa, cm_pre, self.profile, key

@@ -15,8 +15,11 @@ Usage (after ``pip install -e .``)::
 from __future__ import annotations
 
 import argparse
+import sys
 from collections.abc import Sequence
 
+import repro
+from repro import obs
 from repro._util.units import format_seconds
 from repro.analysis import DistributionSummary, seconds, table
 from repro.chip import (
@@ -34,6 +37,31 @@ from repro.core import (
 from repro.refresh import columndisturb_safe_period, compare_mitigations
 
 _CLI_GEOMETRY = BankGeometry(subarrays=4, rows_per_subarray=256, columns=512)
+
+
+def _add_observability_args(
+    parser: argparse.ArgumentParser,
+    trace_help: str = "record observability spans as JSONL to FILE",
+) -> None:
+    """Shared ``--trace`` / ``--metrics`` / ``--metrics-port`` plumbing.
+
+    Every data-producing subcommand gets the same three flags;
+    ``characterize`` overrides ``trace_help`` because its ``--trace`` writes
+    the engine's per-unit RunTrace rather than span JSONL.
+    """
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE", help=trace_help,
+    )
+    parser.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="enable observability and write a metrics snapshot to FILE "
+             "(.json for a JSON snapshot, anything else for Prometheus text)",
+    )
+    parser.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="enable observability and serve live /metrics on PORT while "
+             "the command runs (0 picks a free port)",
+    )
 
 
 def _cmd_catalog(args: argparse.Namespace) -> str:
@@ -180,6 +208,35 @@ def _cmd_run_program(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_obs(args: argparse.Namespace) -> str:
+    if args.obs_command == "report":
+        return _render_metrics_file(args.file)
+    raise ValueError(f"unknown obs command {args.obs_command!r}")
+
+
+def _render_metrics_file(path: str) -> str:
+    import json
+    from pathlib import Path
+
+    text = Path(path).read_text(encoding="utf-8")
+    if text.lstrip().startswith("{"):
+        # JSON snapshots keep family/type structure: use the rich report.
+        return obs.render_report(json.loads(text))
+    samples = obs.parse_prometheus_text(text)
+    rows = [
+        [
+            name,
+            ",".join(f"{k}={v}" for k, v in labels.items()) or "-",
+            value,
+        ]
+        for name, entries in sorted(samples.items())
+        for labels, value in entries
+    ]
+    if not rows:
+        return "no metrics recorded"
+    return table(["metric", "labels", "value"], rows)
+
+
 def _cmd_mitigations(args: argparse.Namespace) -> str:
     spec = get_module(args.serial)
     estimates = compare_mitigations(
@@ -205,6 +262,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="ColumnDisturb characterization and planning toolkit",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {repro.__version__}",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("catalog", help="list the Table 1 module population")
@@ -218,6 +278,7 @@ def build_parser() -> argparse.ArgumentParser:
     risk.add_argument("--window", type=float, default=64.0,
                       help="refresh window in ms")
     risk.add_argument("--temperature", type=float, default=85.0)
+    _add_observability_args(risk)
 
     character = sub.add_parser(
         "characterize", help="per-subarray worst-case characterization"
@@ -234,9 +295,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache", default=None, metavar="DIR",
         help="on-disk outcome cache directory (reused across runs)",
     )
-    character.add_argument(
-        "--trace", default=None, metavar="FILE",
-        help="write per-unit run telemetry as JSONL and print a summary",
+    _add_observability_args(
+        character,
+        trace_help="write per-unit run telemetry as JSONL and print a summary",
     )
     character.add_argument(
         "--retries", type=int, default=0,
@@ -259,6 +320,7 @@ def build_parser() -> argparse.ArgumentParser:
     mitigations.add_argument("serial", choices=sorted(CATALOG))
     mitigations.add_argument("--temperature", type=float, default=85.0)
     mitigations.add_argument("--projected-scale", type=float, default=1.0)
+    _add_observability_args(mitigations)
 
     datasheet = sub.add_parser(
         "datasheet", help="full markdown datasheet for one module"
@@ -274,6 +336,14 @@ def build_parser() -> argparse.ArgumentParser:
     run_program.add_argument("--rows", type=int, default=256)
     run_program.add_argument("--columns", type=int, default=512)
     run_program.add_argument("--temperature", type=float, default=85.0)
+    _add_observability_args(run_program)
+
+    obs_parser = sub.add_parser("obs", help="observability utilities")
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+    report = obs_sub.add_parser(
+        "report", help="render a metrics file (--metrics output) as a table"
+    )
+    report.add_argument("file", help="a JSON snapshot or Prometheus text file")
 
     return parser
 
@@ -286,21 +356,43 @@ _HANDLERS = {
     "mitigations": _cmd_mitigations,
     "run-program": _cmd_run_program,
     "datasheet": _cmd_datasheet,
+    "obs": _cmd_obs,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    metrics_path = getattr(args, "metrics", None)
+    metrics_port = getattr(args, "metrics_port", None)
+    trace_path = getattr(args, "trace", None)
+    # `characterize --trace` is the engine's RunTrace (unchanged semantics);
+    # on every other command `--trace` records observability spans.
+    span_trace = trace_path if args.command != "characterize" else None
+    if metrics_path or metrics_port is not None or span_trace:
+        obs.enable()
+    server = None
+    if metrics_port is not None:
+        server = obs.MetricsServer(port=metrics_port)
+        print(f"serving /metrics on port {server.port}", file=sys.stderr)
     try:
-        print(_HANDLERS[args.command](args))
+        with obs.span(f"cli.{args.command}"):
+            output = _HANDLERS[args.command](args)
+        print(output)
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
         import os
-        import sys
 
         try:
             sys.stdout.close()
         except BrokenPipeError:
             os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    finally:
+        if server is not None:
+            server.close()
+        if obs.is_enabled():
+            if metrics_path:
+                obs.write_metrics(obs.REGISTRY, metrics_path)
+            if span_trace:
+                obs.write_spans(obs.finished_spans(), span_trace)
     return 0

@@ -39,9 +39,32 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.core.analytic import OutcomeSummary, SubarrayRole
 from repro.core.config import DisturbConfig
 from repro.physics.profile import DisturbanceProfile
+
+# Registry mirrors of the per-instance `stats` counters (`repro.obs`),
+# pre-bound per tier so the hot lookup path is one guarded increment.
+_LOOKUPS = obs.counter(
+    "cache_lookups_total",
+    "Outcome-cache lookups, by the tier that answered.",
+    labelnames=("tier",),
+)
+_LOOKUP_MEMORY = _LOOKUPS.labels(tier="memory")
+_LOOKUP_DISK = _LOOKUPS.labels(tier="disk")
+_LOOKUP_MISS = _LOOKUPS.labels(tier="miss")
+_PUTS = obs.counter(
+    "cache_puts_total", "Outcome summaries stored in the cache."
+)
+_QUARANTINED = obs.counter(
+    "cache_quarantined_total",
+    "Corrupt disk entries renamed to .bad on first read.",
+)
+_EVICTIONS = obs.counter(
+    "cache_evictions_total",
+    "Memory-tier entries evicted past max_memory_entries.",
+)
 
 #: Bump when the summary layout or the outcome semantics change: old disk
 #: entries become unreachable instead of wrong.
@@ -145,6 +168,7 @@ class OutcomeCache:
         if summary is not None and summary.horizon >= min_horizon:
             self._memory.move_to_end(key)
             self.hits += 1
+            _LOOKUP_MEMORY.inc()
             return summary, "memory"
         if self.directory is not None:
             loaded = self._load(key)
@@ -152,8 +176,10 @@ class OutcomeCache:
                 self._remember(key, loaded)
                 self.disk_hits += 1
                 self.hits += 1
+                _LOOKUP_DISK.inc()
                 return loaded, "disk"
         self.misses += 1
+        _LOOKUP_MISS.inc()
         return None, "miss"
 
     def get(self, key: str, min_horizon: float = 0.0) -> OutcomeSummary | None:
@@ -163,6 +189,7 @@ class OutcomeCache:
     def put(self, key: str, summary: OutcomeSummary) -> None:
         """Store a summary in memory (and on disk when configured)."""
         self._remember(key, summary)
+        _PUTS.inc()
         if self.directory is not None:
             self._save(key, summary)
 
@@ -191,6 +218,7 @@ class OutcomeCache:
             while len(self._memory) > self.max_memory_entries:
                 self._memory.popitem(last=False)
                 self.evictions += 1
+                _EVICTIONS.inc()
 
     # ------------------------------------------------------------------
     # Disk tier
@@ -238,6 +266,7 @@ class OutcomeCache:
         try:
             os.replace(path, path.with_suffix(".bad"))
             self.quarantined += 1
+            _QUARANTINED.inc()
         except OSError:
             # Lost a race with another reader/writer: nothing to keep.
             pass

@@ -13,11 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro import obs
 from repro.chip.catalog import get_module
 from repro.chip.geometry import DEFAULT_BANK_GEOMETRY, BankGeometry
 from repro.chip.module import ModuleSpec, SimulatedModule
 from repro.core.analytic import SubarrayRole, disturb_outcome
 from repro.core.config import SEARCH_INTERVAL, DisturbConfig
+from repro.obs import state as _obs_state
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine -> campaign)
     from repro.core.cache import OutcomeCache
@@ -57,6 +59,29 @@ REDUCED_SCALE = CampaignScale(BankGeometry(subarrays=4, rows_per_subarray=1024,
 #: Tiny scale for unit tests.
 QUICK_SCALE = CampaignScale(BankGeometry(subarrays=4, rows_per_subarray=64,
                                          columns=128))
+
+
+# Shared between the serial path below and the engine's record assembly
+# (`repro.core.engine.record_from_summary`), so both execution paths feed
+# the same metric family identically.
+_CELLS_FLIPPED = obs.counter(
+    "cells_flipped_total",
+    "ColumnDisturb bitflips in campaign records, at each record's largest "
+    "queried refresh interval.",
+    labelnames=("mfr", "density"),
+)
+
+
+def record_cell_flip_metrics(record: "SubarrayRecord") -> None:
+    """Re-express one campaign record's flip count on the metrics registry."""
+    if not _obs_state.enabled or record.status != "ok" or not record.cd_flips:
+        return
+    flips = record.cd_flips[max(record.cd_flips)]
+    if flips:
+        _CELLS_FLIPPED.labels(
+            mfr=record.manufacturer,
+            density=get_module(record.serial).density,
+        ).inc(flips)
 
 
 @dataclass(frozen=True)
@@ -231,7 +256,7 @@ class Campaign:
         # One sorted-event sweep answers every requested interval (and the
         # time-to-first metric) instead of one full-array mask per interval.
         outcome.summarize(max((SEARCH_INTERVAL, *intervals)))
-        return SubarrayRecord(
+        record = SubarrayRecord(
             serial=spec.serial,
             manufacturer=spec.manufacturer,
             die_label=spec.die_label,
@@ -246,3 +271,6 @@ class Campaign:
             ret_flips={t: outcome.retention_flip_count(t) for t in intervals},
             ret_rows={t: outcome.retention_rows_with_flips(t) for t in intervals},
         )
+        if _obs_state.enabled:
+            record_cell_flip_metrics(record)
+        return record

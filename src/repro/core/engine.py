@@ -47,11 +47,13 @@ from dataclasses import dataclass, field
 from enum import Enum
 from functools import partial
 
+from repro import obs
 from repro.chip.catalog import get_module
 from repro.chip.cells import CellPopulation
 from repro.chip.geometry import BankGeometry
 from repro.chip.module import ModuleSpec
 from repro.chip.timing import DDR4, HBM2, TimingParameters
+from repro.obs import state as _obs_state
 from repro.core.analytic import (
     GUARDBAND_ROWS,
     OutcomeSummary,
@@ -63,9 +65,10 @@ from repro.core.campaign import (
     STANDARD_SCALE,
     CampaignScale,
     SubarrayRecord,
+    record_cell_flip_metrics,
 )
 from repro.core.config import SEARCH_INTERVAL, DisturbConfig
-from repro.core.telemetry import RunTrace, UnitTrace
+from repro.core.telemetry import RunTrace, UnitTrace, record_unit_metrics
 
 #: Default event horizon of engine summaries; 8x the paper's longest tested
 #: refresh interval, so every figure bench hits the same cache entries.
@@ -73,6 +76,15 @@ DEFAULT_ENGINE_HORIZON = 128.0
 
 #: Exponential backoff never sleeps longer than this between attempts.
 MAX_BACKOFF_S = 2.0
+
+_POOL_RESPAWNS = obs.counter(
+    "engine_pool_respawns_total",
+    "Worker pools torn down and respawned after a pool failure.",
+)
+_POOL_DEGRADES = obs.counter(
+    "engine_pool_degraded_total",
+    "Campaign passes that degraded from pool to in-process execution.",
+)
 
 
 class FailurePolicy(str, Enum):
@@ -220,6 +232,19 @@ def _mark_pool_worker() -> None:
     _IN_POOL_WORKER = True
 
 
+def _init_pool_worker(obs_enabled: bool) -> None:
+    """Pool initializer: flag the worker and propagate the observability
+    switch (spawn-started workers do not inherit the parent's state).
+
+    Fork-started workers inherit the parent's *accumulated* metrics and
+    span buffer; reset them so the worker's payloads are pure deltas and
+    the parent never merges its own counts back in."""
+    _mark_pool_worker()
+    if obs_enabled:
+        obs.enable()
+        obs.reset()
+
+
 def _maybe_inject_fault(unit: WorkUnit) -> None:
     raw = os.environ.get(FAULT_ENV)
     if not raw:
@@ -258,12 +283,26 @@ def _maybe_inject_fault(unit: WorkUnit) -> None:
 
 def _worker_run(
     unit: WorkUnit, horizon: float, guardband: int
-) -> tuple[OutcomeSummary, int, float]:
-    """Pool/in-process execution wrapper: returns (summary, pid, wall_s)."""
+) -> tuple[OutcomeSummary, int, float, dict | None]:
+    """Pool/in-process execution wrapper.
+
+    Returns ``(summary, pid, wall_s, obs_payload)``.  In a pool worker with
+    observability enabled, ``obs_payload`` carries the metric shards and
+    finished spans this unit produced (a snapshot-and-reset delta) back to
+    the campaign process, which merges them; in-process execution writes
+    straight to the campaign's own registry and ships ``None``.
+    """
     _maybe_inject_fault(unit)
     start = time.perf_counter()
-    summary = execute_unit(unit, horizon=horizon, guardband=guardband)
-    return summary, os.getpid(), time.perf_counter() - start
+    with obs.span(
+        "engine.unit",
+        serial=unit.serial, chip=unit.chip, bank=unit.bank,
+        subarray=unit.subarray,
+    ):
+        summary = execute_unit(unit, horizon=horizon, guardband=guardband)
+    wall = time.perf_counter() - start
+    payload = obs.pool_worker_payload() if _IN_POOL_WORKER else None
+    return summary, os.getpid(), wall, payload
 
 
 def _kill_pool(pool: ProcessPoolExecutor) -> None:
@@ -306,7 +345,7 @@ def record_from_summary(
         spec = get_module(unit.serial)
     if summary is None:
         rows = unit.geometry.subarray_rows(unit.subarray)
-        return SubarrayRecord(
+        record = SubarrayRecord(
             serial=spec.serial,
             manufacturer=spec.manufacturer,
             die_label=spec.die_label,
@@ -322,6 +361,19 @@ def record_from_summary(
             ret_rows={},
             status="skipped",
         )
+    else:
+        record = _record_from_ok_summary(unit, summary, intervals, spec)
+    if _obs_state.enabled:
+        record_cell_flip_metrics(record)
+    return record
+
+
+def _record_from_ok_summary(
+    unit: WorkUnit,
+    summary: OutcomeSummary,
+    intervals: tuple[float, ...],
+    spec: ModuleSpec,
+) -> SubarrayRecord:
     return SubarrayRecord(
         serial=spec.serial,
         manufacturer=spec.manufacturer,
@@ -402,13 +454,19 @@ class CharacterizationEngine:
         """
         units = plan_units(tuple(serials), config, self.scale)
         horizon = max((self.horizon, SEARCH_INTERVAL, *intervals))
-        summaries = self._summaries(units, horizon)
-        return [
-            record_from_summary(
-                unit, summary, tuple(intervals), spec=self._spec(unit.serial)
-            )
-            for unit, summary in zip(units, summaries)
-        ]
+        with obs.span(
+            "engine.characterize",
+            serials=",".join(serials), units=len(units),
+            workers=self.workers,
+        ):
+            summaries = self._summaries(units, horizon)
+            return [
+                record_from_summary(
+                    unit, summary, tuple(intervals),
+                    spec=self._spec(unit.serial),
+                )
+                for unit, summary in zip(units, summaries)
+            ]
 
     # ------------------------------------------------------------------
     # Memoized per-serial/per-unit lookups
@@ -441,22 +499,25 @@ class CharacterizationEngine:
         worker: int | None = None,
         error: str | None = None,
     ) -> None:
-        if self.trace is None:
+        """Record one unit's telemetry to the RunTrace and/or the metrics
+        registry — both views are built from the same UnitTrace value."""
+        if self.trace is None and not _obs_state.enabled:
             return
-        self.trace.record(
-            UnitTrace(
-                index=index,
-                serial=unit.serial,
-                chip=unit.chip,
-                bank=unit.bank,
-                subarray=unit.subarray,
-                source=source,
-                wall_s=wall,
-                attempts=attempts,
-                worker=worker,
-                error=error,
-            )
+        unit_trace = UnitTrace(
+            index=index,
+            serial=unit.serial,
+            chip=unit.chip,
+            bank=unit.bank,
+            subarray=unit.subarray,
+            source=source,
+            wall_s=wall,
+            attempts=attempts,
+            worker=worker,
+            error=error,
         )
+        record_unit_metrics(unit_trace)
+        if self.trace is not None:
+            self.trace.record(unit_trace)
 
     def _summaries(
         self, units: list[WorkUnit], horizon: float
@@ -512,8 +573,10 @@ class CharacterizationEngine:
             if respawns_left == 0:
                 # Second pool failure: degrade to in-process execution.
                 pool_mode = False
+                _POOL_DEGRADES.inc()
             else:
                 respawns_left -= 1
+                _POOL_RESPAWNS.inc()
         for i in queue:
             self._run_in_process(
                 units[i], i, compute, results, attempts, errors
@@ -528,7 +591,8 @@ class CharacterizationEngine:
         still unresolved and whether the pool failed."""
         pool = ProcessPoolExecutor(
             max_workers=min(self.workers, len(queue)),
-            initializer=_mark_pool_worker,
+            initializer=_init_pool_worker,
+            initargs=(_obs_state.enabled,),
         )
         futures = {}
         broke = False
@@ -545,7 +609,7 @@ class CharacterizationEngine:
             for i in (() if broke else queue):
                 while True:
                     try:
-                        summary, worker, wall = futures[i].result(
+                        summary, worker, wall, payload = futures[i].result(
                             timeout=self.timeout
                         )
                     except BrokenExecutor as exc:
@@ -583,6 +647,7 @@ class CharacterizationEngine:
                             )
                     else:
                         attempts[i] += 1
+                        obs.merge_payload(payload)
                         results[i] = _ExecResult(
                             summary, attempts[i], wall, worker, None
                         )
@@ -608,12 +673,13 @@ class CharacterizationEngine:
             if i in results or future is None or not future.done():
                 continue
             try:
-                summary, worker, wall = future.result(timeout=0)
+                summary, worker, wall, payload = future.result(timeout=0)
             except (KeyboardInterrupt, SystemExit):
                 raise
             except BaseException:
                 continue
             attempts[i] += 1
+            obs.merge_payload(payload)
             results[i] = _ExecResult(summary, attempts[i], wall, worker, None)
 
     def _run_in_process(
@@ -623,7 +689,9 @@ class CharacterizationEngine:
         while True:
             attempts[index] += 1
             try:
-                summary, worker, wall = compute(unit)
+                # In-process execution instruments the campaign's own
+                # registry directly; the payload slot is always None here.
+                summary, worker, wall, _payload = compute(unit)
             except (KeyboardInterrupt, SystemExit):
                 raise
             except Exception as exc:

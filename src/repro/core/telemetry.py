@@ -26,11 +26,42 @@ import math
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro import obs
+from repro.obs import state as _obs_state
+
 #: Where a unit's summary came from.  ``computed`` means a worker (or the
 #: in-process fallback) ran the characterization; ``skipped`` means every
 #: attempt failed and the engine's ``FailurePolicy`` recorded an explicit
 #: hole instead of raising.
 UNIT_SOURCES = ("memory", "disk", "computed", "skipped")
+
+# Registry re-expression of the per-unit telemetry (`repro.obs`): the engine
+# feeds every UnitTrace through `record_unit_metrics`, whether or not a
+# RunTrace is attached, so the JSONL trace and the metrics snapshot are two
+# views of the same records and can never disagree.
+_UNITS_TOTAL = obs.counter(
+    "engine_units_total",
+    "Work units resolved by the characterization engine, by summary source.",
+    labelnames=("source",),
+)
+_UNIT_SECONDS = obs.histogram(
+    "engine_unit_seconds",
+    "Wall-clock seconds to obtain one unit summary (compute or cache hit).",
+)
+_UNIT_RETRIES = obs.counter(
+    "engine_unit_retries_total",
+    "Execution attempts beyond each unit's first, across all units.",
+)
+
+
+def record_unit_metrics(unit_trace: "UnitTrace") -> None:
+    """Re-express one unit's telemetry on the metrics registry."""
+    if not _obs_state.enabled:
+        return
+    _UNITS_TOTAL.labels(source=unit_trace.source).inc()
+    _UNIT_SECONDS.observe(unit_trace.wall_s)
+    if unit_trace.retries:
+        _UNIT_RETRIES.inc(unit_trace.retries)
 
 
 @dataclass(frozen=True)
@@ -70,10 +101,15 @@ class UnitTrace:
         return json.dumps(dataclasses.asdict(self), sort_keys=True)
 
 
-def _percentile(values: list[float], q: float) -> float:
-    """Nearest-rank percentile; 0.0 for an empty sample."""
+def _percentile(values: list[float], q: float) -> float | None:
+    """Nearest-rank percentile; ``None`` for an empty sample.
+
+    ``None`` (JSON ``null``) rather than NaN: ``json.dumps`` happily emits
+    bare ``NaN`` tokens, which are not valid JSON and break downstream
+    parsers of trace summaries.
+    """
     if not values:
-        return 0.0
+        return None
     ordered = sorted(values)
     rank = math.ceil(q / 100.0 * len(ordered))
     return ordered[min(len(ordered) - 1, max(0, rank - 1))]
@@ -99,7 +135,15 @@ class RunTrace:
         self.records.append(unit_trace)
         if self.path is not None:
             if self._handle is None:
+                import repro
+
                 self._handle = open(self.path, "a", encoding="utf-8")
+                # Meta header: stamp the producing version so a trace file
+                # is self-describing; `load_trace` skips meta lines.
+                self._handle.write(
+                    json.dumps({"meta": {"repro_version": repro.__version__}})
+                    + "\n"
+                )
             self._handle.write(unit_trace.to_json() + "\n")
             self._handle.flush()
 
@@ -119,9 +163,19 @@ class RunTrace:
     # Aggregation
     # ------------------------------------------------------------------
     def summary(self) -> dict:
-        """Aggregate statistics over every recorded unit."""
-        walls = [r.wall_s for r in self.records]
-        computed = [r for r in self.records if r.source == "computed"]
+        """Aggregate statistics over every recorded unit.
+
+        Always JSON-safe: an empty (or all-skipped) trace yields ``None``
+        percentiles and zero ratios — never NaN, never a zero division.
+        Latency percentiles are computed over *measured* units (cache hits
+        and computes); skipped units contribute no wall-time sample.
+        """
+        measured = [
+            r for r in self.records
+            if r.source != "skipped" and math.isfinite(r.wall_s)
+        ]
+        walls = [r.wall_s for r in measured]
+        computed = sum(1 for r in self.records if r.source == "computed")
         memory = sum(1 for r in self.records if r.source == "memory")
         disk = sum(1 for r in self.records if r.source == "disk")
         skipped = sum(1 for r in self.records if r.source == "skipped")
@@ -129,7 +183,7 @@ class RunTrace:
         units = len(self.records)
         return {
             "units": units,
-            "computed": len(computed),
+            "computed": computed,
             "memory_hits": memory,
             "disk_hits": disk,
             "skipped": skipped,
@@ -144,6 +198,10 @@ class RunTrace:
     def summary_table(self) -> str:
         """Human-readable end-of-run summary (the `--trace` footer)."""
         s = self.summary()
+
+        def _ms(value: float | None) -> str:
+            return "n/a" if value is None else f"{value * 1e3:.2f} ms"
+
         return "\n".join([
             "run trace summary:",
             f"  units: {s['units']} ({s['computed']} computed, "
@@ -152,16 +210,33 @@ class RunTrace:
             f"  cache hit ratio: {s['cache_hit_ratio']:.1%}",
             f"  units retried: {s['units_retried']} "
             f"({s['total_attempts']} total attempts)",
-            f"  unit latency: p50 {s['wall_p50_s'] * 1e3:.2f} ms, "
-            f"p95 {s['wall_p95_s'] * 1e3:.2f} ms",
+            f"  unit latency: p50 {_ms(s['wall_p50_s'])}, "
+            f"p95 {_ms(s['wall_p95_s'])}",
             f"  total unit wall time: {s['total_wall_s']:.3f} s",
         ])
 
 
 def load_trace(path: str | Path) -> list[UnitTrace]:
-    """Read a JSONL trace file back into :class:`UnitTrace` records."""
+    """Read a JSONL trace file back into :class:`UnitTrace` records.
+
+    Meta header lines (``{"meta": {...}}``) are skipped; use
+    :func:`trace_meta` to read them.
+    """
     records = []
     for line in Path(path).read_text(encoding="utf-8").splitlines():
         if line.strip():
-            records.append(UnitTrace(**json.loads(line)))
+            payload = json.loads(line)
+            if "meta" not in payload:
+                records.append(UnitTrace(**payload))
     return records
+
+
+def trace_meta(path: str | Path) -> dict:
+    """Merged meta headers of a JSONL trace (e.g. ``repro_version``)."""
+    meta: dict = {}
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        if line.strip():
+            payload = json.loads(line)
+            if "meta" in payload:
+                meta.update(payload["meta"])
+    return meta

@@ -1,0 +1,26 @@
+"""Process-wide observability switch.
+
+This module holds exactly one mutable flag so instrumented hot paths can
+guard themselves with a single attribute read::
+
+    from repro.obs import state as _obs_state
+    ...
+    if _obs_state.enabled:
+        _COUNTER.inc()
+
+Keeping the flag in its own leaf module (no imports from anywhere in
+``repro``) means every layer of the stack can consult it without creating
+import cycles, and the disabled-path cost is one module-attribute lookup
+plus one branch.
+
+Observability is OFF by default; ``repro.obs.enable()`` switches it on, as
+does the ``REPRO_OBS=1`` environment variable (consumed by
+``repro.obs.__init__`` at import time so benches and worker processes can
+opt in without code changes).
+"""
+
+from __future__ import annotations
+
+#: Master switch consulted by every instrumentation site.  Mutated only via
+#: :func:`repro.obs.enable` / :func:`repro.obs.disable`.
+enabled: bool = False

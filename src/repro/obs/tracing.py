@@ -1,0 +1,178 @@
+"""Span-based tracing: nested timed regions across threads and processes.
+
+A span is a named, timed region of work with free-form attributes::
+
+    with obs.span("characterize.subarray", serial="S0", subarray=3):
+        ...
+
+Spans nest: the span active when a new span starts becomes its parent
+(tracked with a :class:`contextvars.ContextVar`, so nesting is correct per
+thread and per asyncio task).  Finished spans accumulate in a bounded
+process-wide buffer that exporters drain.
+
+Cross-process propagation is snapshot-based rather than connection-based:
+a ``ProcessPoolExecutor`` worker runs its spans locally, then
+``repro.obs.pool_worker_payload()`` serializes its finished spans (and
+metric shards) back with each work-unit result; the parent *adopts* them —
+re-rooting each orphan span under the parent's currently active span — so
+a campaign trace shows worker unit spans nested beneath the campaign span
+that scheduled them.
+
+When observability is disabled, ``span(...)`` returns a shared no-op
+context manager: no allocation, no clock reads.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.obs import state as _state
+
+#: Finished-span buffer cap; beyond it new spans are counted, not stored.
+MAX_FINISHED_SPANS = 100_000
+
+_current_span: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+_finished: list[dict] = []
+_finished_lock = threading.Lock()
+_dropped = 0
+_ids = itertools.count(1)
+
+
+def _new_span_id() -> str:
+    """Process-unique span id (pid-prefixed so merges cannot collide)."""
+    return f"{os.getpid():x}-{next(_ids):x}"
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager returned while disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def set_attribute(self, key: str, value: object) -> None:
+        return None
+
+
+_NOOP = _NoopSpan()
+
+
+@dataclass
+class Span:
+    """One live span; becomes a plain-dict record when it finishes."""
+
+    name: str
+    attributes: dict = field(default_factory=dict)
+    span_id: str = field(default_factory=_new_span_id)
+    parent_id: str | None = None
+    start_unix: float = 0.0
+    _start_perf: float = 0.0
+    _token: object = field(default=None, repr=False)
+
+    def __enter__(self) -> "Span":
+        parent = _current_span.get()
+        if parent is not None:
+            self.parent_id = parent.span_id
+        self.start_unix = time.time()
+        self._start_perf = time.perf_counter()
+        self._token = _current_span.set(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration = time.perf_counter() - self._start_perf
+        _current_span.reset(self._token)
+        record = {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_unix": self.start_unix,
+            "duration_s": duration,
+            "pid": os.getpid(),
+            "attributes": self.attributes,
+        }
+        if exc_type is not None:
+            record["error"] = f"{exc_type.__name__}: {exc}"
+        _record_finished(record)
+
+    def set_attribute(self, key: str, value: object) -> None:
+        """Attach/overwrite one attribute on the live span."""
+        self.attributes[key] = value
+
+
+def span(name: str, **attributes: object) -> Span | _NoopSpan:
+    """Start a (context-managed) span; a shared no-op while disabled."""
+    if not _state.enabled:
+        return _NOOP
+    return Span(name=name, attributes=attributes)
+
+
+def current_span() -> Span | None:
+    """The span active in this thread/task, if any."""
+    return _current_span.get()
+
+
+def _record_finished(record: dict) -> None:
+    global _dropped
+    with _finished_lock:
+        if len(_finished) >= MAX_FINISHED_SPANS:
+            _dropped += 1
+        else:
+            _finished.append(record)
+
+
+def finished_spans() -> list[dict]:
+    """A copy of the finished-span buffer (oldest first)."""
+    with _finished_lock:
+        return list(_finished)
+
+
+def drain_spans() -> list[dict]:
+    """Remove and return every buffered finished span."""
+    with _finished_lock:
+        drained = list(_finished)
+        _finished.clear()
+        return drained
+
+
+def dropped_spans() -> int:
+    """Spans discarded because the buffer was full."""
+    return _dropped
+
+
+def clear() -> None:
+    """Empty the buffer and reset the drop counter (test hygiene)."""
+    global _dropped
+    with _finished_lock:
+        _finished.clear()
+        _dropped = 0
+
+
+def adopt_spans(records: list[dict]) -> None:
+    """Merge spans serialized by another process into this buffer.
+
+    Orphans (spans whose parent did not travel with them — a worker's
+    top-level unit spans) are re-rooted under the currently active span,
+    so a campaign trace nests worker spans beneath their scheduling span.
+    """
+    local_ids = {record["span_id"] for record in records}
+    active = _current_span.get()
+    for record in records:
+        parent = record.get("parent_id")
+        if parent is None or parent not in local_ids:
+            record = dict(record)
+            record["adopted"] = True
+            if active is not None:
+                record["parent_id"] = active.span_id
+        _record_finished(record)

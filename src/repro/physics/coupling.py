@@ -18,9 +18,16 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
+from repro.obs import state as _obs_state
 from repro.physics.constants import Q_CRIT, V_PRECHARGE
 from repro.physics.profile import DisturbanceProfile
 from repro.physics.voltage import VoltagePhase, waveform_period
+
+_LEAKAGE_EVALS = obs.counter(
+    "physics_leakage_evals_total",
+    "Per-cell leakage-rate evaluations performed by the physics layer.",
+)
 
 
 def mean_coupling_multiplier(
@@ -68,6 +75,8 @@ def total_leakage_rates(
     ``coupling_multiplier`` may be a scalar (uniform waveform) or an array
     broadcastable against the cell arrays (per-column waveforms).
     """
+    if _obs_state.enabled:
+        _LEAKAGE_EVALS.inc(np.size(lambda_int))
     a_int = profile.retention_temperature_factor(temperature_c)
     a_cd = profile.coupling_temperature_factor(temperature_c)
     intrinsic = lambda_int * a_int

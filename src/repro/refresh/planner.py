@@ -22,6 +22,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro import obs
 from repro.chip.module import ModuleSpec, SimulatedModule
 from repro.chip.timing import T_AGG_ON_DEFAULT
 from repro.core.analytic import SubarrayRole, disturb_outcome, retention_outcome
@@ -31,6 +32,16 @@ from repro.refresh.raidr import (
     BitmapStore,
     BloomFilterStore,
     RaidrMechanism,
+)
+
+_TREFW_VIOLATIONS = obs.counter(
+    "refresh_trefw_violations_total",
+    "Safe-period computations whose result fell below the 64 ms tREFW "
+    "(the module cannot be protected by nominal periodic refresh).",
+)
+_MITIGATION_PLANS = obs.counter(
+    "refresh_mitigation_plans_total",
+    "Mitigation cost comparisons produced by the planner.",
 )
 
 
@@ -90,7 +101,10 @@ def columndisturb_safe_period(
     bitflip floor divided by a safety factor."""
     if safety_factor < 1.0:
         raise ValueError("safety_factor must be >= 1")
-    return spec.profile.first_flip_floor(temperature_c) / safety_factor
+    period = spec.profile.first_flip_floor(temperature_c) / safety_factor
+    if period < 0.064:
+        _TREFW_VIOLATIONS.inc()
+    return period
 
 
 def classify_rows(
@@ -169,6 +183,7 @@ def compare_mitigations(
     """
     if projected_scale < 1.0:
         raise ValueError("projected_scale must be >= 1")
+    _MITIGATION_PLANS.inc()
     profile = spec.profile.with_die_scale(spec.profile.die_scale * projected_scale)
     spec = replace(spec, profile=profile)
     model = RefreshRateModel()

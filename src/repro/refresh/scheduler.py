@@ -13,6 +13,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
+
+_COST_EVALS = obs.counter(
+    "refresh_cost_evals_total",
+    "Normalized refresh-operation cost-model evaluations.",
+)
+
 #: The Fig. 22 strong-row retention times (seconds).
 STRONG_RETENTION_TIMES = (0.128, 0.256, 0.512, 1.024)
 
@@ -36,6 +43,7 @@ def normalized_refresh_operations(
         raise ValueError("weak_fraction must be within [0, 1]")
     if strong_retention < weak_retention:
         raise ValueError("strong retention must be >= weak retention")
+    _COST_EVALS.inc()
     return weak_fraction + (1.0 - weak_fraction) * weak_retention / strong_retention
 
 

@@ -15,8 +15,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.sim.refreshpolicy import NoRefresh, RefreshPolicy
 from repro.sim.timing import DDR4_3200, SimTiming
+
+# Registry mirror of `ControllerStats`, split by access outcome.
+_REQUESTS = obs.counter(
+    "sim_requests_total",
+    "Memory requests served by the simulated controller, by row outcome.",
+    labelnames=("outcome",),
+)
+_REQ_HIT = _REQUESTS.labels(outcome="hit")
+_REQ_CLOSED = _REQUESTS.labels(outcome="closed")
+_REQ_CONFLICT = _REQUESTS.labels(outcome="conflict")
 
 
 @dataclass
@@ -124,13 +135,16 @@ class MemoryController:
         if bank.open_row is None:
             latency = self.timing.closed_latency()
             self.stats.row_closed += 1
+            _REQ_CLOSED.inc()
         elif bank.open_row == request.row:
             latency = self.timing.hit_latency()
             request.row_hit = True
             self.stats.row_hits += 1
+            _REQ_HIT.inc()
         else:
             latency = self.timing.conflict_latency()
             self.stats.row_conflicts += 1
+            _REQ_CONFLICT.inc()
         # Data-bus serialization: the burst must not overlap another burst.
         data_start = start + latency - self.timing.t_burst
         if data_start < self.channel_free_at:

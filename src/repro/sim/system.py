@@ -15,11 +15,22 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 
+from repro import obs
+from repro.obs import state as _obs_state
 from repro.sim.controller import MemoryController, MemoryRequest
 from repro.sim.cpu import Core
 from repro.sim.refreshpolicy import RefreshPolicy
-from repro.sim.timing import DDR4_3200, SimTiming
+from repro.sim.timing import CONTROLLER_HZ, DDR4_3200, SimTiming
 from repro.workloads.trace import WorkloadTrace
+
+_CYCLES = obs.counter(
+    "sim_cycles_total", "Controller cycles simulated across completed mixes."
+)
+_REFRESH_OPS = obs.counter(
+    "refresh_ops_total",
+    "Refresh operations issued over simulated time, by refresh policy.",
+    labelnames=("policy",),
+)
 
 _ARRIVE = 0
 _BANK_FREE = 1
@@ -109,27 +120,39 @@ def simulate_mix(
         pump_core(core)
 
     last_cycle = 0
-    while events:
-        cycle, _, kind, payload = heapq.heappop(events)
-        last_cycle = max(last_cycle, cycle)
-        if kind == _ARRIVE:
-            (request,) = payload
-            controller.enqueue(request)
-            bank = controller.banks[request.bank]
-            if bank.free_at <= cycle:
-                _serve(controller, request.bank, cycle, push, cores, pump_core)
-            else:
-                # The bank is occupied past its last scheduled wake-up
-                # (mitigation mechanisms extend free_at after the access);
-                # make sure someone retries once it frees up.
-                push(bank.free_at, _BANK_FREE, (request.bank,))
-        else:  # _BANK_FREE
-            (bank_index,) = payload
-            _serve(controller, bank_index, cycle, push, cores, pump_core)
+    with obs.span(
+        "sim.mix", policy=policy.name, cores=len(traces), banks=banks,
+        backend=backend,
+    ):
+        while events:
+            cycle, _, kind, payload = heapq.heappop(events)
+            last_cycle = max(last_cycle, cycle)
+            if kind == _ARRIVE:
+                (request,) = payload
+                controller.enqueue(request)
+                bank = controller.banks[request.bank]
+                if bank.free_at <= cycle:
+                    _serve(controller, request.bank, cycle, push, cores,
+                           pump_core)
+                else:
+                    # The bank is occupied past its last scheduled wake-up
+                    # (mitigation mechanisms extend free_at after the access);
+                    # make sure someone retries once it frees up.
+                    push(bank.free_at, _BANK_FREE, (request.bank,))
+            else:  # _BANK_FREE
+                (bank_index,) = payload
+                _serve(controller, bank_index, cycle, push, cores, pump_core)
 
     for core in cores:
         if core.finish_cycle is None:
             raise RuntimeError(f"core {core.core_id} did not finish its trace")
+
+    if _obs_state.enabled:
+        _CYCLES.inc(last_cycle)
+        # Refresh operations issued over this mix's simulated wall time.
+        _REFRESH_OPS.labels(policy=policy.name).inc(
+            policy.refresh_events_per_second(banks) * last_cycle / CONTROLLER_HZ
+        )
 
     stats = controller.stats
     return SimulationResult(

@@ -60,3 +60,93 @@ def test_unknown_serial_rejected():
 def test_command_required():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+# ---------------------------------------------------------------------------
+# Observability flags (shared across subcommands) and the obs subcommand
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    from repro import obs
+
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def test_version_flag(capsys):
+    import repro
+
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0
+    assert capsys.readouterr().out.strip() == f"repro {repro.__version__}"
+
+
+def test_risk_metrics_file(tmp_path, capsys):
+    from repro import obs
+
+    metrics = tmp_path / "risk.json"
+    run(capsys, "risk", "H0", "--metrics", str(metrics))
+    samples = obs.load_metrics(metrics)
+    assert "refresh_trefw_violations_total" in samples or samples
+    import json
+
+    assert json.loads(metrics.read_text())["repro_version"]
+
+
+def test_span_trace_on_non_characterize_command(tmp_path, capsys):
+    import json
+
+    trace = tmp_path / "spans.jsonl"
+    run(capsys, "mitigations", "M8", "--projected-scale", "8",
+        "--trace", str(trace))
+    records = [json.loads(line) for line in trace.read_text().splitlines()]
+    assert any(r["name"] == "cli.mitigations" for r in records)
+
+
+def test_run_program_metrics_match_program_text(tmp_path, capsys):
+    from repro import obs
+
+    program = tmp_path / "p.txt"
+    program.write_text(
+        "WRITE 1 0x00\n"
+        "WRITE 3 0xFF\n"
+        "LOOP 25\n"
+        "  ACT 2\n"
+        "  WAIT 50ns\n"
+        "  PRE\n"
+        "ENDLOOP\n"
+        "READ 1 tag=a\n"
+        "READ 3 tag=b\n"
+    )
+    metrics = tmp_path / "m.prom"
+    run(capsys, "run-program", "S0", str(program), "--rows", "64",
+        "--columns", "128", "--metrics", str(metrics))
+    samples = {
+        (name, frozenset(labels.items())): value
+        for name, entries in obs.load_metrics(metrics).items()
+        for labels, value in entries
+    }
+    assert samples[("bender_commands_total", frozenset({("kind", "ACT")}))] == 25
+    assert samples[("bender_commands_total", frozenset({("kind", "PRE")}))] == 25
+    assert samples[("bender_commands_total", frozenset({("kind", "RD")}))] == 2
+    assert samples[("bender_commands_total", frozenset({("kind", "WR")}))] == 2
+    assert samples[("bender_programs_total", frozenset())] == 1
+
+
+def test_obs_report_subcommand(tmp_path, capsys):
+    metrics = tmp_path / "m.prom"
+    run(capsys, "risk", "H0", "--metrics", str(metrics))
+    out = run(capsys, "obs", "report", str(metrics))
+    assert "repro_build_info" in out
+
+
+def test_characterize_trace_still_prints_run_summary(tmp_path, capsys):
+    out = run(capsys, "characterize", "S0", "--subarrays", "2", "--rows",
+              "64", "--columns", "128", "--trace",
+              str(tmp_path / "t.jsonl"))
+    assert "cache hit ratio" in out
