@@ -7,7 +7,6 @@ at the paper's observed fractions (tens of percent) no reasonable filter
 survives, motivating PRVR-style approaches instead.
 """
 
-import numpy as np
 
 from _common import emit, run_once
 from repro.analysis import percent, table

@@ -12,12 +12,6 @@ from repro.bender.commands import (
     Write,
 )
 from repro.bender.executor import DramBender, ExecutionResult, ReadRecord
-from repro.bender.text import (
-    ProgramSyntaxError,
-    format_program,
-    parse_duration,
-    parse_program,
-)
 from repro.bender.program import (
     hammer_program,
     initialize_rows_program,
@@ -25,6 +19,12 @@ from repro.bender.program import (
     readout_program,
     retention_program,
     rowclone_program,
+)
+from repro.bender.text import (
+    ProgramSyntaxError,
+    format_program,
+    parse_duration,
+    parse_program,
 )
 
 __all__ = [

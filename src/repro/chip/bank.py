@@ -28,6 +28,12 @@ RowHammer/RowPress damage to the +/-1 physical neighbours of each activated
 row is tracked in a separate per-row hammer ledger and evaluated with
 `repro.physics.rowhammer` at read time.
 
+How the per-row work is scheduled — one Python pass per row, or flat-array
+batches — is a pluggable execution kernel (`repro.chip.kernels`): pass
+``kernel="batched"`` (the default) or ``kernel="reference"``, or set the
+``REPRO_KERNEL`` environment variable.  Both kernels are bit-identical;
+the reference kernel is the parity oracle.
+
 Addresses at this layer are PHYSICAL row addresses; logical translation
 lives in `repro.chip.module` / the bender.
 """
@@ -42,11 +48,12 @@ from repro import obs
 from repro.chip.cells import CellPopulation
 from repro.chip.datapattern import expand_pattern
 from repro.chip.geometry import BankGeometry
+from repro.chip.kernels import BankKernel, make_kernel
 from repro.chip.timing import TimingParameters
 from repro.obs import state as _obs_state
-from repro.physics.constants import Q_CRIT, T_REFERENCE_C, V_PRECHARGE
+from repro.physics.constants import T_REFERENCE_C, V_PRECHARGE
+from repro.physics.coupling import driven_coupling_multipliers
 from repro.physics.profile import DisturbanceProfile
-from repro.physics.rowhammer import neighbour_flip_mask
 
 _REBASELINED = obs.counter(
     "bank_rebaselined_rows_total",
@@ -69,10 +76,6 @@ _DRIVEN_SECONDS = obs.counter(
     "bank_column_driven_seconds_total",
     "Seconds of bitline driving accumulated across activations.",
 )
-_READ_FLIPS = obs.counter(
-    "bank_read_flips_total",
-    "Bitflips observed by read-time evaluation (recounted on re-reads).",
-)
 
 
 class SimulatedBank:
@@ -85,6 +88,9 @@ class SimulatedBank:
         profile: die-generation disturbance parameters.
         timing: DRAM timing parameters (tRAS/tRP bounds for activations).
         temperature_c: initial device temperature.
+        kernel: hot-path execution kernel — ``"batched"`` (default) or
+            ``"reference"``, a `BankKernel` instance, or ``None`` to
+            resolve via the ``REPRO_KERNEL`` environment variable.
     """
 
     def __init__(
@@ -94,12 +100,14 @@ class SimulatedBank:
         profile: DisturbanceProfile,
         timing: TimingParameters,
         temperature_c: float = T_REFERENCE_C,
+        kernel: str | BankKernel | None = None,
     ) -> None:
         self.key = key
         self.geometry = geometry
         self.profile = profile
         self.timing = timing
         self.temperature_c = temperature_c
+        self._kernel = make_kernel(kernel)
 
         rows, cols, subs = geometry.rows, geometry.columns, geometry.subarrays
         self.now = 0.0
@@ -123,6 +131,11 @@ class SimulatedBank:
         # Variable-retention-time trial nonce (None = nominal leakage).
         self._vrt_nonce: object | None = None
         self._vrt_cache: dict[int, np.ndarray] = {}
+
+    @property
+    def kernel(self) -> str:
+        """Name of the active hot-path execution kernel."""
+        return self._kernel.name
 
     # ------------------------------------------------------------------
     # Populations and trials
@@ -174,15 +187,14 @@ class SimulatedBank:
         bits = self._coerce_bits(pattern)
         for row in rows:
             self.geometry._check_row(row)
-            self._baseline[row] = bits
+        self._kernel.write_rows(self, rows, bits)
         self._rebaseline(rows)
 
     def refresh_rows(self, rows: Iterable[int]) -> None:
         """Refresh rows: restore charge, preserving any flips already
         accumulated (a refresh cannot undo a bitflip)."""
         rows = list(rows)
-        for row in rows:
-            self._baseline[row] = self.read_row(row)
+        self._kernel.refresh_rows(self, rows)
         self._rebaseline(rows)
 
     def refresh_all(self) -> None:
@@ -298,24 +310,23 @@ class SimulatedBank:
         if _obs_state.enabled:
             _ACTIVATIONS.inc(count * len(rows))
 
-        aggressor_bits = {}
         for row in rows:
             self.geometry._check_row(row)
-            aggressor_bits[row] = self.read_row(row)
+        row_idx = np.asarray(rows, dtype=np.int64)
+        aggressor_bits = self._evaluate_rows(row_idx)
 
-        for row in rows:
-            self._register_driving(row, aggressor_bits[row], count * t_agg_on)
-            self._register_hammer(
-                row,
-                count
-                * self.profile.rowpress_amplification(t_agg_on, self.timing.t_ras),
-            )
+        self._kernel.register_activations(
+            self,
+            rows,
+            aggressor_bits,
+            count * t_agg_on,
+            count * self.profile.rowpress_amplification(t_agg_on, self.timing.t_ras),
+        )
 
         self._advance_clocks(duration)
         # Aggressors were restored continuously while open; give them fresh
         # baselines at the end of the loop, preserving their sensed content.
-        for row in rows:
-            self._baseline[row] = aggressor_bits[row]
+        self._baseline[row_idx] = aggressor_bits
         self._rebaseline(list(rows))
 
     def press_interval(self, row: int, duration: float) -> np.ndarray:
@@ -329,9 +340,12 @@ class SimulatedBank:
         duration = max(duration, self.timing.t_ras)
         bits = self.read_row(row)
         _ACTIVATIONS.inc()
-        self._register_driving(row, bits, duration)
-        self._register_hammer(
-            row, self.profile.rowpress_amplification(duration, self.timing.t_ras)
+        self._kernel.register_activations(
+            self,
+            [row],
+            bits[np.newaxis, :],
+            duration,
+            self.profile.rowpress_amplification(duration, self.timing.t_ras),
         )
         self._advance_clocks(duration)
         self._baseline[row] = bits
@@ -350,7 +364,7 @@ class SimulatedBank:
         cm_vdd = self.profile.coupling_multiplier(1.0)
         subarray = self.geometry.subarray_of_row(row)
         # Coupling multiplier of each driven bitline: bit 1 -> VDD, 0 -> GND.
-        cm_cols = np.where(bits == 1, cm_vdd, cm_gnd)
+        cm_cols = driven_coupling_multipliers(bits, cm_vdd, cm_gnd)
         self._add_extra(subarray, a_cd * (cm_cols - cm_pre) * driven_time)
         for neighbour in self.geometry.neighbouring_subarrays(subarray):
             self._add_extra(
@@ -393,12 +407,12 @@ class SimulatedBank:
         if neighbour == aggressor_subarray - 1:
             # Neighbour's ODD columns mirror aggressor's EVEN columns.
             source = aggressor_bits[0 : columns - 1 : 2]
-            driven = np.where(source == 1, cm_vdd, cm_gnd) - cm_pre
+            driven = driven_coupling_multipliers(source, cm_vdd, cm_gnd) - cm_pre
             extra[1::2] = driven
         else:
             # Neighbour's EVEN columns mirror aggressor's ODD columns.
             source = aggressor_bits[1::2]
-            driven = np.where(source == 1, cm_vdd, cm_gnd) - cm_pre
+            driven = driven_coupling_multipliers(source, cm_vdd, cm_gnd) - cm_pre
             extra[0 : columns - 1 : 2] = driven
         return extra
 
@@ -436,47 +450,7 @@ class SimulatedBank:
         )
 
     def _evaluate_rows(self, rows: np.ndarray) -> np.ndarray:
-        out = np.empty((len(rows), self.geometry.columns), dtype=np.uint8)
-        subarrays = self.geometry.subarrays_of_rows(rows)
-        locals_ = self.geometry.rows_within_subarrays(rows)
-        # Rows sharing (subarray, checkpoint) evaluate as one matrix op.
-        group_keys = subarrays * (int(self._extra_ckpt_id.max()) + 1) + (
-            self._extra_ckpt_id[rows]
-        )
-        for key in np.unique(group_keys):
-            members = np.nonzero(group_keys == key)[0]
-            batch = rows[members]
-            subarray = int(subarrays[members[0]])
-            local = locals_[members]
-            population = self.population(subarray)
-            bits = self._baseline[batch]
-            anti = population.anti_mask[local]
-            charged = (bits == 1) ^ anti
-            d_int = (self._intrinsic_clock - self._int_base[batch])[:, np.newaxis]
-            d_pre = (self._precharge_clock - self._pre_base[batch])[:, np.newaxis]
-            checkpoint = self._extra_checkpoints[subarray][
-                int(self._extra_ckpt_id[batch[0]])
-            ]
-            d_extra = (self._extra[subarray] - checkpoint)[np.newaxis, :]
-            vrt = self._vrt(subarray)
-            intrinsic = population.lambda_int[local] * d_int
-            if vrt is not None:
-                intrinsic = intrinsic * vrt[local]
-            damage = intrinsic + population.kappa[local] * (d_pre + d_extra)
-            flips = charged & (damage >= Q_CRIT)
-            hammer = self._hammer_in[batch] - self._hammer_base[batch]
-            hammered = np.nonzero(hammer > 0)[0]
-            for member in hammered:
-                row_local = int(local[member])
-                flips[member] |= neighbour_flip_mask(
-                    population.hammer_thresholds[row_local],
-                    bits[member],
-                    float(hammer[member]),
-                )
-            if _obs_state.enabled:
-                _READ_FLIPS.inc(int(flips.sum()))
-            out[members] = bits ^ flips.astype(np.uint8)
-        return out
+        return self._kernel.evaluate_rows(self, rows)
 
     # ------------------------------------------------------------------
     # Introspection for the characterization core

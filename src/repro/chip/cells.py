@@ -116,6 +116,17 @@ class CellPopulation:
                 self._anti_mask = rng.random(self.shape) < fraction
         return self._anti_mask
 
+    def gather(
+        self, local_rows: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(lambda_int, kappa, anti_mask) sliced to ``local_rows`` in one
+        call — the read-path gather used by the bank kernels."""
+        return (
+            self._lambda_int[local_rows],
+            self._kappa[local_rows],
+            self.anti_mask[local_rows],
+        )
+
     def retention_time_arrays(
         self, temperature_c: float
     ) -> tuple[np.ndarray, np.ndarray]:

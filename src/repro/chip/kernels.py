@@ -1,0 +1,367 @@
+"""Execution kernels for the bank hot path: reference vs batched.
+
+Every paper figure reduces to millions of `SimulatedBank` operations —
+per-activation exposure registration, neighbour-coupling deltas, and
+per-row bit evaluation.  This module separates *what* those operations
+compute (the physics, owned by `repro.chip.bank`) from *how* the work is
+scheduled across rows:
+
+* :class:`ReferenceKernel` — the straightforward per-row implementation.
+  One Python-level pass per row, exactly the behaviour the model was
+  validated with.  It is kept as the oracle: the parity suites assert
+  that every other kernel produces bit-identical read-backs.
+* :class:`BatchedKernel` — the production kernel.  Per-row work is
+  collected into flat ``(row, subarray)`` arrays and applied with grouped
+  array operations: exposure deltas land in one ``np.add.at`` pass (which
+  accumulates in index order, so repeated targets reduce with the same
+  float associativity as the reference loop), read-time evaluation runs
+  as a single sort-and-segment reduction over all requested rows, and
+  neighbour-coupling vectors are built once per batch and broadcast.
+
+Bit-identity: both kernels execute the same elementwise float operations
+in the same accumulation order; batching changes only how rows are
+grouped into numpy calls, never the per-element arithmetic.  The parity
+suites (``tests/test_kernels_parity.py``, ``tests/test_kernels_property.py``)
+enforce this for hammer, press, mixed-pattern, refresh-heavy, and
+VRT-jittered programs.
+
+Selection: ``SimulatedBank(kernel="batched"|"reference")``, the
+``REPRO_KERNEL`` environment variable, ``SimulatedModule(kernel=...)``,
+``Campaign(kernel=...)``, or ``--kernel`` on the CLI.  The default is
+``batched``.  This layer is where future backends (GPU, multi-bank
+batching) plug in: implement the four hot-path operations and register
+the class in :data:`KERNEL_CLASSES`.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro import obs
+from repro.obs import state as _obs_state
+from repro.physics.constants import Q_CRIT, V_PRECHARGE
+from repro.physics.coupling import driven_coupling_multipliers
+from repro.physics.rowhammer import neighbour_flip_mask, neighbour_flip_masks
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (bank -> kernels)
+    from repro.chip.bank import SimulatedBank
+
+#: Environment variable consulted when no kernel is passed explicitly.
+KERNEL_ENV = "REPRO_KERNEL"
+
+#: Kernel used when neither the argument nor the environment selects one.
+DEFAULT_KERNEL = "batched"
+
+_KERNEL_BATCHES = obs.counter(
+    "bank_kernel_batches_total",
+    "Hot-path batches executed by the bank kernels, by operation and kernel.",
+    labelnames=("op", "kernel"),
+)
+_READ_FLIPS = obs.counter(
+    "bank_read_flips_total",
+    "Bitflips observed by read-time evaluation (recounted on re-reads).",
+)
+_DRIVEN_SECONDS = obs.counter(
+    "bank_column_driven_seconds_total",
+    "Seconds of bitline driving accumulated across activations.",
+)
+
+
+class BankKernel:
+    """Strategy interface for the bank's four hot-path operations.
+
+    Kernels are stateless policy objects (safe to share across banks);
+    all array state lives on the :class:`~repro.chip.bank.SimulatedBank`
+    they operate on.  Implementations must preserve the reference
+    kernel's observable behaviour bit-for-bit — same read-backs, same
+    exposure/hammer ledgers, same metric totals.
+    """
+
+    name: str
+
+    def write_rows(
+        self, bank: "SimulatedBank", rows: Sequence[int], bits: np.ndarray
+    ) -> None:
+        """Store ``bits`` (one row vector) as the baseline of every row."""
+        raise NotImplementedError
+
+    def refresh_rows(self, bank: "SimulatedBank", rows: Sequence[int]) -> None:
+        """Re-read each row (flips applied) and store it as the new baseline."""
+        raise NotImplementedError
+
+    def register_activations(
+        self,
+        bank: "SimulatedBank",
+        rows: Sequence[int],
+        bits_matrix: np.ndarray,
+        driven_time: float,
+        effective_count: float,
+    ) -> None:
+        """Account for activations of ``rows`` driving their bitlines.
+
+        ``bits_matrix`` holds each aggressor's sensed content (one row per
+        aggressor, in activation order); ``driven_time`` is the total
+        seconds each aggressor spent driving; ``effective_count`` is the
+        RowPress-amplified activation count credited to each aggressor's
+        +/-1 physical neighbours.
+        """
+        raise NotImplementedError
+
+    def evaluate_rows(self, bank: "SimulatedBank", rows: np.ndarray) -> np.ndarray:
+        """Current content of ``rows`` with bitflips applied, shape
+        ``(len(rows), columns)``."""
+        raise NotImplementedError
+
+    def _count_batch(self, op: str) -> None:
+        if _obs_state.enabled:
+            _KERNEL_BATCHES.labels(op=op, kernel=self.name).inc()
+
+
+class ReferenceKernel(BankKernel):
+    """Per-row oracle kernel: one Python pass per row, no batching.
+
+    This is the original `SimulatedBank` implementation, kept verbatim so
+    every batched kernel has a bit-exact baseline to be checked against.
+    """
+
+    name = "reference"
+
+    def write_rows(self, bank, rows, bits):
+        self._count_batch("write")
+        for row in rows:
+            bank._baseline[row] = bits
+
+    def refresh_rows(self, bank, rows):
+        self._count_batch("refresh")
+        for row in rows:
+            bank._baseline[row] = bank.read_row(row)
+
+    def register_activations(self, bank, rows, bits_matrix, driven_time, effective_count):
+        self._count_batch("register")
+        for row, bits in zip(rows, bits_matrix):
+            bank._register_driving(row, bits, driven_time)
+            bank._register_hammer(row, effective_count)
+
+    def evaluate_rows(self, bank, rows):
+        self._count_batch("evaluate")
+        out = np.empty((len(rows), bank.geometry.columns), dtype=np.uint8)
+        subarrays = bank.geometry.subarrays_of_rows(rows)
+        locals_ = bank.geometry.rows_within_subarrays(rows)
+        # Rows sharing (subarray, checkpoint) evaluate as one matrix op.
+        group_keys = subarrays * (int(bank._extra_ckpt_id.max()) + 1) + (
+            bank._extra_ckpt_id[rows]
+        )
+        for key in np.unique(group_keys):
+            members = np.nonzero(group_keys == key)[0]
+            self._evaluate_group(bank, out, rows, subarrays, locals_, members)
+        return out
+
+    def _evaluate_group(self, bank, out, rows, subarrays, locals_, members):
+        batch = rows[members]
+        subarray = int(subarrays[members[0]])
+        local = locals_[members]
+        population = bank.population(subarray)
+        bits = bank._baseline[batch]
+        lambda_int, kappa, anti = population.gather(local)
+        charged = (bits == 1) ^ anti
+        d_int = (bank._intrinsic_clock - bank._int_base[batch])[:, np.newaxis]
+        d_pre = (bank._precharge_clock - bank._pre_base[batch])[:, np.newaxis]
+        checkpoint = bank._extra_checkpoints[subarray][int(bank._extra_ckpt_id[batch[0]])]
+        d_extra = (bank._extra[subarray] - checkpoint)[np.newaxis, :]
+        vrt = bank._vrt(subarray)
+        intrinsic = lambda_int * d_int
+        if vrt is not None:
+            intrinsic = intrinsic * vrt[local]
+        damage = intrinsic + kappa * (d_pre + d_extra)
+        flips = charged & (damage >= Q_CRIT)
+        hammer = bank._hammer_in[batch] - bank._hammer_base[batch]
+        hammered = np.nonzero(hammer > 0)[0]
+        for member in hammered:
+            row_local = int(local[member])
+            flips[member] |= neighbour_flip_mask(
+                population.hammer_thresholds[row_local],
+                bits[member],
+                float(hammer[member]),
+            )
+        if _obs_state.enabled:
+            _READ_FLIPS.inc(int(flips.sum()))
+        out[members] = bits ^ flips.astype(np.uint8)
+
+
+class BatchedKernel(BankKernel):
+    """Vectorized kernel: flat-array batching of the per-row hot paths.
+
+    Exposure registration stacks every (target subarray, column-delta)
+    contribution — own subarray plus open-bitline neighbours, in the
+    reference's row order — and applies them with one ``np.add.at`` pass.
+    Read-time evaluation argsorts the requested rows by (subarray,
+    checkpoint) group key once and walks the segments, with the
+    RowHammer victim evaluation vectorized across each segment's
+    hammered rows.  Refreshes evaluate all rows in one batch instead of
+    one read per row.
+    """
+
+    name = "batched"
+
+    def write_rows(self, bank, rows, bits):
+        self._count_batch("write")
+        idx = np.asarray(rows, dtype=np.int64)
+        bank._baseline[idx] = bits[np.newaxis, :]
+
+    def refresh_rows(self, bank, rows):
+        idx = np.asarray(list(rows), dtype=np.int64)
+        if idx.size == 0:
+            return
+        if idx.min() < 0 or idx.max() >= bank.geometry.rows:
+            raise IndexError(
+                f"row out of range [0, {bank.geometry.rows}) in refresh batch"
+            )
+        if np.unique(idx).size != idx.size:
+            # Duplicate rows re-read their own refreshed content; only the
+            # sequential reference order defines that, so defer to it.
+            ReferenceKernel.refresh_rows(self, bank, idx.tolist())
+            return
+        self._count_batch("refresh")
+        bank._baseline[idx] = self.evaluate_rows(bank, idx)
+
+    def register_activations(self, bank, rows, bits_matrix, driven_time, effective_count):
+        self._count_batch("register")
+        geometry = bank.geometry
+        profile = bank.profile
+        columns = geometry.columns
+        if _obs_state.enabled:
+            _DRIVEN_SECONDS.inc(driven_time * len(rows))
+        rows_arr = np.asarray(rows, dtype=np.int64)
+        subs = geometry.subarrays_of_rows(rows_arr)
+        a_cd = profile.coupling_temperature_factor(bank.temperature_c)
+        cm_pre = profile.coupling_multiplier(V_PRECHARGE)
+        cm_gnd = profile.coupling_multiplier(0.0)
+        cm_vdd = profile.coupling_multiplier(1.0)
+        # Own-subarray deltas: every driven bitline couples for driven_time.
+        cm_cols = driven_coupling_multipliers(bits_matrix, cm_vdd, cm_gnd)
+        own = a_cd * (cm_cols - cm_pre) * driven_time
+        # Neighbour deltas, built once per batch and broadcast: the lower
+        # neighbour's ODD columns mirror the aggressors' EVEN columns, the
+        # upper neighbour's EVEN columns mirror the aggressors' ODD columns
+        # (see `BankGeometry.shared_column_parity`).
+        scale = a_cd * driven_time
+        lower = np.zeros_like(own)
+        lower[:, 1::2] = (
+            driven_coupling_multipliers(
+                bits_matrix[:, 0 : columns - 1 : 2], cm_vdd, cm_gnd
+            )
+            - cm_pre
+        )
+        lower *= scale
+        upper = np.zeros_like(own)
+        upper[:, 0 : columns - 1 : 2] = (
+            driven_coupling_multipliers(bits_matrix[:, 1::2], cm_vdd, cm_gnd)
+            - cm_pre
+        )
+        upper *= scale
+        # Flatten to (target subarray, delta) pairs in the reference order —
+        # per row: own, then lower neighbour, then upper neighbour — and
+        # apply them in one grouped pass.  np.add.at accumulates repeated
+        # targets in index order, preserving the reference's float
+        # associativity exactly.
+        ones = np.ones_like(subs, dtype=bool)
+        target_mat = np.stack([subs, subs - 1, subs + 1], axis=1)
+        valid = np.stack(
+            [ones, subs > 0, subs < geometry.subarrays - 1], axis=1
+        ).reshape(-1)
+        targets = target_mat.reshape(-1)[valid]
+        deltas = np.stack([own, lower, upper], axis=1).reshape(-1, columns)[valid]
+        np.add.at(bank._extra, targets, deltas)
+        np.add.at(bank._extra_version, targets, 1)
+        # Hammer ledger: credit the in-subarray +/-1 physical neighbours.
+        victims = np.stack([rows_arr - 1, rows_arr + 1], axis=1).reshape(-1)
+        victim_subs = np.repeat(subs, 2)
+        in_range = (victims >= 0) & (victims < geometry.rows)
+        victims = victims[in_range]
+        same_sub = geometry.subarrays_of_rows(victims) == victim_subs[in_range]
+        np.add.at(bank._hammer_in, victims[same_sub], effective_count)
+
+    def evaluate_rows(self, bank, rows):
+        self._count_batch("evaluate")
+        out = np.empty((len(rows), bank.geometry.columns), dtype=np.uint8)
+        if len(rows) == 0:
+            return out
+        subarrays = bank.geometry.subarrays_of_rows(rows)
+        locals_ = bank.geometry.rows_within_subarrays(rows)
+        group_keys = subarrays * (int(bank._extra_ckpt_id.max()) + 1) + (
+            bank._extra_ckpt_id[rows]
+        )
+        # One sort-and-segment reduction instead of a scan per unique key:
+        # the stable argsort keeps members ascending within each segment,
+        # matching the reference's np.nonzero order.
+        order = np.argsort(group_keys, kind="stable")
+        boundaries = np.flatnonzero(np.diff(group_keys[order])) + 1
+        for members in np.split(order, boundaries):
+            self._evaluate_segment(bank, out, rows, subarrays, locals_, members)
+        return out
+
+    def _evaluate_segment(self, bank, out, rows, subarrays, locals_, members):
+        batch = rows[members]
+        subarray = int(subarrays[members[0]])
+        local = locals_[members]
+        population = bank.population(subarray)
+        bits = bank._baseline[batch]
+        lambda_int, kappa, anti = population.gather(local)
+        charged = (bits == 1) ^ anti
+        d_int = (bank._intrinsic_clock - bank._int_base[batch])[:, np.newaxis]
+        d_pre = (bank._precharge_clock - bank._pre_base[batch])[:, np.newaxis]
+        checkpoint = bank._extra_checkpoints[subarray][int(bank._extra_ckpt_id[batch[0]])]
+        d_extra = (bank._extra[subarray] - checkpoint)[np.newaxis, :]
+        vrt = bank._vrt(subarray)
+        intrinsic = lambda_int * d_int
+        if vrt is not None:
+            intrinsic = intrinsic * vrt[local]
+        damage = intrinsic + kappa * (d_pre + d_extra)
+        flips = charged & (damage >= Q_CRIT)
+        hammer = bank._hammer_in[batch] - bank._hammer_base[batch]
+        hammered = np.flatnonzero(hammer > 0)
+        if hammered.size:
+            # Vectorized across the segment's hammered rows; elementwise
+            # identical to the reference's per-row neighbour_flip_mask.
+            flips[hammered] |= neighbour_flip_masks(
+                population.hammer_thresholds[local[hammered]],
+                bits[hammered],
+                hammer[hammered],
+            )
+        if _obs_state.enabled:
+            _READ_FLIPS.inc(int(flips.sum()))
+        out[members] = bits ^ flips.astype(np.uint8)
+
+
+#: Registry of selectable kernels; future backends register here.
+KERNEL_CLASSES: dict[str, type[BankKernel]] = {
+    ReferenceKernel.name: ReferenceKernel,
+    BatchedKernel.name: BatchedKernel,
+}
+
+#: Valid kernel names, in registration order.
+KERNELS: tuple[str, ...] = tuple(KERNEL_CLASSES)
+
+
+def resolve_kernel(name: str | None = None) -> str:
+    """Resolve a kernel name: explicit argument, else ``REPRO_KERNEL``,
+    else :data:`DEFAULT_KERNEL`.  Raises ``ValueError`` for unknown names."""
+    if name is None:
+        name = os.environ.get(KERNEL_ENV) or DEFAULT_KERNEL
+    if name not in KERNEL_CLASSES:
+        raise ValueError(
+            f"unknown kernel {name!r}; expected one of {sorted(KERNEL_CLASSES)}"
+        )
+    return name
+
+
+def make_kernel(kernel: "str | BankKernel | None" = None) -> BankKernel:
+    """Instantiate a kernel from a name, an instance (passed through), or
+    ``None`` (resolve via the environment / default)."""
+    if isinstance(kernel, BankKernel):
+        return kernel
+    return KERNEL_CLASSES[resolve_kernel(kernel)]()

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 from repro.chip.bank import SimulatedBank
 from repro.chip.geometry import DEFAULT_BANK_GEOMETRY, BankGeometry
+from repro.chip.kernels import resolve_kernel
 from repro.chip.mapping import RowMapping, make_mapping
 from repro.chip.timing import DDR4, HBM2, TimingParameters
 from repro.physics.constants import T_REFERENCE_C
@@ -78,6 +79,8 @@ class SimulatedModule:
         sim_chips: how many of the module's chips to instantiate.
         sim_banks: banks per instantiated chip.
         temperature_c: initial temperature of all banks.
+        kernel: hot-path execution kernel for every bank (see
+            `repro.chip.kernels`); ``None`` resolves via ``REPRO_KERNEL``.
     """
 
     def __init__(
@@ -88,6 +91,7 @@ class SimulatedModule:
         sim_chips: int = 1,
         sim_banks: int = 1,
         temperature_c: float = T_REFERENCE_C,
+        kernel: str | None = None,
     ) -> None:
         if sim_chips < 1 or sim_chips > spec.chips:
             raise ValueError(f"sim_chips must be in [1, {spec.chips}]")
@@ -99,6 +103,7 @@ class SimulatedModule:
         self.sim_chips = sim_chips
         self.sim_banks = sim_banks
         self.temperature_c = temperature_c
+        self.kernel = resolve_kernel(kernel)
         self.mapping: RowMapping = make_mapping(spec.mapping_scheme, geometry.rows)
         self._banks: dict[tuple[int, int], SimulatedBank] = {}
 
@@ -121,6 +126,7 @@ class SimulatedModule:
                 profile=self.spec.profile,
                 timing=self.timing,
                 temperature_c=self.temperature_c,
+                kernel=self.kernel,
             )
         return self._banks[key]
 

@@ -25,6 +25,7 @@ from repro.analysis import DistributionSummary, seconds, table
 from repro.chip import (
     BankGeometry,
     CATALOG,
+    KERNELS,
     SimulatedModule,
     get_module,
 )
@@ -64,6 +65,15 @@ def _add_observability_args(
     )
 
 
+def _add_kernel_arg(parser: argparse.ArgumentParser) -> None:
+    """Shared ``--kernel`` flag for commands that run simulated banks."""
+    parser.add_argument(
+        "--kernel", choices=KERNELS, default=None,
+        help="bank hot-path execution kernel (default: $REPRO_KERNEL "
+             "or 'batched'); both kernels are bit-identical",
+    )
+
+
 def _cmd_catalog(args: argparse.Namespace) -> str:
     rows = [
         [
@@ -96,7 +106,7 @@ def _cmd_floor(args: argparse.Namespace) -> str:
 
 def _cmd_risk(args: argparse.Namespace) -> str:
     spec = get_module(args.serial)
-    module = SimulatedModule(spec, geometry=_CLI_GEOMETRY)
+    module = SimulatedModule(spec, geometry=_CLI_GEOMETRY, kernel=args.kernel)
     module.set_temperature(args.temperature)
     risk = refresh_window_risk(
         module, window=args.window / 1000.0, temperature_c=args.temperature
@@ -135,6 +145,7 @@ def _cmd_characterize(args: argparse.Namespace) -> str:
         timeout=args.timeout,
         failure_policy=args.failure_policy,
         trace=trace,
+        kernel=args.kernel,
     )
     try:
         records = campaign.characterize_module(
@@ -191,7 +202,7 @@ def _cmd_run_program(args: argparse.Namespace) -> str:
         subarrays=args.subarrays, rows_per_subarray=args.rows,
         columns=args.columns,
     )
-    module = SimulatedModule(spec, geometry=geometry)
+    module = SimulatedModule(spec, geometry=geometry, kernel=args.kernel)
     module.set_temperature(args.temperature)
     program = parse_program(Path(args.program).read_text(), name=args.program)
     result = DramBender(module).execute(program)
@@ -278,6 +289,7 @@ def build_parser() -> argparse.ArgumentParser:
     risk.add_argument("--window", type=float, default=64.0,
                       help="refresh window in ms")
     risk.add_argument("--temperature", type=float, default=85.0)
+    _add_kernel_arg(risk)
     _add_observability_args(risk)
 
     character = sub.add_parser(
@@ -295,6 +307,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache", default=None, metavar="DIR",
         help="on-disk outcome cache directory (reused across runs)",
     )
+    _add_kernel_arg(character)
     _add_observability_args(
         character,
         trace_help="write per-unit run telemetry as JSONL and print a summary",
@@ -336,6 +349,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_program.add_argument("--rows", type=int, default=256)
     run_program.add_argument("--columns", type=int, default=512)
     run_program.add_argument("--temperature", type=float, default=85.0)
+    _add_kernel_arg(run_program)
     _add_observability_args(run_program)
 
     obs_parser = sub.add_parser("obs", help="observability utilities")

@@ -4,10 +4,10 @@ Metrics, filtering, the bisection time-to-first-bitflip search, subarray and
 row-mapping reverse engineering, retention profiling, and campaign drivers.
 """
 
+from repro.chip.cells import VRT_TRIALS
 from repro.core.analytic import (
     DEFAULT_SUMMARY_HORIZON,
     GUARDBAND_ROWS,
-    VRT_TRIALS,
     OutcomeSummary,
     SubarrayOutcome,
     SubarrayRole,
@@ -19,7 +19,6 @@ from repro.core.analytic import (
 )
 from repro.core.bisection import BisectionResult, search_minimum_time
 from repro.core.cache import CACHE_FORMAT_VERSION, OutcomeCache, outcome_cache_key
-from repro.core.cd_profiler import WeakRowProfile, profile_weak_rows
 from repro.core.campaign import (
     QUICK_SCALE,
     REDUCED_SCALE,
@@ -28,6 +27,15 @@ from repro.core.campaign import (
     CampaignScale,
     ModulePool,
     SubarrayRecord,
+)
+from repro.core.cd_profiler import WeakRowProfile, profile_weak_rows
+from repro.core.config import (
+    AGGRESSOR_LOCATIONS,
+    REFRESH_INTERVALS_LONG,
+    REFRESH_INTERVALS_SHORT,
+    SEARCH_INTERVAL,
+    WORST_CASE,
+    DisturbConfig,
 )
 from repro.core.engine import (
     DEFAULT_ENGINE_HORIZON,
@@ -39,16 +47,8 @@ from repro.core.engine import (
     plan_units,
     record_from_summary,
 )
-from repro.core.telemetry import RunTrace, UnitTrace, load_trace
-from repro.core.config import (
-    AGGRESSOR_LOCATIONS,
-    REFRESH_INTERVALS_LONG,
-    REFRESH_INTERVALS_SHORT,
-    SEARCH_INTERVAL,
-    WORST_CASE,
-    DisturbConfig,
-)
 from repro.core.remap import find_physical_neighbours, recover_physical_order
+from repro.core.retention_profiler import profile_retention, retention_failure_mask
 from repro.core.risk import (
     RefreshWindowRisk,
     WorstCaseSearchResult,
@@ -56,7 +56,6 @@ from repro.core.risk import (
     project_scaling,
     refresh_window_risk,
 )
-from repro.core.retention_profiler import profile_retention, retention_failure_mask
 from repro.core.spatial import SpatialProfile, three_subarray_profile
 from repro.core.store import load_records, save_records
 from repro.core.subarrays import (
@@ -64,6 +63,7 @@ from repro.core.subarrays import (
     reverse_engineer_subarrays,
     rows_share_subarray,
 )
+from repro.core.telemetry import RunTrace, UnitTrace, load_trace
 
 __all__ = [
     "DEFAULT_SUMMARY_HORIZON",

@@ -22,7 +22,7 @@ from enum import Enum
 
 import numpy as np
 
-from repro.chip.cells import VRT_TRIALS, CellPopulation
+from repro.chip.cells import CellPopulation
 from repro.chip.datapattern import expand_pattern
 from repro.chip.timing import DDR4, TimingParameters
 from repro.core.config import SEARCH_INTERVAL, DisturbConfig

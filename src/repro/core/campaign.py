@@ -129,14 +129,17 @@ class ModulePool:
     def __init__(self) -> None:
         self._modules: dict[tuple, SimulatedModule] = {}
 
-    def get(self, serial: str, scale: CampaignScale) -> SimulatedModule:
-        key = (serial, scale.geometry, scale.chips, scale.banks)
+    def get(
+        self, serial: str, scale: CampaignScale, kernel: str | None = None
+    ) -> SimulatedModule:
+        key = (serial, scale.geometry, scale.chips, scale.banks, kernel)
         if key not in self._modules:
             self._modules[key] = SimulatedModule(
                 get_module(serial),
                 geometry=scale.geometry,
                 sim_chips=min(scale.chips, get_module(serial).chips),
                 sim_banks=scale.banks,
+                kernel=kernel,
             )
         return self._modules[key]
 
@@ -151,6 +154,10 @@ class Campaign:
     keep the serial in-process path.  Either way the records are
     bit-identical — the engine re-derives the same deterministic
     populations and computes the same metrics.
+
+    ``kernel`` selects the bank hot-path execution kernel
+    (`repro.chip.kernels`) for any `SimulatedModule` the campaign
+    instantiates; the analytic record path is kernel-independent.
     """
 
     scale: CampaignScale = STANDARD_SCALE
@@ -161,6 +168,7 @@ class Campaign:
     timeout: float | None = None
     failure_policy: str = "raise"
     trace: "RunTrace | None" = None
+    kernel: str | None = None
 
     def _delegate_to_engine(self) -> bool:
         return (
@@ -201,7 +209,7 @@ class Campaign:
             return self._engine().characterize_module(serial, config,
                                                       tuple(intervals))
         spec = get_module(serial)
-        module = self.pool.get(serial, self.scale)
+        module = self.pool.get(serial, self.scale, self.kernel)
         records = []
         for chip in range(module.sim_chips):
             for bank_index in range(module.sim_banks):

@@ -40,6 +40,7 @@ tier) and, with ``cache=OutcomeCache(path)``, once across runs (disk tier).
 from __future__ import annotations
 
 import json
+import logging
 import os
 import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
@@ -53,7 +54,6 @@ from repro.chip.cells import CellPopulation
 from repro.chip.geometry import BankGeometry
 from repro.chip.module import ModuleSpec
 from repro.chip.timing import DDR4, HBM2, TimingParameters
-from repro.obs import state as _obs_state
 from repro.core.analytic import (
     GUARDBAND_ROWS,
     OutcomeSummary,
@@ -69,6 +69,7 @@ from repro.core.campaign import (
 )
 from repro.core.config import SEARCH_INTERVAL, DisturbConfig
 from repro.core.telemetry import RunTrace, UnitTrace, record_unit_metrics
+from repro.obs import state as _obs_state
 
 #: Default event horizon of engine summaries; 8x the paper's longest tested
 #: refresh interval, so every figure bench hits the same cache entries.
@@ -85,6 +86,13 @@ _POOL_DEGRADES = obs.counter(
     "engine_pool_degraded_total",
     "Campaign passes that degraded from pool to in-process execution.",
 )
+_SERIAL_FALLBACKS = obs.counter(
+    "engine_serial_fallbacks_total",
+    "Campaign passes that skipped the worker pool because the host has no "
+    "parallelism to offer (os.cpu_count() <= 1).",
+)
+
+_log = logging.getLogger("repro.core.engine")
 
 
 class FailurePolicy(str, Enum):
@@ -414,6 +422,11 @@ class CharacterizationEngine:
             exhausted unit; ``skip-with-record`` completes it with an
             explicit ``status="skipped"`` record in the unit's slot.
         trace: optional `RunTrace` receiving one `UnitTrace` per unit.
+        serial_fallback: when ``True`` (default), a multi-worker request on
+            a host with ``os.cpu_count() <= 1`` runs in-process instead of
+            paying pool overhead for no parallelism (logged, counted, and
+            recorded as a trace decision).  ``False`` forces the pool —
+            used by tests that exercise pool mechanics regardless of host.
     """
 
     scale: CampaignScale = STANDARD_SCALE
@@ -426,6 +439,7 @@ class CharacterizationEngine:
     timeout: float | None = None
     failure_policy: FailurePolicy | str = FailurePolicy.RAISE
     trace: RunTrace | None = None
+    serial_fallback: bool = True
     _key_memo: dict = field(default_factory=dict, repr=False, compare=False)
     _spec_memo: dict = field(default_factory=dict, repr=False, compare=False)
 
@@ -564,6 +578,19 @@ class CharacterizationEngine:
         queue = list(pending)
         respawns_left = 1
         pool_mode = self.workers > 1 and len(pending) > 1
+        if pool_mode and self.serial_fallback and (os.cpu_count() or 1) <= 1:
+            # The CI case behind BENCH_engine.json's parallel_speedup 0.518:
+            # a pool on a 1-core host only adds pickling and spawn overhead.
+            pool_mode = False
+            detail = (
+                f"workers={self.workers} requested but os.cpu_count()="
+                f"{os.cpu_count()!r} offers no parallelism; "
+                "running in-process to avoid pool overhead"
+            )
+            _SERIAL_FALLBACKS.inc()
+            _log.warning(detail)
+            if self.trace is not None:
+                self.trace.note_decision("serial-fallback", detail)
         while queue and pool_mode:
             queue, broke = self._pool_pass(
                 units, queue, compute, results, attempts, errors

@@ -128,24 +128,41 @@ class RunTrace:
 
     path: str | Path | None = None
     records: list[UnitTrace] = field(default_factory=list)
+    decisions: list[dict] = field(default_factory=list)
     _handle: object = field(default=None, repr=False, compare=False)
 
     def record(self, unit_trace: UnitTrace) -> None:
         """Append one unit's telemetry (and stream it when configured)."""
         self.records.append(unit_trace)
-        if self.path is not None:
-            if self._handle is None:
-                import repro
+        self._write_line(unit_trace.to_json())
 
-                self._handle = open(self.path, "a", encoding="utf-8")
-                # Meta header: stamp the producing version so a trace file
-                # is self-describing; `load_trace` skips meta lines.
-                self._handle.write(
-                    json.dumps({"meta": {"repro_version": repro.__version__}})
-                    + "\n"
-                )
-            self._handle.write(unit_trace.to_json() + "\n")
-            self._handle.flush()
+    def note_decision(self, kind: str, detail: str) -> None:
+        """Record an engine-level decision (e.g. a serial fallback).
+
+        Decisions are execution-strategy choices the engine made on the
+        operator's behalf; they surface in :meth:`summary` and stream as
+        ``{"meta": {"decision": ...}}`` lines (skipped by `load_trace`,
+        readable via `trace_meta`).
+        """
+        decision = {"kind": kind, "detail": detail}
+        self.decisions.append(decision)
+        self._write_line(json.dumps({"meta": {"decision": decision}}))
+
+    def _write_line(self, line: str) -> None:
+        if self.path is None:
+            return
+        if self._handle is None:
+            import repro
+
+            self._handle = open(self.path, "a", encoding="utf-8")
+            # Meta header: stamp the producing version so a trace file
+            # is self-describing; `load_trace` skips meta lines.
+            self._handle.write(
+                json.dumps({"meta": {"repro_version": repro.__version__}})
+                + "\n"
+            )
+        self._handle.write(line + "\n")
+        self._handle.flush()
 
     def close(self) -> None:
         """Flush and close the JSONL stream (safe to call repeatedly)."""
@@ -193,6 +210,7 @@ class RunTrace:
             "wall_p50_s": _percentile(walls, 50.0),
             "wall_p95_s": _percentile(walls, 95.0),
             "total_wall_s": sum(walls),
+            "decisions": list(self.decisions),
         }
 
     def summary_table(self) -> str:
@@ -202,7 +220,7 @@ class RunTrace:
         def _ms(value: float | None) -> str:
             return "n/a" if value is None else f"{value * 1e3:.2f} ms"
 
-        return "\n".join([
+        lines = [
             "run trace summary:",
             f"  units: {s['units']} ({s['computed']} computed, "
             f"{s['memory_hits']} memory hits, {s['disk_hits']} disk hits, "
@@ -213,7 +231,10 @@ class RunTrace:
             f"  unit latency: p50 {_ms(s['wall_p50_s'])}, "
             f"p95 {_ms(s['wall_p95_s'])}",
             f"  total unit wall time: {s['total_wall_s']:.3f} s",
-        ])
+        ]
+        for decision in s["decisions"]:
+            lines.append(f"  decision [{decision['kind']}]: {decision['detail']}")
+        return "\n".join(lines)
 
 
 def load_trace(path: str | Path) -> list[UnitTrace]:

@@ -62,6 +62,22 @@ def retention_coupling_multiplier(profile: DisturbanceProfile) -> float:
     return profile.coupling_multiplier(V_PRECHARGE)
 
 
+def driven_coupling_multipliers(
+    bits: np.ndarray,
+    cm_vdd: float,
+    cm_gnd: float,
+) -> np.ndarray:
+    """Coupling multiplier of each *driven* bitline: bit 1 -> m(VDD),
+    bit 0 -> m(GND).
+
+    Works on any bit-array shape (a row vector or a whole aggressor
+    batch); the per-element arithmetic is identical either way, which is
+    what lets the batched bank kernel mirror the reference kernel
+    bit-for-bit.
+    """
+    return np.where(np.asarray(bits) == 1, cm_vdd, cm_gnd)
+
+
 def total_leakage_rates(
     lambda_int: np.ndarray,
     kappa: np.ndarray,

@@ -59,3 +59,29 @@ def neighbour_flip_mask(
         thresholds * ANTI_DIRECTION_FACTOR <= effective_count
     )
     return toward_zero | toward_one
+
+
+def neighbour_flip_masks(
+    thresholds: np.ndarray,
+    stored_bits: np.ndarray,
+    effective_counts: np.ndarray,
+) -> np.ndarray:
+    """Batched `neighbour_flip_mask`: one victim row per leading index.
+
+    Args:
+        thresholds: per-cell thresholds, shape ``(n_rows, columns)``.
+        stored_bits: stored bits of the victim rows, same shape.
+        effective_counts: per-row RowPress-amplified counts, shape
+            ``(n_rows,)``.
+
+    Elementwise identical to calling `neighbour_flip_mask` once per row —
+    the comparisons broadcast the per-row count across that row's columns
+    without changing any operand values.
+    """
+    if thresholds.shape != stored_bits.shape:
+        raise ValueError("thresholds and stored_bits must have the same shape")
+    counts = np.asarray(effective_counts, dtype=np.float64)[..., np.newaxis]
+    charged = stored_bits.astype(bool)
+    toward_zero = charged & (thresholds <= counts)
+    toward_one = (~charged) & (thresholds * ANTI_DIRECTION_FACTOR <= counts)
+    return toward_zero | toward_one

@@ -1,6 +1,5 @@
 """Property-based invariants of the analytic characterization path."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.chip import BankGeometry, SimulatedModule, get_module
+from repro.chip import SimulatedModule, get_module
 from repro.core import SubarrayRole, disturb_outcome, retention_outcome
 from repro.core.config import DisturbConfig
 

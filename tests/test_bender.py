@@ -18,7 +18,7 @@ from repro.bender import (
     retention_program,
     rowclone_program,
 )
-from repro.chip import BankGeometry, SimulatedModule, get_module
+from repro.chip import SimulatedModule, get_module
 
 
 @pytest.fixture

@@ -9,7 +9,6 @@ from repro.core import (
     WORST_CASE,
     disturb_outcome,
     profile_weak_rows,
-    retention_outcome,
 )
 
 GEOMETRY = BankGeometry(subarrays=3, rows_per_subarray=64, columns=256)

@@ -65,7 +65,11 @@ def inject(monkeypatch, tmp_path):
 
 
 def run(**knobs):
-    engine = CharacterizationEngine(scale=QUICK_SCALE, **knobs)
+    # serial_fallback=False: these tests exercise pool mechanics (worker
+    # death, respawn, timeouts) and must use a real pool even on 1-CPU CI.
+    engine = CharacterizationEngine(
+        scale=QUICK_SCALE, serial_fallback=False, **knobs
+    )
     return engine.characterize_module("S0", WORST_CASE, INTERVALS)
 
 

@@ -41,7 +41,9 @@ def _serial(config):
 def test_parallel_cached_engine_matches_serial(tmp_path, config):
     serial_records = _serial(config)
     cache = OutcomeCache(tmp_path)
-    engine = CharacterizationEngine(scale=QUICK_SCALE, workers=4, cache=cache)
+    engine = CharacterizationEngine(
+        scale=QUICK_SCALE, workers=4, cache=cache, serial_fallback=False
+    )
 
     cold = engine.characterize_modules(MODULES, config, INTERVALS)
     assert cold == serial_records
@@ -65,6 +67,7 @@ def test_fault_tolerance_knobs_preserve_parity(tmp_path, workers):
         retry_backoff=0.01,
         timeout=120.0,
         failure_policy="skip-with-record",
+        serial_fallback=False,
     )
     cold = engine.characterize_modules(MODULES, WORST_CASE, INTERVALS)
     assert cold == serial_records
@@ -80,7 +83,8 @@ def test_trace_does_not_perturb_records(tmp_path):
     serial_records = _serial(WORST_CASE)
     trace = RunTrace(tmp_path / "trace.jsonl")
     engine = CharacterizationEngine(
-        scale=QUICK_SCALE, workers=2, cache=OutcomeCache(), trace=trace
+        scale=QUICK_SCALE, workers=2, cache=OutcomeCache(), trace=trace,
+        serial_fallback=False,
     )
     assert engine.characterize_modules(MODULES, WORST_CASE, INTERVALS) \
         == serial_records

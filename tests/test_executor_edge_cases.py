@@ -12,7 +12,7 @@ from repro.bender import (
     Wait,
     Write,
 )
-from repro.chip import BankGeometry, SimulatedModule, get_module
+from repro.chip import SimulatedModule, get_module
 
 
 @pytest.fixture

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.chip import BankGeometry, ModuleSpec, SimulatedModule, get_module
+from repro.chip import ModuleSpec, SimulatedModule, get_module
 
 
 def test_bank_cached(s0_module):

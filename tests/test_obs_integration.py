@@ -77,7 +77,7 @@ def test_engine_metrics_match_trace_and_records():
     obs.enable()
     trace = RunTrace()
     engine = CharacterizationEngine(
-        scale=QUICK_SCALE, workers=2, trace=trace
+        scale=QUICK_SCALE, workers=2, trace=trace, serial_fallback=False
     )
     records = engine.characterize_modules(("S0", "M8"), WORST_CASE, INTERVALS)
     snapshot = obs.snapshot()
@@ -101,7 +101,7 @@ def test_engine_and_serial_paths_report_identical_flip_totals():
     serial_total = _counter_value(obs.snapshot(), "cells_flipped_total")
     obs.reset()
     engine_records = CharacterizationEngine(
-        scale=QUICK_SCALE, workers=2
+        scale=QUICK_SCALE, workers=2, serial_fallback=False
     ).characterize_module("S0", WORST_CASE, INTERVALS)
     engine_total = _counter_value(obs.snapshot(), "cells_flipped_total")
     assert serial_total == engine_total == _expected_flips(serial_records)
@@ -111,7 +111,9 @@ def test_engine_and_serial_paths_report_identical_flip_totals():
 @pytest.mark.engine
 def test_worker_spans_adopted_under_campaign_span():
     obs.enable()
-    engine = CharacterizationEngine(scale=QUICK_SCALE, workers=2)
+    engine = CharacterizationEngine(
+        scale=QUICK_SCALE, workers=2, serial_fallback=False
+    )
     engine.characterize_module("S0", WORST_CASE, INTERVALS)
     spans = obs.finished_spans()
     by_name = {}

@@ -1,6 +1,5 @@
 """Refresh planner: safe periods, classifications, mitigation comparison."""
 
-import numpy as np
 import pytest
 
 from repro.chip import BankGeometry, SimulatedModule, get_module

@@ -5,7 +5,6 @@ import pytest
 from repro.sim import (
     DDR4_3200,
     NoRefresh,
-    RowLevelRefresh,
     SmdMaintenance,
     raidr_policy,
     simulate_mix,

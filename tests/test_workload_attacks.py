@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim import CONTROLLER_HZ
-from repro.sim.cpu import PEAK_IPC_PER_CYCLE, Core
+from repro.sim.cpu import Core
 from repro.workloads import WorkloadTrace, attack_trace, press_attack_trace
 
 
