@@ -1,0 +1,193 @@
+"""Serving throughput/latency bench: closed-loop clients vs `repro.serve`.
+
+Drives an in-process server (`repro.serve.ServerThread`) with a
+closed-loop client mix — a small *hot set* of request shapes issued
+repeatedly (these should coalesce onto in-flight computations) plus a
+stream of unique *cold* shapes (each is a genuine engine submission).
+Reports throughput, p50/p95 request latency, and the coalesce ratio, and
+merges them as the ``serve`` block of ``BENCH_engine.json`` (repo root +
+``benchmarks/results/``).
+
+Run directly for the committed numbers::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+
+or via pytest (marked ``slow``; asserts the hot-repeat coalesce ratio
+stays above 0.5 without rewriting the JSON)::
+
+    PYTHONPATH=src:benchmarks python -m pytest benchmarks/bench_serve.py -m slow
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import statistics
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve import ServeClient, ServeConfig, ServerThread
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Small silicon so the bench measures the serving layer, not the engine.
+_GEOMETRY = {"subarrays": 2, "rows": 64, "columns": 128}
+
+#: The hot set: repeatedly-requested shapes that should coalesce.
+HOT_REQUESTS = (
+    {"serial": "S0", **_GEOMETRY, "intervals": [0.512, 16.0]},
+    {"serial": "M8", **_GEOMETRY, "intervals": [0.512, 16.0]},
+)
+
+
+def _cold_request(index: int) -> dict:
+    """A unique request shape per index: a fresh temperature fold means a
+    fresh cache identity AND a fresh batch bucket — a guaranteed miss."""
+    return {
+        "serial": "S0",
+        **_GEOMETRY,
+        "intervals": [0.512],
+        "temperature_c": 40.0 + index * 0.125,
+    }
+
+
+def run_serve_bench(
+    requests: int = 240,
+    clients: int = 8,
+    hot_fraction: float = 0.8,
+    batch_window_ms: float = 10.0,
+) -> dict:
+    """Closed-loop client mix against an in-process server.
+
+    Each client thread owns one keep-alive connection and draws from a
+    shared work list (pre-shuffled deterministically) so the hot/cold mix
+    is exact regardless of scheduling.
+    """
+    hot_count = int(requests * hot_fraction)
+    work: list[dict] = []
+    for index in range(requests):
+        if index < hot_count:
+            work.append(HOT_REQUESTS[index % len(HOT_REQUESTS)])
+        else:
+            work.append(_cold_request(index))
+    # Deterministic interleave (no RNG): a coprime stride permutes the
+    # list so hot repeats and cold misses alternate the way a mixed
+    # client population would.
+    stride = max(1, requests // 12)
+    while math.gcd(stride, requests) != 1:
+        stride += 1
+    work = [work[(i * stride) % requests] for i in range(requests)]
+
+    server = ServerThread(
+        ServeConfig(port=0, batch_window_ms=batch_window_ms)
+    )
+    latencies: list[float] = []
+    errors: list[str] = []
+    lock = threading.Lock()
+    cursor = iter(range(requests))
+
+    def worker() -> None:
+        with ServeClient(port=server.port) as client:
+            while True:
+                with lock:
+                    index = next(cursor, None)
+                if index is None:
+                    return
+                start = time.perf_counter()
+                try:
+                    client.characterize(work[index])
+                except Exception as exc:  # pragma: no cover - bench guard
+                    with lock:
+                        errors.append(f"{type(exc).__name__}: {exc}")
+                    return
+                elapsed = time.perf_counter() - start
+                with lock:
+                    latencies.append(elapsed)
+
+    threads = [threading.Thread(target=worker) for _ in range(clients)]
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_start
+    stats = dict(server.scheduler.stats)
+    server.shutdown()
+
+    if errors:
+        raise RuntimeError(f"{len(errors)} client error(s): {errors[0]}")
+    latencies_ms = sorted(x * 1000.0 for x in latencies)
+    quantiles = statistics.quantiles(latencies_ms, n=20)
+    return {
+        "requests": requests,
+        "clients": clients,
+        "hot_fraction": hot_fraction,
+        "batch_window_ms": batch_window_ms,
+        "wall_s": round(wall, 3),
+        "throughput_rps": round(requests / wall, 1),
+        "p50_ms": round(statistics.median(latencies_ms), 2),
+        "p95_ms": round(quantiles[18], 2),
+        "coalesce_ratio": round(stats["coalesced"] / stats["requests"], 3),
+        "coalesced": stats["coalesced"],
+        "engine_jobs": stats["jobs"],
+        "batched_requests": stats["batched_requests"],
+    }
+
+
+def _merge_bench_block(block: str, result: dict) -> None:
+    """Merge one named block into BENCH_engine.json (repo root + results/)."""
+    bench_path = _REPO_ROOT / "BENCH_engine.json"
+    data = json.loads(bench_path.read_text()) if bench_path.exists() else {
+        "bench": "engine"
+    }
+    data[block] = result
+    payload = json.dumps(data, indent=2) + "\n"
+    bench_path.write_text(payload)
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    (_RESULTS_DIR / "BENCH_engine.json").write_text(payload)
+
+
+@pytest.mark.slow
+def test_serve_bench_hot_repeats_coalesce():
+    """The serving layer's reason to exist: a hot-repeat mix coalesces
+    more than half of all requests onto in-flight computations."""
+    result = run_serve_bench(requests=120, clients=8)
+    assert result["coalesce_ratio"] > 0.5
+    assert result["engine_jobs"] < result["requests"]
+    assert result["p95_ms"] > 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="closed-loop bench of the repro.serve service; merges "
+                    "a 'serve' block into BENCH_engine.json",
+    )
+    parser.add_argument("--requests", type=int, default=240)
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--hot-fraction", type=float, default=0.8)
+    parser.add_argument("--batch-window-ms", type=float, default=10.0)
+    parser.add_argument(
+        "--no-json", action="store_true",
+        help="print the result without rewriting BENCH_engine.json",
+    )
+    args = parser.parse_args(argv)
+    result = run_serve_bench(
+        requests=args.requests,
+        clients=args.clients,
+        hot_fraction=args.hot_fraction,
+        batch_window_ms=args.batch_window_ms,
+    )
+    print(json.dumps({"serve": result}, indent=2))
+    if not args.no_json:
+        _merge_bench_block("serve", result)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

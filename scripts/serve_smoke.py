@@ -1,0 +1,117 @@
+"""CI smoke test for the characterization service.
+
+Starts ``repro serve`` as a real subprocess on an ephemeral port, fires
+concurrent duplicate requests with the bundled client, and asserts the
+three things the serving layer promises:
+
+* every request answers 200 with identical payloads;
+* ``serve_coalesced_total`` on ``/metrics`` is nonzero (duplicates
+  attached to one in-flight computation rather than recomputing);
+* SIGTERM drains cleanly — exit code 0 and the drain banner on stderr.
+
+Exits nonzero with a one-line reason on any violation.
+
+Usage: ``PYTHONPATH=src python scripts/serve_smoke.py``
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from typing import NoReturn
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+REQUEST = {"serial": "S0", "subarrays": 2, "rows": 64, "columns": 128,
+           "intervals": [0.512, 16.0]}
+CLIENTS = 6
+
+
+def fail(reason: str) -> NoReturn:
+    print(f"serve_smoke: FAIL: {reason}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> int:
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.serve import ServeClient
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(REPO_ROOT, "src"),
+                    env.get("PYTHONPATH")) if p
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--batch-window-ms", "25"],
+        env=env, stderr=subprocess.PIPE, text=True,
+    )
+    try:
+        port = None
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline and process.poll() is None:
+            line = process.stderr.readline()
+            match = re.search(r"http://[^:]+:(\d+)", line)
+            if match:
+                port = int(match.group(1))
+                break
+        if port is None:
+            fail("server never announced its port")
+        print(f"serve_smoke: server up on port {port}")
+
+        results: list = [None] * CLIENTS
+        barrier = threading.Barrier(CLIENTS)
+
+        def hit(index: int) -> None:
+            with ServeClient(port=port) as client:
+                barrier.wait()
+                results[index] = client.characterize(REQUEST)
+
+        threads = [threading.Thread(target=hit, args=(i,))
+                   for i in range(CLIENTS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        if any(result is None for result in results):
+            fail("a concurrent request did not complete")
+        if any(result != results[0] for result in results):
+            fail("concurrent duplicate requests returned different payloads")
+        if len(results[0]["records"]) != REQUEST["subarrays"]:
+            fail(f"expected {REQUEST['subarrays']} records, "
+                 f"got {len(results[0]['records'])}")
+        print(f"serve_smoke: {CLIENTS} duplicate requests OK, "
+              "identical payloads")
+
+        with ServeClient(port=port) as client:
+            metrics = client.metrics()
+        match = re.search(
+            r"^serve_coalesced_total (\d+)", metrics, re.MULTILINE
+        )
+        coalesced = int(match.group(1)) if match else 0
+        if coalesced == 0:
+            fail("serve_coalesced_total is zero: duplicates did not coalesce")
+        print(f"serve_smoke: serve_coalesced_total={coalesced}")
+
+        process.send_signal(signal.SIGTERM)
+        code = process.wait(timeout=60)
+        stderr_tail = process.stderr.read()
+        if code != 0:
+            fail(f"exit code {code} after SIGTERM")
+        if "drained cleanly" not in stderr_tail:
+            fail(f"no clean-drain banner; stderr tail: {stderr_tail!r}")
+        print("serve_smoke: SIGTERM drained cleanly, exit 0")
+        print("serve_smoke: PASS")
+        return 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

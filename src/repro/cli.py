@@ -248,6 +248,27 @@ def _render_metrics_file(path: str) -> str:
     return table(["metric", "labels", "value"], rows)
 
 
+def _cmd_serve(args: argparse.Namespace) -> str:
+    from repro.serve import ServeConfig
+    from repro.serve import run as serve_run
+
+    # The service exposes /metrics itself; enable observability so the
+    # scrape carries spans-adjacent gauges (cache tiers, queue depth).
+    obs.enable()
+    serve_run(
+        ServeConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            max_queue=args.max_queue,
+            batch_window_ms=args.batch_window_ms,
+            kernel=args.kernel,
+        )
+    )
+    return ""
+
+
 def _cmd_mitigations(args: argparse.Namespace) -> str:
     spec = get_module(args.serial)
     estimates = compare_mitigations(
@@ -352,6 +373,32 @@ def build_parser() -> argparse.ArgumentParser:
     _add_kernel_arg(run_program)
     _add_observability_args(run_program)
 
+    serve = sub.add_parser(
+        "serve", help="run the async characterization HTTP service"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8787,
+        help="TCP port (0 picks a free port)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=0,
+        help="engine worker processes per submission (0 = in-process)",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="on-disk outcome cache directory shared across requests",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=64,
+        help="admission bound on in-flight requests; excess gets HTTP 429",
+    )
+    serve.add_argument(
+        "--batch-window-ms", type=float, default=5.0,
+        help="micro-batching window in milliseconds",
+    )
+    _add_kernel_arg(serve)
+
     obs_parser = sub.add_parser("obs", help="observability utilities")
     obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
     report = obs_sub.add_parser(
@@ -370,6 +417,7 @@ _HANDLERS = {
     "mitigations": _cmd_mitigations,
     "run-program": _cmd_run_program,
     "datasheet": _cmd_datasheet,
+    "serve": _cmd_serve,
     "obs": _cmd_obs,
 }
 
@@ -392,7 +440,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         with obs.span(f"cli.{args.command}"):
             output = _HANDLERS[args.command](args)
-        print(output)
+        if output:
+            print(output)
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
         import os
@@ -401,6 +450,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             sys.stdout.close()
         except BrokenPipeError:
             os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    except (ValueError, OSError) as exc:
+        # Bad input (unknown serial, unreadable file, busy port, malformed
+        # program) is a one-line diagnostic and a nonzero exit, never a
+        # traceback.
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
     finally:
         if server is not None:
             server.close()

@@ -18,7 +18,12 @@ from repro.core.analytic import (
     retention_time_arrays,
 )
 from repro.core.bisection import BisectionResult, search_minimum_time
-from repro.core.cache import CACHE_FORMAT_VERSION, OutcomeCache, outcome_cache_key
+from repro.core.cache import (
+    CACHE_FORMAT_VERSION,
+    OutcomeCache,
+    content_key,
+    outcome_cache_key,
+)
 from repro.core.campaign import (
     QUICK_SCALE,
     REDUCED_SCALE,
@@ -74,6 +79,7 @@ __all__ = [
     "SubarrayRole",
     "CACHE_FORMAT_VERSION",
     "OutcomeCache",
+    "content_key",
     "outcome_cache_key",
     "DEFAULT_ENGINE_HORIZON",
     "CharacterizationEngine",

@@ -41,6 +41,7 @@ import numpy as np
 
 from repro import obs
 from repro.core.analytic import OutcomeSummary, SubarrayRole
+from repro.obs import state as _obs_state
 from repro.core.config import DisturbConfig
 from repro.physics.profile import DisturbanceProfile
 
@@ -65,6 +66,22 @@ _EVICTIONS = obs.counter(
     "cache_evictions_total",
     "Memory-tier entries evicted past max_memory_entries.",
 )
+# Gauge mirrors of the per-instance `stats` so a /metrics scrape can tell
+# the cache's own hit ratio apart from the serve layer's coalesce ratio.
+# Several live caches share these families; the most recently active
+# instance's observation wins (the normal case is exactly one cache per
+# process — the engine's, or the serve scheduler's).
+_HIT_RATIO = obs.gauge(
+    "cache_hit_ratio",
+    "hits / lookups of the most recently active outcome cache.",
+)
+_ENTRIES = obs.gauge(
+    "cache_entries",
+    "Entries held by the most recently active outcome cache, per tier.",
+    labelnames=("tier",),
+)
+_ENTRIES_MEMORY = _ENTRIES.labels(tier="memory")
+_ENTRIES_DISK = _ENTRIES.labels(tier="disk")
 
 #: Bump when the summary layout or the outcome semantics change: old disk
 #: entries become unreachable instead of wrong.
@@ -92,6 +109,18 @@ _CORRUPT_ENTRY_ERRORS = (
 _TMP_SEQUENCE = itertools.count()
 
 
+def content_key(fields: tuple) -> str:
+    """Stable content hash of a tuple of plain values.
+
+    The shared key-derivation primitive: `outcome_cache_key` addresses one
+    characterization condition with it, and `repro.serve.protocol` derives
+    request coalescing keys from it, so both layers inherit the same
+    collision and stability properties.  ``fields`` must contain only
+    values with a deterministic ``repr`` (numbers, strings, tuples).
+    """
+    return hashlib.sha256(repr(tuple(fields)).encode()).hexdigest()
+
+
 def outcome_cache_key(
     population_key: tuple,
     rows: int,
@@ -103,7 +132,7 @@ def outcome_cache_key(
     aggressor_local_row: int | None,
 ) -> str:
     """Stable content hash of one characterization condition."""
-    fields = (
+    return content_key((
         CACHE_FORMAT_VERSION,
         tuple(population_key),
         rows,
@@ -113,8 +142,7 @@ def outcome_cache_key(
         role.value,
         guardband,
         aggressor_local_row,
-    )
-    return hashlib.sha256(repr(fields).encode()).hexdigest()
+    ))
 
 
 class OutcomeCache:
@@ -146,9 +174,11 @@ class OutcomeCache:
         self.quarantined = 0
         self.evictions = 0
         self.swept_tmp = 0
+        self.disk_entries = 0
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
             self._sweep_tmp(tmp_sweep_age_s)
+            self.disk_entries = sum(1 for _ in self.directory.glob("*.npz"))
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -169,6 +199,7 @@ class OutcomeCache:
             self._memory.move_to_end(key)
             self.hits += 1
             _LOOKUP_MEMORY.inc()
+            self._update_gauges()
             return summary, "memory"
         if self.directory is not None:
             loaded = self._load(key)
@@ -177,9 +208,11 @@ class OutcomeCache:
                 self.disk_hits += 1
                 self.hits += 1
                 _LOOKUP_DISK.inc()
+                self._update_gauges()
                 return loaded, "disk"
         self.misses += 1
         _LOOKUP_MISS.inc()
+        self._update_gauges()
         return None, "miss"
 
     def get(self, key: str, min_horizon: float = 0.0) -> OutcomeSummary | None:
@@ -192,6 +225,7 @@ class OutcomeCache:
         _PUTS.inc()
         if self.directory is not None:
             self._save(key, summary)
+        self._update_gauges()
 
     @property
     def stats(self) -> dict[str, int]:
@@ -199,6 +233,7 @@ class OutcomeCache:
         ``disk_hits`` is the subset of ``hits`` answered from disk."""
         return {
             "entries": len(self._memory),
+            "disk_entries": self.disk_entries,
             "lookups": self.lookups,
             "hits": self.hits,
             "misses": self.misses,
@@ -207,6 +242,16 @@ class OutcomeCache:
             "evictions": self.evictions,
             "swept_tmp": self.swept_tmp,
         }
+
+    def _update_gauges(self) -> None:
+        """Mirror this instance's tier sizes and hit ratio onto the
+        registry gauges (last active instance wins)."""
+        if not _obs_state.enabled:
+            return
+        _ENTRIES_MEMORY.set(len(self._memory))
+        _ENTRIES_DISK.set(self.disk_entries)
+        if self.lookups:
+            _HIT_RATIO.set(self.hits / self.lookups)
 
     # ------------------------------------------------------------------
     # Memory tier
@@ -240,7 +285,10 @@ class OutcomeCache:
             np.savez(handle, scalars=scalars, **arrays)
             handle.flush()
             os.fsync(handle.fileno())
+        existed = path.exists()
         os.replace(tmp, path)
+        if not existed:
+            self.disk_entries += 1
 
     def _load(self, key: str) -> OutcomeSummary | None:
         path = self._path(key)
@@ -266,6 +314,7 @@ class OutcomeCache:
         try:
             os.replace(path, path.with_suffix(".bad"))
             self.quarantined += 1
+            self.disk_entries = max(0, self.disk_entries - 1)
             _QUARANTINED.inc()
         except OSError:
             # Lost a race with another reader/writer: nothing to keep.

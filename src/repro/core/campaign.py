@@ -180,7 +180,13 @@ class Campaign:
             or self.failure_policy != "raise"
         )
 
-    def _engine(self):
+    def engine(self):
+        """The `CharacterizationEngine` this campaign's settings describe.
+
+        The submission hook for callers (notably `repro.serve`) that plan
+        their own work-unit lists but want engine execution configured
+        exactly as this campaign would configure it.
+        """
         from repro.core.engine import CharacterizationEngine
 
         return CharacterizationEngine(
@@ -206,8 +212,8 @@ class Campaign:
         recorded in that subarray.
         """
         if self._delegate_to_engine():
-            return self._engine().characterize_module(serial, config,
-                                                      tuple(intervals))
+            return self.engine().characterize_module(serial, config,
+                                                     tuple(intervals))
         spec = get_module(serial)
         module = self.pool.get(serial, self.scale, self.kernel)
         records = []
@@ -231,7 +237,7 @@ class Campaign:
     ) -> list[SubarrayRecord]:
         """Run `characterize_module` over several modules."""
         if self._delegate_to_engine():
-            return self._engine().characterize_modules(
+            return self.engine().characterize_modules(
                 tuple(serials), config, tuple(intervals)
             )
         records = []

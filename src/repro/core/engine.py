@@ -467,13 +467,12 @@ class CharacterizationEngine:
         `Campaign` path for any ``workers``/``cache``/retry setting.
         """
         units = plan_units(tuple(serials), config, self.scale)
-        horizon = max((self.horizon, SEARCH_INTERVAL, *intervals))
         with obs.span(
             "engine.characterize",
             serials=",".join(serials), units=len(units),
             workers=self.workers,
         ):
-            summaries = self._summaries(units, horizon)
+            summaries = self.compute_summaries(units, tuple(intervals))
             return [
                 record_from_summary(
                     unit, summary, tuple(intervals),
@@ -481,6 +480,31 @@ class CharacterizationEngine:
                 )
                 for unit, summary in zip(units, summaries)
             ]
+
+    def compute_summaries(
+        self,
+        units: list[WorkUnit],
+        intervals: tuple[float, ...] = (),
+    ) -> list[OutcomeSummary | None]:
+        """Resolve summaries for an explicit unit list, in list order.
+
+        The submission hook used by `repro.serve`: a caller that plans (and
+        possibly deduplicates or merges) its own unit lists still gets the
+        full engine treatment — cache lookups, pool execution, retries,
+        timeout, and the failure policy.  The computed horizon covers
+        ``intervals``, so any of them is answerable from each summary; a
+        ``None`` entry is a unit abandoned under ``skip-with-record``.
+        """
+        horizon = max((self.horizon, SEARCH_INTERVAL, *intervals))
+        return self._summaries(list(units), horizon)
+
+    def unit_key(self, unit: WorkUnit) -> str:
+        """Content-addressed cache key of one unit (memoized per engine).
+
+        Public so batching layers can deduplicate overlapping submissions
+        by the same identity the cache uses.
+        """
+        return self._unit_key(unit)
 
     # ------------------------------------------------------------------
     # Memoized per-serial/per-unit lookups

@@ -1,0 +1,41 @@
+"""repro.serve: async characterization service (stdlib-only).
+
+An HTTP JSON front end over the Campaign/engine/OutcomeCache stack with
+request coalescing, micro-batching, and backpressure.  See
+``docs/SERVING.md`` for the API schema and operational contract.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    CharacterizeRequest,
+    ProtocolError,
+    RiskRequest,
+)
+from repro.serve.scheduler import (
+    DrainingError,
+    QueueFullError,
+    RequestScheduler,
+)
+from repro.serve.server import (
+    ReproServer,
+    ServeConfig,
+    ServerThread,
+    run,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "CharacterizeRequest",
+    "RiskRequest",
+    "ProtocolError",
+    "RequestScheduler",
+    "QueueFullError",
+    "DrainingError",
+    "ReproServer",
+    "ServeConfig",
+    "ServerThread",
+    "run",
+    "ServeClient",
+    "ServeError",
+]

@@ -1,0 +1,125 @@
+"""Minimal blocking client for the characterization service.
+
+Stdlib-only (``http.client``), mirroring the server's error contract:
+2xx returns the decoded JSON payload, anything else raises
+:class:`ServeError` carrying the status code and, for 429, the parsed
+``Retry-After`` hint.  One client holds one keep-alive connection and is
+not thread-safe — give each client thread its own instance.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+from repro.serve.protocol import CharacterizeRequest, RiskRequest
+
+
+class ServeError(RuntimeError):
+    """Non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str, retry_after: float | None = None):
+        self.status = status
+        self.retry_after = retry_after
+        super().__init__(f"HTTP {status}: {message}")
+
+
+class ServeClient:
+    """Blocking JSON client over one keep-alive connection."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8787, timeout: float = 120.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._connection: http.client.HTTPConnection | None = None
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, payload: dict | None = None):
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        try:
+            self._connection.request(method, path, body=body, headers=headers)
+            response = self._connection.getresponse()
+            raw = response.read()
+        except (ConnectionError, http.client.HTTPException, OSError):
+            # Stale keep-alive (e.g. server drained it); one clean retry
+            # on a fresh connection, then propagate.
+            self.close()
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._connection.request(method, path, body=body, headers=headers)
+            response = self._connection.getresponse()
+            raw = response.read()
+        if response.getheader("Connection", "").lower() == "close":
+            self.close()
+        if not 200 <= response.status < 300:
+            message = raw.decode(errors="replace").strip()
+            try:
+                message = json.loads(message)["error"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                pass
+            retry_after = None
+            header = response.getheader("Retry-After")
+            if header is not None:
+                try:
+                    retry_after = float(header)
+                except ValueError:
+                    pass
+            raise ServeError(response.status, message, retry_after)
+        if response.getheader("Content-Type", "").startswith("application/json"):
+            return json.loads(raw)
+        return raw.decode()
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+    def characterize(self, request: CharacterizeRequest | dict) -> dict:
+        """``POST /v1/characterize``; returns the result payload."""
+        if isinstance(request, CharacterizeRequest):
+            request = request.to_json()
+        return self._request("POST", "/v1/characterize", request)
+
+    def risk(self, request: RiskRequest | dict) -> dict:
+        """``POST /v1/risk``; returns the risk payload."""
+        if isinstance(request, RiskRequest):
+            request = request.to_json()
+        return self._request("POST", "/v1/risk", request)
+
+    def catalog(self) -> dict:
+        """``GET /v1/catalog``."""
+        return self._request("GET", "/v1/catalog")
+
+    def healthz(self) -> dict:
+        """``GET /healthz`` (includes live scheduler stats)."""
+        return self._request("GET", "/healthz")
+
+    def readyz(self) -> dict:
+        """``GET /readyz``; raises :class:`ServeError` (503) while draining."""
+        return self._request("GET", "/readyz")
+
+    def metrics(self) -> str:
+        """``GET /metrics``: Prometheus text exposition."""
+        return self._request("GET", "/metrics")

@@ -1,0 +1,450 @@
+"""Async HTTP front end for the characterization service.
+
+A deliberately small HTTP/1.1 server on ``asyncio.start_server`` — the
+service is stdlib-only, so there is no framework underneath.  The parser
+handles exactly what the protocol needs: request line, headers,
+``Content-Length`` bodies, and keep-alive connections.
+
+Routes:
+
+====================  =====================================================
+``POST /v1/characterize``  run (or coalesce onto) a characterization
+``POST /v1/risk``          refresh-window risk for one module
+``GET /v1/catalog``        the module catalog the service can characterize
+``GET /healthz``           liveness (always 200 while the process runs)
+``GET /readyz``            readiness (503 once draining)
+``GET /metrics``           Prometheus text exposition of the live registry
+====================  =====================================================
+
+Error contract: malformed requests get 400 with a JSON ``error`` body; a
+full admission queue gets 429 with a ``Retry-After`` header; a draining
+server gets 503.  SIGTERM/SIGINT trigger a graceful drain — the listener
+closes, queued work finishes, metrics/trace files flush — before exit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.chip.catalog import CATALOG
+from repro.obs.export import prometheus_text
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    CharacterizeRequest,
+    ProtocolError,
+    RiskRequest,
+)
+from repro.serve.scheduler import (
+    DrainingError,
+    QueueFullError,
+    RequestScheduler,
+)
+
+#: Request line + headers may not exceed this (bytes).
+MAX_HEADER_BYTES = 16 * 1024
+#: Request bodies may not exceed this (bytes).
+MAX_BODY_BYTES = 1024 * 1024
+
+_REQUESTS = obs.counter(
+    "serve_requests_total",
+    "HTTP requests served, by route and status code.",
+    labelnames=("route", "status"),
+)
+_LATENCY = obs.histogram(
+    "serve_request_seconds",
+    "Wall-clock seconds from request receipt to response write.",
+    labelnames=("route",),
+    buckets=(0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0),
+)
+
+
+@dataclass
+class ServeConfig:
+    """Everything `ReproServer` needs, mirroring ``repro serve`` flags."""
+
+    host: str = "127.0.0.1"
+    port: int = 8787
+    workers: int = 0
+    cache_dir: str | None = None
+    max_queue: int = 64
+    batch_window_ms: float = 5.0
+    kernel: str | None = None
+
+
+class _BadRequest(Exception):
+    """Transport-level protocol violation; close the connection after 400."""
+
+
+@dataclass
+class _HttpRequest:
+    method: str
+    path: str
+    headers: dict[str, str]
+    body: bytes
+
+
+@dataclass
+class _HttpResponse:
+    status: int
+    body: bytes
+    content_type: str = "application/json"
+    headers: dict[str, str] = field(default_factory=dict)
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def _json_response(status: int, payload: dict, **headers: str) -> _HttpResponse:
+    body = (json.dumps(payload) + "\n").encode()
+    return _HttpResponse(status, body, headers=headers)
+
+
+def _error_response(status: int, message: str, **headers: str) -> _HttpResponse:
+    return _json_response(status, {"error": message}, **headers)
+
+
+class ReproServer:
+    """The service: one scheduler behind an asyncio socket server."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        from repro.core.cache import OutcomeCache
+
+        self.config = config
+        self.scheduler = RequestScheduler(
+            workers=config.workers,
+            cache=OutcomeCache(directory=config.cache_dir),
+            max_queue=config.max_queue,
+            batch_window_s=config.batch_window_ms / 1000.0,
+            kernel=config.kernel,
+        )
+        self._server: asyncio.Server | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._started = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        if self.config.port == 0:
+            self.config.port = self._server.sockets[0].getsockname()[1]
+
+    async def shutdown(self) -> None:
+        """Graceful drain: stop accepting, finish queued work."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.scheduler.drain()
+        # Drained work still needs its responses flushed; give handlers a
+        # moment, then drop idle keep-alive connections.
+        if self._connections:
+            _, pending = await asyncio.wait(list(self._connections), timeout=1.0)
+            for task in pending:
+                task.cancel()
+
+    async def serve_until(self, stop: asyncio.Event) -> None:
+        """Run until ``stop`` is set, then drain and return."""
+        await self.start()
+        await stop.wait()
+        await self.shutdown()
+
+    @property
+    def port(self) -> int:
+        return self.config.port
+
+    # ------------------------------------------------------------------
+    # HTTP transport
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _BadRequest as exc:
+                    await self._write_response(
+                        writer, _error_response(400, str(exc)), close=True
+                    )
+                    return
+                if request is None:
+                    return
+                response = await self._dispatch(request)
+                keep_alive = (
+                    request.headers.get("connection", "").lower() != "close"
+                    and not self.scheduler.draining
+                )
+                await self._write_response(writer, response, close=not keep_alive)
+                if not keep_alive:
+                    return
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away; nothing to answer.
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader) -> _HttpRequest | None:
+        try:
+            header_blob = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None  # clean keep-alive close between requests.
+            raise _BadRequest("truncated request") from None
+        except asyncio.LimitOverrunError:
+            raise _BadRequest("headers too large") from None
+        if len(header_blob) > MAX_HEADER_BYTES:
+            raise _BadRequest("headers too large")
+        lines = header_blob.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise _BadRequest(f"malformed request line: {lines[0]!r}")
+        method, path, _ = parts
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, sep, value = line.partition(":")
+            if not sep:
+                raise _BadRequest(f"malformed header line: {line!r}")
+            headers[name.strip().lower()] = value.strip()
+        length_text = headers.get("content-length", "0")
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise _BadRequest("invalid Content-Length") from None
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise _BadRequest(f"body must be at most {MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length) if length else b""
+        return _HttpRequest(method, path, headers, body)
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        response: _HttpResponse,
+        close: bool,
+    ) -> None:
+        reason = _REASONS.get(response.status, "Unknown")
+        head = [
+            f"HTTP/1.1 {response.status} {reason}",
+            f"Content-Type: {response.content_type}",
+            f"Content-Length: {len(response.body)}",
+            f"Connection: {'close' if close else 'keep-alive'}",
+        ]
+        head.extend(f"{k}: {v}" for k, v in response.headers.items())
+        writer.write("\r\n".join(head).encode() + b"\r\n\r\n" + response.body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _dispatch(self, request: _HttpRequest) -> _HttpResponse:
+        route = request.path.split("?", 1)[0]
+        start = time.perf_counter()
+        response = await self._route(request, route)
+        _LATENCY.labels(route=route).observe(time.perf_counter() - start)
+        _REQUESTS.labels(route=route, status=str(response.status)).inc()
+        return response
+
+    async def _route(self, request: _HttpRequest, route: str) -> _HttpResponse:
+        handlers = {
+            ("GET", "/healthz"): self._healthz,
+            ("GET", "/readyz"): self._readyz,
+            ("GET", "/metrics"): self._metrics,
+            ("GET", "/v1/catalog"): self._catalog,
+            ("POST", "/v1/characterize"): self._characterize,
+            ("POST", "/v1/risk"): self._risk,
+        }
+        handler = handlers.get((request.method, route))
+        if handler is None:
+            if any(path == route for _, path in handlers):
+                return _error_response(
+                    405, f"method {request.method} not allowed on {route}"
+                )
+            return _error_response(404, f"no such route: {route}")
+        try:
+            with obs.span("serve.request", route=route):
+                return await handler(request)
+        except QueueFullError as exc:
+            return _error_response(
+                429, str(exc), **{"Retry-After": f"{exc.retry_after:g}"}
+            )
+        except DrainingError as exc:
+            return _error_response(503, str(exc))
+        except ProtocolError as exc:
+            return _error_response(400, str(exc))
+        except (KeyboardInterrupt, SystemExit, asyncio.CancelledError):
+            raise
+        except Exception as exc:
+            return _error_response(500, f"{type(exc).__name__}: {exc}")
+
+    def _parse_body(self, request: _HttpRequest) -> object:
+        try:
+            return json.loads(request.body or b"{}")
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"invalid JSON body: {exc}") from None
+
+    async def _characterize(self, request: _HttpRequest) -> _HttpResponse:
+        parsed = CharacterizeRequest.from_json(self._parse_body(request))
+        result = await self.scheduler.submit(parsed)
+        return _json_response(200, result)
+
+    async def _risk(self, request: _HttpRequest) -> _HttpResponse:
+        parsed = RiskRequest.from_json(self._parse_body(request))
+        result = await self.scheduler.submit(parsed)
+        return _json_response(200, result)
+
+    async def _catalog(self, request: _HttpRequest) -> _HttpResponse:
+        modules = [
+            {
+                "serial": spec.serial,
+                "manufacturer": spec.manufacturer,
+                "density": spec.density,
+                "die_revision": spec.die_revision,
+                "organization": spec.organization,
+                "interface": spec.interface,
+                "chips": spec.chips,
+            }
+            for spec in CATALOG.values()
+        ]
+        return _json_response(
+            200, {"protocol_version": PROTOCOL_VERSION, "modules": modules}
+        )
+
+    async def _healthz(self, request: _HttpRequest) -> _HttpResponse:
+        return _json_response(
+            200,
+            {
+                "status": "ok",
+                "uptime_s": round(time.monotonic() - self._started, 3),
+                "stats": dict(self.scheduler.stats),
+                "queue_depth": self.scheduler.queue_depth,
+            },
+        )
+
+    async def _readyz(self, request: _HttpRequest) -> _HttpResponse:
+        if self.scheduler.draining:
+            return _error_response(503, "draining")
+        return _json_response(200, {"status": "ready"})
+
+    async def _metrics(self, request: _HttpRequest) -> _HttpResponse:
+        return _HttpResponse(
+            200,
+            prometheus_text(obs.REGISTRY).encode(),
+            content_type="text/plain; version=0.0.4",
+        )
+
+
+async def _run_async(config: ServeConfig) -> None:
+    server = ReproServer(config)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+
+    def _request_stop(signame: str) -> None:
+        print(
+            f"repro serve: received {signame}, draining "
+            f"({server.scheduler.queue_depth} request(s) in flight)",
+            file=sys.stderr,
+        )
+        stop.set()
+
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(sig, _request_stop, sig.name)
+    await server.start()
+    print(
+        f"repro serve: listening on http://{config.host}:{server.port} "
+        f"(workers={config.workers}, max_queue={config.max_queue}, "
+        f"batch_window={config.batch_window_ms:g}ms)",
+        file=sys.stderr,
+    )
+    await stop.wait()
+    await server.shutdown()
+    print("repro serve: drained cleanly", file=sys.stderr)
+
+
+def run(config: ServeConfig) -> int:
+    """Blocking entry point used by ``repro serve``.
+
+    Returns 0 after a graceful (signal-initiated) drain.
+    """
+    asyncio.run(_run_async(config))
+    return 0
+
+
+class ServerThread:
+    """In-process server on a background thread (tests and benchmarks).
+
+    Starts on an ephemeral port by default; ``.port`` is valid once the
+    constructor returns.  `shutdown` performs the same graceful drain the
+    signal path does.
+    """
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self.config = config if config is not None else ServeConfig(port=0)
+        self.server: ReproServer | None = None
+        self._stop: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._main, name="repro-serve-thread", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("serve thread failed to start")
+        if self.server is None:
+            raise RuntimeError("serve thread died during startup")
+
+    def _main(self) -> None:
+        asyncio.run(self._async_main())
+
+    async def _async_main(self) -> None:
+        try:
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            self.server = ReproServer(self.config)
+            await self.server.start()
+        finally:
+            self._ready.set()
+        await self._stop.wait()
+        await self.server.shutdown()
+
+    @property
+    def port(self) -> int:
+        assert self.server is not None
+        return self.server.port
+
+    @property
+    def scheduler(self) -> RequestScheduler:
+        assert self.server is not None
+        return self.server.scheduler
+
+    def shutdown(self, timeout: float = 60.0) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():
+            raise RuntimeError("serve thread did not drain in time")

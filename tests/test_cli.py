@@ -63,6 +63,97 @@ def test_command_required():
 
 
 # ---------------------------------------------------------------------------
+# Bad input exits nonzero with a one-line diagnostic, never a traceback
+# ---------------------------------------------------------------------------
+
+def assert_clean_error(capsys, *argv) -> str:
+    assert main(list(argv)) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("repro: error: ")
+    assert "Traceback" not in err
+    assert len(err.strip().splitlines()) == 1
+    return err
+
+
+def test_run_program_missing_file_exits_cleanly(capsys):
+    assert_clean_error(capsys, "run-program", "S0", "/no/such/program.txt")
+
+
+def test_run_program_malformed_program_exits_cleanly(tmp_path, capsys):
+    program = tmp_path / "bad.txt"
+    program.write_text("FROB 1 2 3\n")
+    err = assert_clean_error(capsys, "run-program", "S0", str(program))
+    assert "FROB" in err
+
+
+def test_obs_report_missing_file_exits_cleanly(capsys):
+    assert_clean_error(capsys, "obs", "report", "/no/such/metrics.prom")
+
+
+def test_characterize_bad_geometry_exits_cleanly(capsys):
+    err = assert_clean_error(
+        capsys, "characterize", "S0", "--subarrays", "2", "--rows", "64",
+        "--columns", "7",
+    )
+    assert "columns" in err
+
+
+# ---------------------------------------------------------------------------
+# Kernel selection precedence: --kernel > $REPRO_KERNEL > default
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def recorded_modules(monkeypatch):
+    """Record every SimulatedModule the CLI constructs."""
+    import repro.cli as cli_module
+    from repro.chip import SimulatedModule
+
+    created = []
+
+    class Recorder(SimulatedModule):
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            created.append(self)
+
+    monkeypatch.setattr(cli_module, "SimulatedModule", Recorder)
+    return created
+
+
+def cli_kernel(capsys, recorded, *argv) -> str:
+    run(capsys, *argv)
+    assert len(recorded) == 1
+    return recorded[0].bank().kernel
+
+
+def test_cli_kernel_flag_beats_environment(capsys, monkeypatch,
+                                           recorded_modules):
+    from repro.chip import KERNEL_ENV
+
+    monkeypatch.setenv(KERNEL_ENV, "batched")
+    kernel = cli_kernel(capsys, recorded_modules, "risk", "H0",
+                        "--kernel", "reference")
+    assert kernel == "reference"
+
+
+def test_cli_environment_beats_default(capsys, monkeypatch,
+                                       recorded_modules):
+    from repro.chip import KERNEL_ENV
+
+    monkeypatch.setenv(KERNEL_ENV, "reference")
+    kernel = cli_kernel(capsys, recorded_modules, "risk", "H0")
+    assert kernel == "reference"
+
+
+def test_cli_default_kernel_is_batched(capsys, monkeypatch,
+                                       recorded_modules):
+    from repro.chip import DEFAULT_KERNEL, KERNEL_ENV
+
+    monkeypatch.delenv(KERNEL_ENV, raising=False)
+    kernel = cli_kernel(capsys, recorded_modules, "risk", "H0")
+    assert kernel == DEFAULT_KERNEL == "batched"
+
+
+# ---------------------------------------------------------------------------
 # Observability flags (shared across subcommands) and the obs subcommand
 # ---------------------------------------------------------------------------
 

@@ -174,8 +174,9 @@ def test_cache_memory_only():
     assert cache.get(key, min_horizon=2.0) is not None
     assert len(cache) == 1
     assert cache.stats == {
-        "entries": 1, "lookups": 2, "hits": 1, "misses": 1, "disk_hits": 0,
-        "quarantined": 0, "evictions": 0, "swept_tmp": 0,
+        "entries": 1, "disk_entries": 0, "lookups": 2, "hits": 1,
+        "misses": 1, "disk_hits": 0, "quarantined": 0, "evictions": 0,
+        "swept_tmp": 0,
     }
     assert cache.stats["hits"] + cache.stats["misses"] \
         == cache.stats["lookups"]
