@@ -222,6 +222,7 @@ def run_engine_suite(
     scale: CampaignScale | None = None,
     intervals: tuple[float, ...] = ENGINE_INTERVALS,
     workers: int = 4,
+    executor: str | None = None,
     cache_dir: str | None = None,
     write_json: bool = True,
     trace_path: str | None = None,
@@ -229,11 +230,20 @@ def run_engine_suite(
     """Time the engine's three execution paths over the DDR4 catalog.
 
     Passes: (1) serial cold — the pre-engine `Campaign` behaviour; (2)
-    parallel cold — ``workers`` processes, filling ``cache``; (3) warm —
-    the same campaign again, answered from cache.  Asserts all three
-    produce identical records, then reports timings and speedups as a
-    machine-readable dict (written to ``BENCH_engine.json`` at the repo
-    root and under ``benchmarks/results/`` unless ``write_json=False``).
+    parallel cold — ``workers`` workers on the requested ``executor``
+    backend, filling ``cache``; (3) warm — the same campaign again,
+    answered from cache.  Asserts all three produce identical records,
+    then reports timings and speedups as a machine-readable dict (written
+    to ``BENCH_engine.json`` at the repo root and under
+    ``benchmarks/results/`` unless ``write_json=False``).
+
+    The committed numbers are honest about what actually ran: the result
+    carries the *effective* executor and worker count of the parallel
+    pass (from ``engine.last_execution``), and
+    ``parallel_measurement_meaningful`` is ``False`` — with a stderr
+    warning — when the host could not exercise parallelism (one core, or
+    the engine's serial fallback engaged), so a ``parallel_speedup``
+    below 1.0 is never mistaken for a pool regression.
 
     ``trace_path`` (or ``REPRO_BENCH_TRACE``) streams per-unit JSONL
     telemetry from the parallel and warm passes and adds the aggregate
@@ -253,25 +263,41 @@ def run_engine_suite(
     serial_s = time.perf_counter() - start
 
     cache = OutcomeCache(cache_dir)
-    parallel_engine = CharacterizationEngine(
-        scale=scale, workers=workers, cache=cache, trace=trace
-    )
-    start = time.perf_counter()
-    parallel_records = parallel_engine.characterize_modules(
-        serials, WORST_CASE, intervals
-    )
-    parallel_s = time.perf_counter() - start
+    with CharacterizationEngine(
+        scale=scale, workers=workers, executor=executor, cache=cache,
+        trace=trace,
+    ) as parallel_engine:
+        start = time.perf_counter()
+        parallel_records = parallel_engine.characterize_modules(
+            serials, WORST_CASE, intervals
+        )
+        parallel_s = time.perf_counter() - start
+        execution = dict(parallel_engine.last_execution or {})
 
-    start = time.perf_counter()
-    warm_records = parallel_engine.characterize_modules(
-        serials, WORST_CASE, intervals
-    )
-    warm_s = time.perf_counter() - start
+        start = time.perf_counter()
+        warm_records = parallel_engine.characterize_modules(
+            serials, WORST_CASE, intervals
+        )
+        warm_s = time.perf_counter() - start
     if trace is not None:
         trace.close()
 
     assert parallel_records == serial_records, "parallel records diverged"
     assert warm_records == serial_records, "warm-cache records diverged"
+
+    meaningful = (
+        (os.cpu_count() or 1) >= 2
+        and not execution.get("serial_fallback", False)
+        and execution.get("effective_executor") != "serial"
+    )
+    if not meaningful:
+        print(
+            "WARNING: parallel_speedup is not a parallelism measurement on "
+            f"this host (cpu_count={os.cpu_count()}, effective executor "
+            f"{execution.get('effective_executor')!r}); treat it as pool "
+            "overhead only",
+            file=sys.stderr,
+        )
 
     geometry = scale.geometry
     result = {
@@ -288,6 +314,11 @@ def run_engine_suite(
         "config": "WORST_CASE",
         "intervals": list(intervals),
         "workers": workers,
+        "executor": execution.get("executor"),
+        "effective_executor": execution.get("effective_executor"),
+        "effective_workers": execution.get("effective_workers"),
+        "serial_fallback": execution.get("serial_fallback"),
+        "parallel_measurement_meaningful": meaningful,
         "serial_cold_s": round(serial_s, 3),
         "parallel_cold_s": round(parallel_s, 3),
         "warm_cache_s": round(warm_s, 3),
@@ -304,6 +335,96 @@ def run_engine_suite(
         _RESULTS_DIR.mkdir(exist_ok=True)
         (_RESULTS_DIR / "BENCH_engine.json").write_text(payload)
     return result
+
+
+#: Serials and scale of the CI parallel-speedup gate: enough work per
+#: unit (512 x 1024 subarrays) that pool scheduling overhead is noise,
+#: small enough to finish in seconds on a 2-vCPU runner.
+PARALLEL_GATE_SERIALS = ("S0", "M8", "H0", "M4")
+PARALLEL_GATE_SCALE = CampaignScale(
+    BankGeometry(subarrays=4, rows_per_subarray=512, columns=1024)
+)
+
+
+def run_parallel_gate(
+    min_speedup: float,
+    workers: int = 0,
+    executor: str = "threads",
+) -> int:
+    """CI gate: the ``executor`` backend must beat serial execution.
+
+    Paired measurement (serial cold vs pooled cold, same process, best of
+    one — campaign runs are deterministic and seconds long) over
+    :data:`PARALLEL_GATE_SERIALS` at :data:`PARALLEL_GATE_SCALE`.  Exits
+    non-zero when the pooled pass is below ``min_speedup`` x serial.
+
+    Honesty rule: on a host that cannot exercise parallelism (one core,
+    or the engine's serial fallback engaged) the gate *warns and passes*
+    — a meaningless measurement must not go red, but it must not go
+    silently green either, so the decision is printed either way.
+    """
+    workers = workers or min(os.cpu_count() or 1, 4)
+
+    serial_engine = CharacterizationEngine(scale=PARALLEL_GATE_SCALE)
+    start = time.perf_counter()
+    serial_records = serial_engine.characterize_modules(
+        PARALLEL_GATE_SERIALS, WORST_CASE, ENGINE_INTERVALS
+    )
+    serial_s = time.perf_counter() - start
+
+    with CharacterizationEngine(
+        scale=PARALLEL_GATE_SCALE, workers=workers, executor=executor
+    ) as pooled_engine:
+        start = time.perf_counter()
+        pooled_records = pooled_engine.characterize_modules(
+            PARALLEL_GATE_SERIALS, WORST_CASE, ENGINE_INTERVALS
+        )
+        pooled_s = time.perf_counter() - start
+        execution = dict(pooled_engine.last_execution or {})
+
+    assert pooled_records == serial_records, "pooled records diverged"
+
+    speedup = serial_s / pooled_s
+    result = {
+        "bench": "parallel-gate",
+        "cpu_count": os.cpu_count(),
+        "executor": executor,
+        "effective_executor": execution.get("effective_executor"),
+        "workers": workers,
+        "effective_workers": execution.get("effective_workers"),
+        "serial_fallback": execution.get("serial_fallback"),
+        "units": len(plan_units(
+            PARALLEL_GATE_SERIALS, WORST_CASE, PARALLEL_GATE_SCALE
+        )),
+        "serial_s": round(serial_s, 3),
+        "pooled_s": round(pooled_s, 3),
+        "speedup": round(speedup, 3),
+        "min_speedup": min_speedup,
+        "parity": True,
+    }
+    print(json.dumps(result, indent=2))
+    meaningful = (
+        (os.cpu_count() or 1) >= 2
+        and not execution.get("serial_fallback", False)
+        and execution.get("effective_executor") == executor
+    )
+    if not meaningful:
+        print(
+            "WARNING: host cannot exercise parallelism "
+            f"(cpu_count={os.cpu_count()}, effective executor "
+            f"{execution.get('effective_executor')!r}); parallel gate "
+            "skipped, not passed",
+            file=sys.stderr,
+        )
+        return 0
+    if speedup < min_speedup:
+        print(
+            f"FAIL: {executor} executor speedup {speedup:.3f}x is below "
+            f"the {min_speedup}x gate",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 @pytest.mark.slow
@@ -355,8 +476,11 @@ def _kernel_workload(kernel: str, geometry: BankGeometry) -> tuple[dict, list]:
     bank.hammer_sequence(aggressors, 2000)
     timings["hammer"] = time.perf_counter() - start
 
+    # Every aggressor takes one RowPress-style long activation: 8 presses
+    # ran under a millisecond, which run-to-run scheduler noise could
+    # swing past the per-phase CI floor on its own.
     start = time.perf_counter()
-    for row in aggressors[:8]:
+    for row in aggressors:
         bank.press_interval(row, 0.001)
     timings["press"] = time.perf_counter() - start
 
@@ -380,7 +504,7 @@ def _kernel_workload(kernel: str, geometry: BankGeometry) -> tuple[dict, list]:
 
 def run_kernel_suite(
     quick: bool = False,
-    rounds: int = 3,
+    rounds: int | None = None,
     write_json: bool = True,
 ) -> dict:
     """Paired reference-vs-batched measurement of the bank hot path.
@@ -393,15 +517,37 @@ def run_kernel_suite(
     (same style as `bench_obs_overhead`'s ``obs`` block).
     """
     geometry = KERNEL_QUICK_GEOMETRY if quick else KERNEL_GEOMETRY
+    if rounds is None:
+        # The full-scale phases run milliseconds each; five rounds get the
+        # per-phase minima within run-to-run noise.  The quick CI gate
+        # keeps three — its job is catching regressions, not publishing
+        # numbers.
+        rounds = 3 if quick else 5
     best: dict[str, dict] = {}
     readbacks: dict[str, list] = {}
-    for kernel in ("reference", "batched"):
-        for _ in range(rounds):
+    # Rounds interleave the kernels (ref, batched, ref, batched, ...)
+    # instead of running one kernel's rounds back to back: on shared
+    # hosts, slow drift (steal time, thermal throttling) would otherwise
+    # bias against whichever kernel ran second.
+    for _ in range(rounds):
+        for kernel in ("reference", "batched"):
             timings, bits = _kernel_workload(kernel, geometry)
-            if (kernel not in best
-                    or timings["total"] < best[kernel]["total"]):
-                best[kernel] = timings
+            # Best-of per phase (not phases-of-best-round): the workload
+            # is deterministic, so the minimum is the least-noisy paired
+            # estimate of each phase — at quick scale a phase is ~1 ms
+            # and a single scheduler hiccup would fail the per-phase CI
+            # floor spuriously.
+            if kernel not in best:
+                best[kernel] = dict(timings)
+            else:
+                for phase, seconds in timings.items():
+                    best[kernel][phase] = min(best[kernel][phase], seconds)
             readbacks[kernel] = bits
+    # The total follows the same estimator as the phases: the sum of the
+    # per-phase minima, not the best single round's sum — one noisy phase
+    # in an otherwise-clean round should not taint the round's total.
+    for phases in best.values():
+        phases["total"] = sum(v for k, v in phases.items() if k != "total")
 
     parity = all(
         np.array_equal(ref, bat)
@@ -477,26 +623,72 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--min-speedup", type=float,
         default=float(os.environ.get("REPRO_KERNEL_GATE", "2.0")),
-        help="speedup floor for --quick (default 2.0)",
+        help="total-speedup floor for --quick (default 2.0)",
+    )
+    parser.add_argument(
+        "--min-phase-speedup", type=float,
+        default=float(os.environ.get("REPRO_KERNEL_PHASE_GATE", "0.95")),
+        help="per-phase speedup floor for --quick (default 0.95): no "
+             "single hot-path phase may regress even while the total "
+             "clears --min-speedup",
+    )
+    parser.add_argument(
+        "--parallel-gate", action="store_true",
+        help="CI parallelism gate: the threads executor must beat serial "
+             "by --min-parallel-speedup on a multi-core runner (warns and "
+             "passes on a 1-core host, where the measurement would be "
+             "meaningless)",
+    )
+    parser.add_argument(
+        "--min-parallel-speedup", type=float,
+        default=float(os.environ.get("REPRO_PARALLEL_GATE", "1.3")),
+        help="speedup floor for --parallel-gate (default 1.3)",
+    )
+    parser.add_argument(
+        "--executor", default=None,
+        help="engine executor backend for the full suite and "
+             "--parallel-gate (default: engine default / threads)",
     )
     args = parser.parse_args(argv)
+
+    if args.parallel_gate:
+        return run_parallel_gate(
+            args.min_parallel_speedup, executor=args.executor or "threads"
+        )
 
     if args.quick or args.kernels_only:
         result = run_kernel_suite(
             quick=args.quick, write_json=not args.quick
         )
         print(json.dumps(result, indent=2))
-        if args.quick and result["speedup"] < args.min_speedup:
-            print(
-                f"FAIL: batched kernel speedup {result['speedup']}x is "
-                f"below the {args.min_speedup}x gate",
-                file=sys.stderr,
-            )
-            return 1
+        if args.quick:
+            failed = False
+            if result["speedup"] < args.min_speedup:
+                print(
+                    f"FAIL: batched kernel speedup {result['speedup']}x is "
+                    f"below the {args.min_speedup}x gate",
+                    file=sys.stderr,
+                )
+                failed = True
+            slow_phases = {
+                phase: speedup
+                for phase, speedup in result["phase_speedups"].items()
+                if speedup < args.min_phase_speedup
+            }
+            if slow_phases:
+                print(
+                    f"FAIL: phases below the {args.min_phase_speedup}x "
+                    f"per-phase floor: {slow_phases}",
+                    file=sys.stderr,
+                )
+                failed = True
+            if failed:
+                return 1
         return 0
 
     result = run_engine_suite(
-        trace_path=os.environ.get("REPRO_BENCH_TRACE") or None
+        executor=args.executor,
+        trace_path=os.environ.get("REPRO_BENCH_TRACE") or None,
     )
     kernels = run_kernel_suite()
     result["kernels"] = kernels

@@ -186,9 +186,7 @@ def get_module(serial: str) -> ModuleSpec:
     try:
         return CATALOG[serial]
     except KeyError:
-        raise ValueError(
-            f"unknown module {serial!r}; known: {sorted(CATALOG)}"
-        ) from None
+        raise ValueError(f"unknown module {serial!r}; known: {sorted(CATALOG)}") from None
 
 
 def ddr4_modules() -> list[ModuleSpec]:

@@ -79,6 +79,38 @@ class CellPopulation:
         self._kappa *= np.float32(self.subarray_scale)
         _POPULATIONS_SAMPLED.inc()
 
+    @classmethod
+    def from_arrays(
+        cls,
+        key: tuple,
+        profile: DisturbanceProfile,
+        lambda_int: np.ndarray,
+        kappa: np.ndarray,
+        subarray_scale: float,
+    ) -> "CellPopulation":
+        """Build a population around already-sampled parameter arrays.
+
+        Used by shared-memory executor workers: the parent samples once,
+        publishes ``lambda_int`` and the final (scale-applied) ``kappa``,
+        and each worker wraps the shared views without resampling.  The
+        lazily sampled arrays (hammer thresholds, anti mask) are still
+        derived deterministically from ``key``, so they stay bit-identical
+        to a locally sampled population.
+        """
+        if kappa.shape != lambda_int.shape:
+            raise ValueError("lambda_int and kappa shapes differ")
+        population = object.__new__(cls)
+        population.key = key
+        population.profile = profile
+        population.rows, population.columns = lambda_int.shape
+        population._lambda_int = lambda_int
+        population._kappa = kappa
+        population.subarray_scale = subarray_scale
+        population._hammer_thresholds = None
+        population._anti_mask = None
+        population._retention_cache = {}
+        return population
+
     @property
     def shape(self) -> tuple[int, int]:
         """(rows, columns) of the subarray."""
@@ -117,10 +149,12 @@ class CellPopulation:
         return self._anti_mask
 
     def gather(
-        self, local_rows: np.ndarray
+        self, local_rows: np.ndarray | slice
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """(lambda_int, kappa, anti_mask) sliced to ``local_rows`` in one
-        call — the read-path gather used by the bank kernels."""
+        call — the read-path gather used by the bank kernels.  Accepts a
+        basic slice for contiguous row runs, in which case the returned
+        arrays are zero-copy views; callers must not mutate them."""
         return (
             self._lambda_int[local_rows],
             self._kappa[local_rows],

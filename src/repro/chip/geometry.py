@@ -67,9 +67,7 @@ class _GeometryOps:
     def subarray_of_row(self, row: int) -> int:
         """Subarray index containing the (physical) ``row``."""
         self._check_row(row)
-        return int(
-            np.searchsorted(self._starts(), row, side="right") - 1
-        )
+        return int(np.searchsorted(self._starts(), row, side="right") - 1)
 
     def subarrays_of_rows(self, rows: np.ndarray) -> np.ndarray:
         """Vectorized `subarray_of_row`."""
@@ -152,9 +150,7 @@ class _GeometryOps:
 
     def _check_subarray(self, subarray: int) -> None:
         if not 0 <= subarray < self.subarrays:
-            raise IndexError(
-                f"subarray {subarray} out of range [0, {self.subarrays})"
-            )
+            raise IndexError(f"subarray {subarray} out of range [0, {self.subarrays})")
 
     def _check_columns(self) -> None:
         if self.columns < 2 or self.columns % 2:

@@ -10,13 +10,19 @@ scheduled across rows:
   One Python-level pass per row, exactly the behaviour the model was
   validated with.  It is kept as the oracle: the parity suites assert
   that every other kernel produces bit-identical read-backs.
-* :class:`BatchedKernel` — the production kernel.  Per-row work is
-  collected into flat ``(row, subarray)`` arrays and applied with grouped
-  array operations: exposure deltas land in one ``np.add.at`` pass (which
-  accumulates in index order, so repeated targets reduce with the same
-  float associativity as the reference loop), read-time evaluation runs
-  as a single sort-and-segment reduction over all requested rows, and
-  neighbour-coupling vectors are built once per batch and broadcast.
+* :class:`BatchedKernel` — the production kernel.  Activation batches
+  build their own/neighbour coupling-delta matrices in one vectorized
+  pass and scatter them into the exposure ledger row by row in the
+  reference's accumulation order (so repeated targets reduce with the
+  same float associativity), with the RowHammer victim credits fused
+  into the same scatter loop; batches at or below
+  :data:`SMALL_BATCH_CUTOVER` rows skip the matrix build entirely and
+  run a fused scalar path, because the per-call batching overhead
+  (matrix allocation, mask setup) dominates small aggressor sets.
+  Read-time evaluation runs as a sort-and-segment reduction over all
+  requested rows, with a zero-sort fast path when every row shares one
+  (subarray, checkpoint) group and zero-copy slice gathers whenever a
+  segment's rows are contiguous.
 
 Bit-identity: both kernels execute the same elementwise float operations
 in the same accumulation order; batching changes only how rows are
@@ -55,6 +61,14 @@ KERNEL_ENV = "REPRO_KERNEL"
 
 #: Kernel used when neither the argument nor the environment selects one.
 DEFAULT_KERNEL = "batched"
+
+#: Activation batches at or below this many rows take the fused scalar
+#: path of `BatchedKernel.register_activations`.  Measured with the paired
+#: kernel workload (`benchmarks/bench_perf_hotpaths.py`): below ~24 rows
+#: the vectorized matrix build costs more than it saves (the press phase
+#: ran at 0.50x reference before the cutover), while above it the
+#: one-pass `driven_coupling_multipliers` over the whole batch wins.
+SMALL_BATCH_CUTOVER = 24
 
 _KERNEL_BATCHES = obs.counter(
     "bank_kernel_batches_total",
@@ -192,17 +206,80 @@ class ReferenceKernel(BankKernel):
         out[members] = bits ^ flips.astype(np.uint8)
 
 
+#: Row-block height of `BatchedKernel._evaluate_segment`'s evaluation
+#: loop.  64 rows x 1024 columns of float64 is a 512 KB intermediate —
+#: small enough that the six arithmetic passes reuse it from cache
+#: instead of re-streaming DRAM, large enough that per-block Python
+#: dispatch stays negligible.
+_EVAL_BLOCK_ROWS = 64
+
+
+def _segment_scratch(bank, n: int, columns: int) -> tuple:
+    """Reusable evaluation buffers (two float64, two bool) of shape
+    ``(n, columns)``, cached on the bank.
+
+    A full-subarray evaluation needs ~9 MB of temporaries; allocating
+    them per call made the read path mmap/munmap-bound (glibc services
+    multi-MB blocks straight from the kernel, so every read re-paid the
+    page faults).  One buffer set, grown to the largest segment seen and
+    sliced down, keeps the pages mapped.  Living on the bank keeps the
+    kernel stateless (banks are single-threaded by contract; kernels may
+    be shared).
+    """
+    buffers = getattr(bank, "_eval_scratch", None)
+    if (
+        buffers is None
+        or buffers[0].shape[0] < n
+        or buffers[0].shape[1] != columns
+    ):
+        buffers = (
+            np.empty((n, columns)),
+            np.empty((n, columns)),
+            np.empty((n, columns), dtype=bool),
+            np.empty((n, columns), dtype=bool),
+        )
+        bank._eval_scratch = buffers
+    return tuple(buf[:n] for buf in buffers)
+
+
+def _contiguous_slice(idx: np.ndarray) -> "slice | np.ndarray":
+    """A basic slice covering ``idx`` when it is a constant-stride run.
+
+    Basic slicing makes every downstream gather (baselines, per-cell
+    parameter arrays) a zero-copy view instead of a fancy-indexed copy —
+    the common cases being full-subarray reads (stride 1) and
+    every-other-row refresh/read sweeps (stride 2).  Falls back to the
+    array itself when the run has no constant positive stride.
+    """
+    n = len(idx)
+    if n == 1:
+        start = int(idx[0])
+        return slice(start, start + 1)
+    step = int(idx[1]) - int(idx[0])
+    if (
+        step > 0
+        and int(idx[-1]) - int(idx[0]) == (n - 1) * step
+        and bool((idx[1:] - idx[:-1] == step).all())
+    ):
+        return slice(int(idx[0]), int(idx[-1]) + 1, step)
+    return idx
+
+
 class BatchedKernel(BankKernel):
     """Vectorized kernel: flat-array batching of the per-row hot paths.
 
-    Exposure registration stacks every (target subarray, column-delta)
-    contribution — own subarray plus open-bitline neighbours, in the
-    reference's row order — and applies them with one ``np.add.at`` pass.
+    Exposure registration computes the per-aggressor coupling deltas in
+    one vectorized pass and scatters them into the exposure ledger in
+    the reference's row order, with the RowHammer victim credits fused
+    into the same loop; batches at or below
+    :data:`SMALL_BATCH_CUTOVER` rows take a fused scalar path instead,
+    skipping the matrix build its overhead would not amortize.
     Read-time evaluation argsorts the requested rows by (subarray,
-    checkpoint) group key once and walks the segments, with the
-    RowHammer victim evaluation vectorized across each segment's
-    hammered rows.  Refreshes evaluate all rows in one batch instead of
-    one read per row.
+    checkpoint) group key once and walks the segments — or skips the
+    sort entirely when all rows share one group — with the RowHammer
+    victim evaluation vectorized across each segment's hammered rows.
+    Refreshes evaluate all rows in one batch instead of one read per
+    row.
     """
 
     name = "batched"
@@ -220,121 +297,213 @@ class BatchedKernel(BankKernel):
             raise IndexError(
                 f"row out of range [0, {bank.geometry.rows}) in refresh batch"
             )
-        if np.unique(idx).size != idx.size:
+        # A strictly ascending batch (every range-based sweep) cannot hold
+        # duplicates; only otherwise pay for the np.unique sort.
+        ascending = idx.size == 1 or bool((idx[1:] > idx[:-1]).all())
+        if not ascending and np.unique(idx).size != idx.size:
             # Duplicate rows re-read their own refreshed content; only the
             # sequential reference order defines that, so defer to it.
             ReferenceKernel.refresh_rows(self, bank, idx.tolist())
             return
         self._count_batch("refresh")
-        bank._baseline[idx] = self.evaluate_rows(bank, idx)
+        bank._baseline[_contiguous_slice(idx)] = self.evaluate_rows(bank, idx)
 
     def register_activations(self, bank, rows, bits_matrix, driven_time, effective_count):
         self._count_batch("register")
         geometry = bank.geometry
         profile = bank.profile
         columns = geometry.columns
+        n = len(rows)
         if _obs_state.enabled:
-            _DRIVEN_SECONDS.inc(driven_time * len(rows))
-        rows_arr = np.asarray(rows, dtype=np.int64)
-        subs = geometry.subarrays_of_rows(rows_arr)
+            _DRIVEN_SECONDS.inc(driven_time * n)
         a_cd = profile.coupling_temperature_factor(bank.temperature_c)
         cm_pre = profile.coupling_multiplier(V_PRECHARGE)
         cm_gnd = profile.coupling_multiplier(0.0)
         cm_vdd = profile.coupling_multiplier(1.0)
-        # Own-subarray deltas: every driven bitline couples for driven_time.
-        cm_cols = driven_coupling_multipliers(bits_matrix, cm_vdd, cm_gnd)
-        own = a_cd * (cm_cols - cm_pre) * driven_time
-        # Neighbour deltas, built once per batch and broadcast: the lower
-        # neighbour's ODD columns mirror the aggressors' EVEN columns, the
-        # upper neighbour's EVEN columns mirror the aggressors' ODD columns
-        # (see `BankGeometry.shared_column_parity`).
         scale = a_cd * driven_time
-        lower = np.zeros_like(own)
-        lower[:, 1::2] = (
-            driven_coupling_multipliers(
-                bits_matrix[:, 0 : columns - 1 : 2], cm_vdd, cm_gnd
-            )
-            - cm_pre
+        last = geometry.subarrays - 1
+        last_row = geometry.rows - 1
+        # Shared-bitline column slices (see `BankGeometry.
+        # shared_column_parity`): the lower neighbour's ODD columns mirror
+        # the aggressors' EVEN columns, the upper neighbour's EVEN columns
+        # mirror the aggressors' ODD columns.
+        lower_cols = slice(1, None, 2)
+        lower_shared = slice(0, columns - 1, 2)
+        upper_cols = slice(0, columns - 1, 2)
+        upper_shared = slice(1, None, 2)
+        extra = bank._extra
+        version = bank._extra_version
+        hammer_in = bank._hammer_in
+        if n <= SMALL_BATCH_CUTOVER:
+            # Fused scalar path: per-row coupling vectors straight into the
+            # ledgers, no matrix staging and no vectorized index setup —
+            # row/neighbour bookkeeping stays in plain ints, which is what
+            # lets a single-activation press beat the reference.  The
+            # expressions mirror the reference's `_register_driving` term
+            # by term, and the hammer credit rides in the same pass.
+            for i in range(n):
+                row = int(rows[i])
+                sub = geometry.subarray_of_row(row)
+                cm_cols = driven_coupling_multipliers(bits_matrix[i], cm_vdd, cm_gnd)
+                extra[sub] += a_cd * (cm_cols - cm_pre) * driven_time
+                version[sub] += 1
+                if sub > 0:
+                    extra[sub - 1, lower_cols] += (cm_cols[lower_shared] - cm_pre) * scale
+                    version[sub - 1] += 1
+                if sub < last:
+                    extra[sub + 1, upper_cols] += (cm_cols[upper_shared] - cm_pre) * scale
+                    version[sub + 1] += 1
+                # +/-1 neighbours within the aggressor's own subarray
+                # (sense-amplifier strips separate subarrays) collect the
+                # RowHammer credit — scalar form of the batch path's
+                # clip-and-compare masks.
+                if row > 0 and geometry.subarray_of_row(row - 1) == sub:
+                    hammer_in[row - 1] += effective_count
+                if row < last_row and geometry.subarray_of_row(row + 1) == sub:
+                    hammer_in[row + 1] += effective_count
+            return
+        rows_arr = np.asarray(rows, dtype=np.int64)
+        subs = geometry.subarrays_of_rows(rows_arr)
+        # RowHammer victim validity, resolved vectorized for the batch:
+        # the +/-1 physical neighbours that exist within the aggressor's
+        # own subarray.
+        clip_lo = np.maximum(rows_arr - 1, 0)
+        clip_hi = np.minimum(rows_arr + 1, last_row)
+        lower_victim = (rows_arr > 0) & (geometry.subarrays_of_rows(clip_lo) == subs)
+        upper_victim = (rows_arr < last_row) & (
+            geometry.subarrays_of_rows(clip_hi) == subs
         )
-        lower *= scale
-        upper = np.zeros_like(own)
-        upper[:, 0 : columns - 1 : 2] = (
-            driven_coupling_multipliers(bits_matrix[:, 1::2], cm_vdd, cm_gnd)
-            - cm_pre
-        )
-        upper *= scale
-        # Flatten to (target subarray, delta) pairs in the reference order —
-        # per row: own, then lower neighbour, then upper neighbour — and
-        # apply them in one grouped pass.  np.add.at accumulates repeated
-        # targets in index order, preserving the reference's float
-        # associativity exactly.
-        ones = np.ones_like(subs, dtype=bool)
-        target_mat = np.stack([subs, subs - 1, subs + 1], axis=1)
-        valid = np.stack(
-            [ones, subs > 0, subs < geometry.subarrays - 1], axis=1
-        ).reshape(-1)
-        targets = target_mat.reshape(-1)[valid]
-        deltas = np.stack([own, lower, upper], axis=1).reshape(-1, columns)[valid]
-        np.add.at(bank._extra, targets, deltas)
-        np.add.at(bank._extra_version, targets, 1)
-        # Hammer ledger: credit the in-subarray +/-1 physical neighbours.
-        victims = np.stack([rows_arr - 1, rows_arr + 1], axis=1).reshape(-1)
-        victim_subs = np.repeat(subs, 2)
-        in_range = (victims >= 0) & (victims < geometry.rows)
-        victims = victims[in_range]
-        same_sub = geometry.subarrays_of_rows(victims) == victim_subs[in_range]
-        np.add.at(bank._hammer_in, victims[same_sub], effective_count)
+        # Batch path: one vectorized coupling-multiplier pass over the whole
+        # aggressor matrix, then an ordered scatter — per row: own subarray,
+        # lower neighbour, upper neighbour, exactly the reference's
+        # accumulation order, so repeated targets reduce with the same float
+        # associativity.  Row-ordered slice adds replace the old
+        # ``np.add.at`` pass (whose per-element inner loop dominated the
+        # hammer phase) and the hammer ledger update is fused in.
+        cm_all = driven_coupling_multipliers(bits_matrix, cm_vdd, cm_gnd)
+        own = a_cd * (cm_all - cm_pre) * driven_time
+        lower_vals = (cm_all[:, lower_shared] - cm_pre) * scale
+        upper_vals = (cm_all[:, upper_shared] - cm_pre) * scale
+        for i in range(n):
+            sub = int(subs[i])
+            extra[sub] += own[i]
+            version[sub] += 1
+            if sub > 0:
+                extra[sub - 1, lower_cols] += lower_vals[i]
+                version[sub - 1] += 1
+            if sub < last:
+                extra[sub + 1, upper_cols] += upper_vals[i]
+                version[sub + 1] += 1
+            if lower_victim[i]:
+                hammer_in[rows_arr[i] - 1] += effective_count
+            if upper_victim[i]:
+                hammer_in[rows_arr[i] + 1] += effective_count
 
     def evaluate_rows(self, bank, rows):
         self._count_batch("evaluate")
-        out = np.empty((len(rows), bank.geometry.columns), dtype=np.uint8)
-        if len(rows) == 0:
+        n = len(rows)
+        out = np.empty((n, bank.geometry.columns), dtype=np.uint8)
+        if n == 0:
             return out
         subarrays = bank.geometry.subarrays_of_rows(rows)
         locals_ = bank.geometry.rows_within_subarrays(rows)
-        group_keys = subarrays * (int(bank._extra_ckpt_id.max()) + 1) + (
-            bank._extra_ckpt_id[rows]
-        )
-        # One sort-and-segment reduction instead of a scan per unique key:
-        # the stable argsort keeps members ascending within each segment,
-        # matching the reference's np.nonzero order.
+        ckpt_ids = bank._extra_ckpt_id[rows]
+        if n == 1 or (
+            bool((subarrays == subarrays[0]).all())
+            and bool((ckpt_ids == ckpt_ids[0]).all())
+        ):
+            # Single-group fast path — the shape of every read_subarray and
+            # refresh sweep: no sort, no segmentation, and (for contiguous
+            # row runs) zero-copy slice gathers all the way down.
+            self._evaluate_segment(bank, out, rows, subarrays, locals_, None)
+            return out
+        # Sort-and-segment reduction: one stable argsort (members stay
+        # ascending within each segment, matching the reference's
+        # np.nonzero order), then reduceat-style segment bounds sliced
+        # straight out of the order vector — no per-segment np.split
+        # allocations.  Keying by the *batch's* maximum checkpoint id
+        # groups identically to the reference's global maximum.
+        group_keys = subarrays * (int(ckpt_ids.max()) + 1) + ckpt_ids
         order = np.argsort(group_keys, kind="stable")
-        boundaries = np.flatnonzero(np.diff(group_keys[order])) + 1
-        for members in np.split(order, boundaries):
-            self._evaluate_segment(bank, out, rows, subarrays, locals_, members)
+        sorted_keys = group_keys[order]
+        bounds = np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1
+        starts = np.concatenate(([0], bounds))
+        stops = np.concatenate((bounds, [n]))
+        for start, stop in zip(starts, stops):
+            self._evaluate_segment(bank, out, rows, subarrays, locals_, order[start:stop])
         return out
 
     def _evaluate_segment(self, bank, out, rows, subarrays, locals_, members):
-        batch = rows[members]
-        subarray = int(subarrays[members[0]])
-        local = locals_[members]
+        if members is None:
+            batch, local = rows, locals_
+            subarray = int(subarrays[0])
+        else:
+            batch, local = rows[members], locals_[members]
+            subarray = int(subarrays[members[0]])
         population = bank.population(subarray)
-        bits = bank._baseline[batch]
-        lambda_int, kappa, anti = population.gather(local)
-        charged = (bits == 1) ^ anti
-        d_int = (bank._intrinsic_clock - bank._int_base[batch])[:, np.newaxis]
-        d_pre = (bank._precharge_clock - bank._pre_base[batch])[:, np.newaxis]
+        idx = _contiguous_slice(batch)
+        lidx = _contiguous_slice(local)
+        bits = bank._baseline[idx]
+        lambda_int, kappa, anti = population.gather(lidx)
+        d_int = (bank._intrinsic_clock - bank._int_base[idx])[:, np.newaxis]
+        d_pre = (bank._precharge_clock - bank._pre_base[idx])[:, np.newaxis]
         checkpoint = bank._extra_checkpoints[subarray][int(bank._extra_ckpt_id[batch[0]])]
         d_extra = (bank._extra[subarray] - checkpoint)[np.newaxis, :]
         vrt = bank._vrt(subarray)
-        intrinsic = lambda_int * d_int
-        if vrt is not None:
-            intrinsic = intrinsic * vrt[local]
-        damage = intrinsic + kappa * (d_pre + d_extra)
-        flips = charged & (damage >= Q_CRIT)
-        hammer = bank._hammer_in[batch] - bank._hammer_base[batch]
-        hammered = np.flatnonzero(hammer > 0)
-        if hammered.size:
-            # Vectorized across the segment's hammered rows; elementwise
-            # identical to the reference's per-row neighbour_flip_mask.
-            flips[hammered] |= neighbour_flip_masks(
-                population.hammer_thresholds[local[hammered]],
-                bits[hammered],
-                hammer[hammered],
-            )
+        vrt_rows = None if vrt is None else vrt[lidx]
+        hammer = bank._hammer_in[idx] - bank._hammer_base[idx]
+        n = bits.shape[0]
+        columns = bits.shape[1]
+        # The damage expression is six full-matrix float64 passes; run at
+        # full segment width they stream multi-MB intermediates through
+        # DRAM on every pass.  Row-blocking keeps each intermediate
+        # cache-resident across the passes, cutting traffic to the
+        # compulsory input reads — and every operation is elementwise, so
+        # splitting rows into blocks is bit-exact.  In-place arithmetic
+        # leans on IEEE-754 commutativity (a + b, a & b are
+        # bitwise-symmetric), so every element still reduces with the
+        # reference's expression; the scratch blocks are bank-cached (see
+        # `_segment_scratch`).
+        block = _EVAL_BLOCK_ROWS if n > _EVAL_BLOCK_ROWS else n
+        damage, intrinsic, flips, charged = _segment_scratch(bank, block, columns)
+        flips_total = 0
+        for b0 in range(0, n, block):
+            b1 = min(b0 + block, n)
+            m = b1 - b0
+            damage_b, intrinsic_b = damage[:m], intrinsic[:m]
+            flips_b, charged_b = flips[:m], charged[:m]
+            bits_b = bits[b0:b1]
+            np.equal(bits_b, 1, out=charged_b)
+            charged_b ^= anti[b0:b1]
+            np.multiply(lambda_int[b0:b1], d_int[b0:b1], out=intrinsic_b)
+            if vrt_rows is not None:
+                intrinsic_b *= vrt_rows[b0:b1]
+            np.add(d_pre[b0:b1], d_extra, out=damage_b)
+            damage_b *= kappa[b0:b1]
+            damage_b += intrinsic_b
+            np.greater_equal(damage_b, Q_CRIT, out=flips_b)
+            flips_b &= charged_b
+            hammered = np.flatnonzero(hammer[b0:b1] > 0)
+            if hammered.size:
+                # Vectorized across the block's hammered rows; elementwise
+                # identical to the reference's per-row neighbour_flip_mask.
+                flips_b[hammered] |= neighbour_flip_masks(
+                    population.hammer_thresholds[local[b0:b1][hammered]],
+                    bits_b[hammered],
+                    hammer[b0:b1][hammered],
+                )
+            if _obs_state.enabled:
+                flips_total += int(flips_b.sum())
+            # uint8 ^ bool promotes to uint8 — same values as the
+            # reference's explicit astype; the single-group path xors
+            # straight into the output buffer (a bool's uint8 view is the
+            # same 0/1 bytes).
+            if members is None:
+                np.bitwise_xor(bits_b, flips_b.view(np.uint8), out=out[b0:b1])
+            else:
+                out[members[b0:b1]] = bits_b ^ flips_b
         if _obs_state.enabled:
-            _READ_FLIPS.inc(int(flips.sum()))
-        out[members] = bits ^ flips.astype(np.uint8)
+            _READ_FLIPS.inc(flips_total)
 
 
 #: Registry of selectable kernels; future backends register here.

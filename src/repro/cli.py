@@ -74,6 +74,17 @@ def _add_kernel_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_executor_arg(parser: argparse.ArgumentParser) -> None:
+    """Shared ``--executor`` flag for commands that run the engine."""
+    from repro.core import EXECUTORS
+
+    parser.add_argument(
+        "--executor", choices=EXECUTORS, default=None,
+        help="engine pool backend (default: $REPRO_EXECUTOR or 'threads'); "
+             "all backends produce bit-identical records",
+    )
+
+
 def _cmd_catalog(args: argparse.Namespace) -> str:
     rows = [
         [
@@ -140,6 +151,7 @@ def _cmd_characterize(args: argparse.Namespace) -> str:
     campaign = Campaign(
         scale=scale,
         workers=args.workers,
+        executor=args.executor,
         cache=OutcomeCache(args.cache) if args.cache else None,
         retries=args.retries,
         timeout=args.timeout,
@@ -264,6 +276,7 @@ def _cmd_serve(args: argparse.Namespace) -> str:
             max_queue=args.max_queue,
             batch_window_ms=args.batch_window_ms,
             kernel=args.kernel,
+            executor=args.executor,
         )
     )
     return ""
@@ -329,6 +342,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="on-disk outcome cache directory (reused across runs)",
     )
     _add_kernel_arg(character)
+    _add_executor_arg(character)
     _add_observability_args(
         character,
         trace_help="write per-unit run telemetry as JSONL and print a summary",
@@ -398,6 +412,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="micro-batching window in milliseconds",
     )
     _add_kernel_arg(serve)
+    _add_executor_arg(serve)
 
     obs_parser = sub.add_parser("obs", help="observability utilities")
     obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)

@@ -39,11 +39,16 @@ tier) and, with ``cache=OutcomeCache(path)``, once across runs (disk tier).
 
 from __future__ import annotations
 
+import contextvars
 import json
 import logging
 import os
 import time
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from dataclasses import dataclass, field
 from enum import Enum
 from functools import partial
@@ -60,6 +65,7 @@ from repro.core.analytic import (
     SubarrayRole,
     disturb_outcome,
 )
+from repro.core import shm as _shm
 from repro.core.cache import OutcomeCache, outcome_cache_key
 from repro.core.campaign import (
     STANDARD_SCALE,
@@ -78,6 +84,36 @@ DEFAULT_ENGINE_HORIZON = 128.0
 #: Exponential backoff never sleeps longer than this between attempts.
 MAX_BACKOFF_S = 2.0
 
+#: Environment override for the executor backend (between the explicit
+#: ``executor=`` argument and :data:`DEFAULT_EXECUTOR` in precedence).
+EXECUTOR_ENV = "REPRO_EXECUTOR"
+
+#: Default executor backend.  Threads win by default because the batched
+#: bank kernels are numpy hot paths that release the GIL: no spawn cost,
+#: no pickling, and the outcome cache / obs registry are shared directly.
+DEFAULT_EXECUTOR = "threads"
+
+#: Selectable executor backends.  ``threads`` runs units on a
+#: ``ThreadPoolExecutor`` in the campaign process; ``processes`` runs a
+#: ``ProcessPoolExecutor`` with cell populations published to shared
+#: memory (`repro.core.shm`) so per-cell arrays never pickle across the
+#: boundary; ``serial`` forces in-process execution regardless of
+#: ``workers``.
+EXECUTORS = ("threads", "processes", "serial")
+
+
+def resolve_executor(name: str | None = None) -> str:
+    """Resolve an executor name: explicit argument, else ``REPRO_EXECUTOR``,
+    else :data:`DEFAULT_EXECUTOR`.  Raises ``ValueError`` for unknown
+    names."""
+    if name is None:
+        name = os.environ.get(EXECUTOR_ENV) or DEFAULT_EXECUTOR
+    if name not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {name!r}; expected one of {sorted(EXECUTORS)}"
+        )
+    return name
+
 _POOL_RESPAWNS = obs.counter(
     "engine_pool_respawns_total",
     "Worker pools torn down and respawned after a pool failure.",
@@ -90,6 +126,12 @@ _SERIAL_FALLBACKS = obs.counter(
     "engine_serial_fallbacks_total",
     "Campaign passes that skipped the worker pool because the host has no "
     "parallelism to offer (os.cpu_count() <= 1).",
+)
+_EXECUTOR_INFO = obs.gauge(
+    "engine_executor_info",
+    "Effective executor backend of the most recent campaign pass "
+    "(1 = active).",
+    labelnames=("executor",),
 )
 
 _log = logging.getLogger("repro.core.engine")
@@ -192,20 +234,26 @@ def execute_unit(
     unit: WorkUnit,
     horizon: float = DEFAULT_ENGINE_HORIZON,
     guardband: int = GUARDBAND_ROWS,
+    shm_ref: "_shm.SegmentRef | None" = None,
 ) -> OutcomeSummary:
     """Characterize one unit from scratch (the worker-side entry point).
 
-    Re-derives the subarray's cell population locally — populations are
-    deterministic in their key, so this is bit-identical to characterizing
-    through a `SimulatedModule` — and returns the compact event summary.
+    With ``shm_ref`` the subarray's cell population attaches zero-copy to
+    the segment the engine published (`repro.core.shm`); otherwise it is
+    re-derived locally.  Populations are deterministic in their key, so
+    both paths are bit-identical to characterizing through a
+    `SimulatedModule`; either way the compact event summary is returned.
     """
     spec = get_module(unit.serial)
-    population = CellPopulation(
-        key=unit.population_key,
-        profile=spec.profile,
-        rows=unit.geometry.subarray_rows(unit.subarray),
-        columns=unit.geometry.columns,
-    )
+    if shm_ref is not None:
+        population = _shm.attach_population(shm_ref)
+    else:
+        population = CellPopulation(
+            key=unit.population_key,
+            profile=spec.profile,
+            rows=unit.geometry.subarray_rows(unit.subarray),
+            columns=unit.geometry.columns,
+        )
     outcome = disturb_outcome(
         population,
         unit.config,
@@ -290,15 +338,19 @@ def _maybe_inject_fault(unit: WorkUnit) -> None:
 
 
 def _worker_run(
-    unit: WorkUnit, horizon: float, guardband: int
+    unit: WorkUnit,
+    horizon: float,
+    guardband: int,
+    shm_ref: "_shm.SegmentRef | None" = None,
 ) -> tuple[OutcomeSummary, int, float, dict | None]:
     """Pool/in-process execution wrapper.
 
-    Returns ``(summary, pid, wall_s, obs_payload)``.  In a pool worker with
-    observability enabled, ``obs_payload`` carries the metric shards and
-    finished spans this unit produced (a snapshot-and-reset delta) back to
-    the campaign process, which merges them; in-process execution writes
-    straight to the campaign's own registry and ships ``None``.
+    Returns ``(summary, pid, wall_s, obs_payload)``.  In a pool *process*
+    worker with observability enabled, ``obs_payload`` carries the metric
+    shards and finished spans this unit produced (a snapshot-and-reset
+    delta) back to the campaign process, which merges them; thread-pool
+    and in-process execution write straight to the campaign's own
+    (thread-safe) registry and ship ``None``.
     """
     _maybe_inject_fault(unit)
     start = time.perf_counter()
@@ -307,7 +359,9 @@ def _worker_run(
         serial=unit.serial, chip=unit.chip, bank=unit.bank,
         subarray=unit.subarray,
     ):
-        summary = execute_unit(unit, horizon=horizon, guardband=guardband)
+        summary = execute_unit(
+            unit, horizon=horizon, guardband=guardband, shm_ref=shm_ref
+        )
     wall = time.perf_counter() - start
     payload = obs.pool_worker_payload() if _IN_POOL_WORKER else None
     return summary, os.getpid(), wall, payload
@@ -335,6 +389,7 @@ class _ExecResult:
     wall: float
     worker: int | None
     error: str | None
+    executor: str | None = None
 
 
 def record_from_summary(
@@ -407,7 +462,14 @@ class CharacterizationEngine:
     Attributes:
         scale: how much silicon to instantiate per module (shared with
             `Campaign`).
-        workers: worker processes; ``0``/``1`` run in-process (serial).
+        workers: pool width; ``0``/``1`` run in-process (serial).
+        executor: pool backend — one of :data:`EXECUTORS` (``threads`` /
+            ``processes`` / ``serial``); ``None`` resolves via
+            ``REPRO_EXECUTOR`` then :data:`DEFAULT_EXECUTOR`.  The thread
+            backend exploits that the batched hot path is numpy and
+            releases the GIL; the process backend publishes cell
+            populations to shared memory (`repro.core.shm`) so per-cell
+            arrays never pickle across the boundary.
         cache: optional `OutcomeCache`; hits skip computation entirely.
         horizon: event horizon of computed summaries — any interval up to
             this is answerable from cache without recomputation.
@@ -431,6 +493,7 @@ class CharacterizationEngine:
 
     scale: CampaignScale = STANDARD_SCALE
     workers: int = 0
+    executor: str | None = None
     cache: OutcomeCache | None = None
     horizon: float = DEFAULT_ENGINE_HORIZON
     guardband: int = GUARDBAND_ROWS
@@ -440,11 +503,35 @@ class CharacterizationEngine:
     failure_policy: FailurePolicy | str = FailurePolicy.RAISE
     trace: RunTrace | None = None
     serial_fallback: bool = True
+    #: Effective-execution report of the most recent campaign pass —
+    #: what actually ran (executor, worker count, fallback decision), as
+    #: opposed to what was requested.  ``None`` until the first pass.
+    last_execution: dict | None = field(default=None, repr=False, compare=False)
     _key_memo: dict = field(default_factory=dict, repr=False, compare=False)
     _spec_memo: dict = field(default_factory=dict, repr=False, compare=False)
+    _shm_store: "_shm.SharedPopulationStore | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         self.failure_policy = FailurePolicy(self.failure_policy)
+        self.executor = resolve_executor(self.executor)
+
+    def close(self) -> None:
+        """Release engine-owned resources (shared-memory segments).
+
+        Idempotent; the engine remains usable — a later pass republishes
+        what it needs.
+        """
+        if self._shm_store is not None:
+            self._shm_store.close()
+            self._shm_store = None
+
+    def __enter__(self) -> "CharacterizationEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def characterize_module(
         self,
@@ -536,6 +623,7 @@ class CharacterizationEngine:
         attempts: int = 0,
         worker: int | None = None,
         error: str | None = None,
+        executor: str | None = None,
     ) -> None:
         """Record one unit's telemetry to the RunTrace and/or the metrics
         registry — both views are built from the same UnitTrace value."""
@@ -552,6 +640,7 @@ class CharacterizationEngine:
             attempts=attempts,
             worker=worker,
             error=error,
+            executor=executor,
         )
         record_unit_metrics(unit_trace)
         if self.trace is not None:
@@ -587,6 +676,7 @@ class CharacterizationEngine:
                 i, units[i],
                 "computed" if result.summary is not None else "skipped",
                 result.wall, result.attempts, result.worker, result.error,
+                executor=result.executor,
             )
         return summaries
 
@@ -601,23 +691,44 @@ class CharacterizationEngine:
         errors: dict[int, str] = {}
         queue = list(pending)
         respawns_left = 1
-        pool_mode = self.workers > 1 and len(pending) > 1
+        fallback = False
+        pool_mode = (self.executor != "serial" and self.workers > 1 and len(pending) > 1)
         if pool_mode and self.serial_fallback and (os.cpu_count() or 1) <= 1:
             # The CI case behind BENCH_engine.json's parallel_speedup 0.518:
-            # a pool on a 1-core host only adds pickling and spawn overhead.
+            # a pool on a 1-core host only adds scheduling (and, for
+            # processes, pickling and spawn) overhead.
             pool_mode = False
+            fallback = True
             detail = (
-                f"workers={self.workers} requested but os.cpu_count()="
-                f"{os.cpu_count()!r} offers no parallelism; "
-                "running in-process to avoid pool overhead"
+                f"executor={self.executor} workers={self.workers} requested "
+                f"but os.cpu_count()={os.cpu_count()!r} offers no "
+                "parallelism; running in-process to avoid pool overhead"
             )
             _SERIAL_FALLBACKS.inc()
             _log.warning(detail)
             if self.trace is not None:
                 self.trace.note_decision("serial-fallback", detail)
+        shm_refs: dict[int, _shm.SegmentRef] = {}
+        if pool_mode and self.executor == "processes":
+            shm_refs = self._publish_populations(units, queue)
+        effective = self.executor if pool_mode else "serial"
+        self.last_execution = {
+            "executor": self.executor,
+            "effective_executor": effective,
+            "workers": self.workers,
+            "effective_workers": (
+                min(self.workers, len(queue)) if pool_mode else 1
+            ),
+            "serial_fallback": fallback,
+        }
+        if _obs_state.enabled:
+            for name in EXECUTORS:
+                _EXECUTOR_INFO.labels(executor=name).set(
+                    1.0 if name == effective else 0.0
+                )
         while queue and pool_mode:
             queue, broke = self._pool_pass(
-                units, queue, compute, results, attempts, errors
+                units, queue, compute, results, attempts, errors, shm_refs
             )
             if not broke:
                 break
@@ -630,27 +741,74 @@ class CharacterizationEngine:
                 _POOL_RESPAWNS.inc()
         for i in queue:
             self._run_in_process(
-                units[i], i, compute, results, attempts, errors
+                units[i], i, compute, results, attempts, errors,
+                shm_refs.get(i),
             )
         return results
 
+    def _publish_populations(
+        self, units: list[WorkUnit], queue: list[int]
+    ) -> dict[int, _shm.SegmentRef]:
+        """Publish pending units' cell populations to shared memory.
+
+        Create-once: the store samples each population a single time in
+        the campaign process; workers attach zero-copy and never
+        re-sample (or pickle) a per-cell array.  The store sweeps
+        segments leaked by dead processes when first created.
+        """
+        if self._shm_store is None:
+            self._shm_store = _shm.SharedPopulationStore()
+        return {
+            i: self._shm_store.publish(
+                units[i].population_key,
+                units[i].geometry.subarray_rows(units[i].subarray),
+                units[i].geometry.columns,
+            )
+            for i in queue
+        }
+
+    def _make_pool(self, width: int):
+        """The executor backend's pool, sized to ``width`` workers."""
+        if self.executor == "threads":
+            # No initializer: threads share the campaign's interpreter
+            # state, so _IN_POOL_WORKER stays False and units write the
+            # (thread-sharded) obs registry directly.
+            return ThreadPoolExecutor(
+                max_workers=width, thread_name_prefix="repro-engine"
+            )
+        return ProcessPoolExecutor(
+            max_workers=width,
+            initializer=_init_pool_worker,
+            initargs=(_obs_state.enabled,),
+        )
+
     def _pool_pass(
-        self, units, queue, compute, results, attempts, errors
+        self, units, queue, compute, results, attempts, errors, shm_refs
     ) -> tuple[list[int], bool]:
         """One pool lifetime: submit ``queue``, collect until done or the
         pool fails (worker death or unit timeout).  Returns the indices
         still unresolved and whether the pool failed."""
-        pool = ProcessPoolExecutor(
-            max_workers=min(self.workers, len(queue)),
-            initializer=_init_pool_worker,
-            initargs=(_obs_state.enabled,),
-        )
+        pool = self._make_pool(min(self.workers, len(queue)))
         futures = {}
         broke = False
         try:
             try:
                 for i in queue:
-                    futures[i] = pool.submit(compute, units[i])
+                    if self.executor == "threads":
+                        # Worker threads start on an empty contextvars
+                        # Context, which would orphan their unit spans;
+                        # copying the submitter's context carries the
+                        # active campaign span across so unit spans nest
+                        # under it (one copy per task — a Context is
+                        # single-entry).
+                        futures[i] = pool.submit(
+                            contextvars.copy_context().run,
+                            partial(compute, units[i], shm_ref=shm_refs.get(i)),
+                        )
+                    else:
+                        futures[i] = pool.submit(
+                            compute, units[i], shm_ref=shm_refs.get(i)
+                        )
             except BrokenExecutor as exc:
                 # The pool died before the campaign was even fully
                 # submitted (an instant crasher): fail over immediately.
@@ -671,14 +829,10 @@ class CharacterizationEngine:
                         broke = True
                     except TimeoutError:
                         attempts[i] += 1
-                        errors[i] = (
-                            f"unit timed out after {self.timeout:g}s"
-                        )
+                        errors[i] = f"unit timed out after {self.timeout:g}s"
                         broke = True
                         if attempts[i] > self.retries:
-                            self._register_failure(
-                                units[i], i, attempts, errors, results
-                            )
+                            self._register_failure(units[i], i, attempts, errors, results)
                     except (KeyboardInterrupt, SystemExit):
                         raise
                     except Exception as exc:
@@ -687,20 +841,22 @@ class CharacterizationEngine:
                         if attempts[i] <= self.retries:
                             self._backoff(attempts[i])
                             try:
-                                futures[i] = pool.submit(compute, units[i])
+                                futures[i] = pool.submit(
+                                    compute, units[i],
+                                    shm_ref=shm_refs.get(i),
+                                )
                             except Exception:
                                 broke = True
                             else:
                                 continue
                         else:
-                            self._register_failure(
-                                units[i], i, attempts, errors, results
-                            )
+                            self._register_failure(units[i], i, attempts, errors, results)
                     else:
                         attempts[i] += 1
                         obs.merge_payload(payload)
                         results[i] = _ExecResult(
-                            summary, attempts[i], wall, worker, None
+                            summary, attempts[i], wall, worker, None,
+                            self.executor,
                         )
                     break
                 if broke:
@@ -709,7 +865,7 @@ class CharacterizationEngine:
             _kill_pool(pool)
             raise
         if broke:
-            self._harvest(queue, futures, results, attempts)
+            self._harvest(queue, futures, results, attempts, self.executor)
             _kill_pool(pool)
         else:
             pool.shutdown(wait=True)
@@ -717,7 +873,7 @@ class CharacterizationEngine:
         return remaining, broke
 
     @staticmethod
-    def _harvest(queue, futures, results, attempts) -> None:
+    def _harvest(queue, futures, results, attempts, executor) -> None:
         """Keep results of futures that finished before the pool died."""
         for i in queue:
             future = futures.get(i)
@@ -731,10 +887,10 @@ class CharacterizationEngine:
                 continue
             attempts[i] += 1
             obs.merge_payload(payload)
-            results[i] = _ExecResult(summary, attempts[i], wall, worker, None)
+            results[i] = _ExecResult(summary, attempts[i], wall, worker, None, executor)
 
     def _run_in_process(
-        self, unit, index, compute, results, attempts, errors
+        self, unit, index, compute, results, attempts, errors, shm_ref=None
     ) -> None:
         """Serial execution of one unit with the same retry/policy rules."""
         while True:
@@ -742,7 +898,7 @@ class CharacterizationEngine:
             try:
                 # In-process execution instruments the campaign's own
                 # registry directly; the payload slot is always None here.
-                summary, worker, wall, _payload = compute(unit)
+                summary, worker, wall, _payload = compute(unit, shm_ref=shm_ref)
             except (KeyboardInterrupt, SystemExit):
                 raise
             except Exception as exc:
@@ -753,21 +909,15 @@ class CharacterizationEngine:
                 self._register_failure(unit, index, attempts, errors, results)
             else:
                 results[index] = _ExecResult(
-                    summary, attempts[index], wall, worker, None
+                    summary, attempts[index], wall, worker, None, "serial"
                 )
             return
 
-    def _register_failure(
-        self, unit, index, attempts, errors, results
-    ) -> None:
+    def _register_failure(self, unit, index, attempts, errors, results) -> None:
         if self.failure_policy is FailurePolicy.RAISE:
             raise UnitExecutionError(unit, attempts[index], errors.get(index))
-        results[index] = _ExecResult(
-            None, attempts[index], 0.0, None, errors.get(index)
-        )
+        results[index] = _ExecResult(None, attempts[index], 0.0, None, errors.get(index))
 
     def _backoff(self, failures: int) -> None:
         if self.retry_backoff > 0:
-            time.sleep(
-                min(MAX_BACKOFF_S, self.retry_backoff * 2 ** (failures - 1))
-            )
+            time.sleep(min(MAX_BACKOFF_S, self.retry_backoff * 2 ** (failures - 1)))

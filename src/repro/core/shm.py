@@ -1,0 +1,289 @@
+"""Shared-memory cell populations for the process executor.
+
+The process executor's historical cost was shipping per-cell state across
+process boundaries: every worker re-sampled its unit's `CellPopulation`
+from scratch on every attempt, so a retried unit paid the RNG cost twice
+and a multi-worker campaign paid it once per worker touching the unit.
+This module moves the sampled parameter arrays (``lambda_int``, ``kappa``
+— the two eager per-cell arrays) into ``multiprocessing.shared_memory``
+segments:
+
+* **create-once** — the engine publishes each pending unit's population
+  exactly once, before the pool spawns; publishing is idempotent per
+  store (content-keyed, so a re-publish returns the existing segment).
+* **attach-per-worker** — workers receive a tiny :class:`SegmentRef`
+  (name + shape + scale, a few hundred bytes) and map the arrays
+  zero-copy via :meth:`CellPopulation.from_arrays`; the lazily sampled
+  arrays (hammer thresholds, anti-cell mask) are still derived
+  deterministically from the population key, so an attached population
+  is bit-identical to a locally sampled one.
+* **crash-safe lifecycle** — segment names embed the creating pid
+  (``repro_shm_<pid>_<digest>``); a store unlinks its segments on
+  :meth:`close` (and at interpreter exit), and every store *init* sweeps
+  segments whose creator is dead, mirroring the `OutcomeCache`'s
+  tmp-file sweep discipline, so a SIGKILLed campaign never leaks
+  ``/dev/shm`` space past the next engine start.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import os
+import threading
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.chip.catalog import get_module
+from repro.chip.cells import CellPopulation
+
+#: Common prefix of every segment this module creates; the sweep only
+#: ever considers (and unlinks) names under this prefix.
+SHM_PREFIX = "repro_shm"
+
+_SHM_SEGMENTS = obs.gauge(
+    "shm_segments",
+    "Live shared-memory population segments created by this process.",
+)
+_SHM_SWEPT = obs.counter(
+    "shm_segments_swept_total",
+    "Leaked shared-memory segments (dead creator pid) unlinked by an "
+    "init-time sweep.",
+)
+
+
+@dataclass(frozen=True)
+class SegmentRef:
+    """Worker-side handle to one published population segment.
+
+    Pickles in a few hundred bytes — the whole point: this crosses the
+    process boundary instead of the per-cell arrays.
+    """
+
+    name: str
+    key: tuple
+    rows: int
+    columns: int
+    subarray_scale: float
+
+
+def _segment_digest(key: tuple, rows: int, columns: int) -> str:
+    """Content key of one population's parameter arrays.
+
+    Populations are deterministic functions of ``(key, shape)`` (see
+    `repro.chip.cells`), so hashing the identity hashes the content.
+    """
+    token = "/".join(str(part) for part in (*key, rows, columns))
+    return hashlib.sha256(token.encode("utf-8")).hexdigest()[:16]
+
+
+def segment_name(key: tuple, rows: int, columns: int) -> str:
+    """``repro_shm_<pid>_<digest>`` — pid-stamped so a sweep can tell a
+    live owner from a leak."""
+    return f"{SHM_PREFIX}_{os.getpid()}_{_segment_digest(key, rows, columns)}"
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+def _shm_dir() -> Path | None:
+    path = Path("/dev/shm")
+    return path if path.is_dir() else None
+
+
+def sweep_leaked_segments() -> int:
+    """Unlink ``repro_shm_*`` segments whose creator pid is dead.
+
+    Returns the number of segments removed.  On platforms without a
+    scannable ``/dev/shm`` this is a no-op — segments there die with the
+    OS session anyway.
+    """
+    directory = _shm_dir()
+    if directory is None:
+        return 0
+    swept = 0
+    for path in directory.glob(f"{SHM_PREFIX}_*"):
+        parts = path.name.split("_")
+        if len(parts) < 4 or not parts[2].isdigit():
+            continue
+        pid = int(parts[2])
+        if pid == os.getpid() or _pid_alive(pid):
+            continue
+        try:
+            path.unlink()
+        except OSError:
+            continue
+        swept += 1
+    if swept:
+        _SHM_SWEPT.inc(swept)
+    return swept
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach a segment without resource-tracker ownership.
+
+    Python 3.11's ``SharedMemory(name=...)`` *attach* registers the
+    segment with the resource tracker, which unlinks it when the
+    tracker's owning process exits — yanking the segment out from under
+    the creator and every sibling worker.  Only the creating store may
+    own the name.  Unregistering after the fact is not enough: forked
+    pool workers share the parent's tracker, whose name cache is a set,
+    so a worker's unregister would silently erase the *creator's*
+    registration.  Instead, suppress shared-memory registration for the
+    duration of the attach (Python 3.13's ``track=False``, backported).
+    """
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+
+    def _no_shm_register(rname: str, rtype: str) -> None:
+        if rtype != "shared_memory":
+            original(rname, rtype)
+
+    with _ATTACH_LOCK:
+        resource_tracker.register = _no_shm_register
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+#: Serializes the register-suppression window of `_attach_untracked`.
+_ATTACH_LOCK = threading.Lock()
+
+#: Per-process attachment cache: ``name -> (segment, population)``.  A
+#: worker that retries a unit (or runs many units of one bank) attaches
+#: each segment once for the life of the process.
+_ATTACHED: dict[str, tuple[shared_memory.SharedMemory, CellPopulation]] = {}
+
+
+def attach_population(ref: SegmentRef) -> CellPopulation:
+    """Map one published segment into this process as a `CellPopulation`.
+
+    The returned population's eager arrays are zero-copy views of the
+    shared segment; treat them as read-only.
+    """
+    cached = _ATTACHED.get(ref.name)
+    if cached is not None:
+        return cached[1]
+    segment = _attach_untracked(ref.name)
+    arrays = np.ndarray((2, ref.rows, ref.columns), dtype=np.float32, buffer=segment.buf)
+    population = CellPopulation.from_arrays(
+        key=ref.key,
+        profile=get_module(ref.key[0]).profile,
+        lambda_int=arrays[0],
+        kappa=arrays[1],
+        subarray_scale=ref.subarray_scale,
+    )
+    _ATTACHED[ref.name] = (segment, population)
+    return population
+
+
+class SharedPopulationStore:
+    """Creator-side lifecycle manager for population segments.
+
+    One store per engine: :meth:`publish` is create-once per population
+    identity, :meth:`close` unlinks everything the store created.  Store
+    construction sweeps leaked segments from dead processes and arms an
+    ``atexit`` unlink as a second line of defense against engines that
+    are dropped without ``close()``.
+    """
+
+    def __init__(self, sweep: bool = True) -> None:
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._refs: dict[tuple, SegmentRef] = {}
+        self.swept = sweep_leaked_segments() if sweep else 0
+        self._atexit = atexit.register(self.close)
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def publish(self, key: tuple, rows: int, columns: int) -> SegmentRef:
+        """Sample (once) and publish one population's parameter arrays.
+
+        Idempotent per store: re-publishing an identity returns the
+        existing ref without resampling.
+        """
+        ident = (key, rows, columns)
+        ref = self._refs.get(ident)
+        if ref is not None:
+            return ref
+        population = CellPopulation(
+            key=key,
+            profile=get_module(key[0]).profile,
+            rows=rows,
+            columns=columns,
+        )
+        name = segment_name(key, rows, columns)
+        nbytes = 2 * rows * columns * np.dtype(np.float32).itemsize
+        try:
+            segment = shared_memory.SharedMemory(name=name, create=True, size=nbytes)
+        except FileExistsError:
+            # Another store in this same process already published this
+            # identity; content-keyed names mean same name => same bytes,
+            # so attaching is safe.  We do not unlink what we did not
+            # create.
+            segment = _attach_untracked(name)
+            segment.close()
+            created = False
+        else:
+            arrays = np.ndarray((2, rows, columns), dtype=np.float32, buffer=segment.buf)
+            arrays[0] = population.lambda_int
+            arrays[1] = population.kappa
+            created = True
+        if created:
+            self._segments[name] = segment
+            _SHM_SEGMENTS.inc()
+        ref = SegmentRef(
+            name=name,
+            key=key,
+            rows=rows,
+            columns=columns,
+            subarray_scale=float(population.subarray_scale),
+        )
+        self._refs[ident] = ref
+        return ref
+
+    def close(self) -> None:
+        """Unlink every segment this store created (idempotent).
+
+        Unlinking succeeds even while mappings are live (POSIX shm
+        semantics), so populations already attached keep working in the
+        processes holding them; the name just disappears.
+        """
+        for name, segment in list(self._segments.items()):
+            # Drop the attachment-cache entry (if this process attached
+            # its own segment); live population views keep the mapping
+            # alive through their base chain.
+            _ATTACHED.pop(name, None)
+            try:
+                segment.close()
+            except BufferError:
+                # Live views of our own mapping (in-process execution
+                # attached the creator's buffer); the mapping dies with
+                # the views, the name dies now.
+                pass
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                pass
+            _SHM_SEGMENTS.inc(-1)
+        self._segments.clear()
+        self._refs.clear()
+
+    def __enter__(self) -> "SharedPopulationStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

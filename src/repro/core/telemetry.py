@@ -76,8 +76,12 @@ class UnitTrace:
             execution time for computed units, lookup time for cache hits.
         attempts: execution attempts made (0 for cache hits).
         worker: pid of the process that produced the summary (``None``
-            for skipped units).
+            for skipped units; the campaign's own pid under the thread
+            and serial executors).
         error: last failure message, for skipped (and retried) units.
+        executor: executor backend that computed the unit (``threads`` /
+            ``processes`` / ``serial``); ``None`` for cache hits and for
+            traces recorded before the field existed.
     """
 
     index: int
@@ -90,6 +94,7 @@ class UnitTrace:
     attempts: int = 0
     worker: int | None = None
     error: str | None = None
+    executor: str | None = None
 
     @property
     def retries(self) -> int:
@@ -186,12 +191,23 @@ class RunTrace:
         percentiles and zero ratios — never NaN, never a zero division.
         Latency percentiles are computed over *measured* units (cache hits
         and computes); skipped units contribute no wall-time sample.
+
+        Cache hits (microseconds) and computed units (seconds) live in
+        wildly different latency regimes, so the combined ``wall_p50_s``
+        / ``wall_p95_s`` (kept for backward compatibility) flip between
+        regimes with the hit ratio and mislead on mixed runs.  The
+        ``computed_wall_*`` / ``cache_wall_*`` keys report each
+        population separately — read those first.
         """
         measured = [
             r for r in self.records
             if r.source != "skipped" and math.isfinite(r.wall_s)
         ]
         walls = [r.wall_s for r in measured]
+        computed_walls = [r.wall_s for r in measured if r.source == "computed"]
+        cache_walls = [
+            r.wall_s for r in measured if r.source in ("memory", "disk")
+        ]
         computed = sum(1 for r in self.records if r.source == "computed")
         memory = sum(1 for r in self.records if r.source == "memory")
         disk = sum(1 for r in self.records if r.source == "disk")
@@ -209,6 +225,10 @@ class RunTrace:
             "cache_hit_ratio": (memory + disk) / units if units else 0.0,
             "wall_p50_s": _percentile(walls, 50.0),
             "wall_p95_s": _percentile(walls, 95.0),
+            "computed_wall_p50_s": _percentile(computed_walls, 50.0),
+            "computed_wall_p95_s": _percentile(computed_walls, 95.0),
+            "cache_wall_p50_s": _percentile(cache_walls, 50.0),
+            "cache_wall_p95_s": _percentile(cache_walls, 95.0),
             "total_wall_s": sum(walls),
             "decisions": list(self.decisions),
         }
@@ -230,6 +250,10 @@ class RunTrace:
             f"({s['total_attempts']} total attempts)",
             f"  unit latency: p50 {_ms(s['wall_p50_s'])}, "
             f"p95 {_ms(s['wall_p95_s'])}",
+            f"  computed latency: p50 {_ms(s['computed_wall_p50_s'])}, "
+            f"p95 {_ms(s['computed_wall_p95_s'])}",
+            f"  cache-hit latency: p50 {_ms(s['cache_wall_p50_s'])}, "
+            f"p95 {_ms(s['cache_wall_p95_s'])}",
             f"  total unit wall time: {s['total_wall_s']:.3f} s",
         ]
         for decision in s["decisions"]:

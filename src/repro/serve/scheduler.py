@@ -105,6 +105,9 @@ class RequestScheduler:
         batch_window_s: how long a bucket collects before executing.
         max_batch: a bucket reaching this size executes immediately.
         kernel: bank kernel name for risk-path simulated modules.
+        executor: engine pool backend (``threads`` / ``processes`` /
+            ``serial``; ``None`` defers to ``REPRO_EXECUTOR`` then the
+            engine default).
     """
 
     def __init__(
@@ -116,6 +119,7 @@ class RequestScheduler:
         batch_window_s: float = 0.005,
         max_batch: int = 32,
         kernel: str | None = None,
+        executor: str | None = None,
     ) -> None:
         self.workers = workers
         self.cache = cache if cache is not None else OutcomeCache()
@@ -123,6 +127,7 @@ class RequestScheduler:
         self.batch_window_s = batch_window_s
         self.max_batch = max_batch
         self.kernel = kernel
+        self.executor = executor
         self.pool = ModulePool()
         self.stats = {
             "requests": 0,
@@ -138,7 +143,9 @@ class RequestScheduler:
         self._queued = 0
         self._draining = False
         self._ewma_batch_s = batch_window_s
-        self._executor = ThreadPoolExecutor(max_workers=1, thread_name_prefix="repro-serve")
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve"
+        )
 
     # ------------------------------------------------------------------
     # Submission (event-loop side)
@@ -263,29 +270,33 @@ class RequestScheduler:
         """
         scale = requests[0].scale
         config = requests[0].config
-        engine = CharacterizationEngine(
-            scale=scale, workers=self.workers, cache=self.cache
-        )
-        per_request_units = [
-            plan_units((request.serial,), config, scale) for request in requests
-        ]
-        flat = []
-        slot_of: dict[str, int] = {}
-        request_slots = []
-        for units in per_request_units:
-            slots = []
-            for unit in units:
-                unit_key = engine.unit_key(unit)
-                index = slot_of.get(unit_key)
-                if index is None:
-                    index = slot_of[unit_key] = len(flat)
-                    flat.append(unit)
-                slots.append(index)
-            request_slots.append(slots)
-        union_intervals = tuple(
-            sorted({t for request in requests for t in request.intervals})
-        )
-        summaries = engine.compute_summaries(flat, union_intervals)
+        with CharacterizationEngine(
+            scale=scale,
+            workers=self.workers,
+            executor=self.executor,
+            cache=self.cache,
+        ) as engine:
+            per_request_units = [
+                plan_units((request.serial,), config, scale)
+                for request in requests
+            ]
+            flat = []
+            slot_of: dict[str, int] = {}
+            request_slots = []
+            for units in per_request_units:
+                slots = []
+                for unit in units:
+                    unit_key = engine.unit_key(unit)
+                    index = slot_of.get(unit_key)
+                    if index is None:
+                        index = slot_of[unit_key] = len(flat)
+                        flat.append(unit)
+                    slots.append(index)
+                request_slots.append(slots)
+            union_intervals = tuple(
+                sorted({t for request in requests for t in request.intervals})
+            )
+            summaries = engine.compute_summaries(flat, union_intervals)
         results = []
         for request, units, slots in zip(requests, per_request_units, request_slots):
             records = [

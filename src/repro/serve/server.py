@@ -76,6 +76,7 @@ class ServeConfig:
     max_queue: int = 64
     batch_window_ms: float = 5.0
     kernel: str | None = None
+    executor: str | None = None
 
 
 class _BadRequest(Exception):
@@ -132,6 +133,7 @@ class ReproServer:
             max_queue=config.max_queue,
             batch_window_s=config.batch_window_ms / 1000.0,
             kernel=config.kernel,
+            executor=config.executor,
         )
         self._server: asyncio.Server | None = None
         self._connections: set[asyncio.Task] = set()
@@ -377,7 +379,8 @@ async def _run_async(config: ServeConfig) -> None:
     await server.start()
     print(
         f"repro serve: listening on http://{config.host}:{server.port} "
-        f"(workers={config.workers}, max_queue={config.max_queue}, "
+        f"(workers={config.workers}, executor={config.executor or 'auto'}, "
+        f"max_queue={config.max_queue}, "
         f"batch_window={config.batch_window_ms:g}ms)",
         file=sys.stderr,
     )

@@ -26,8 +26,8 @@ pytestmark = pytest.mark.engine
 
 
 def _records(**knobs):
-    engine = CharacterizationEngine(scale=QUICK_SCALE, **knobs)
-    return engine.characterize_module("S0", WORST_CASE, INTERVALS)
+    with CharacterizationEngine(scale=QUICK_SCALE, **knobs) as engine:
+        return engine.characterize_module("S0", WORST_CASE, INTERVALS)
 
 
 @pytest.fixture
@@ -85,12 +85,17 @@ def test_no_fallback_on_multicore_host(monkeypatch):
 
 def test_serial_fallback_false_forces_pool(one_cpu):
     trace = RunTrace()
-    records = _records(workers=2, trace=trace, serial_fallback=False)
+    # executor="processes": the worker-pid assertion below needs worker
+    # *processes*; the default thread backend computes under this pid.
+    records = _records(
+        workers=2, trace=trace, serial_fallback=False, executor="processes"
+    )
     assert trace.summary()["decisions"] == []
     assert records == _records()
     # A real pool executed the units in worker processes.
     computed = [r for r in trace.records if r.source == "computed"]
     assert computed and all(r.worker != os.getpid() for r in computed)
+    assert all(r.executor == "processes" for r in computed)
 
 
 def test_serial_engine_records_no_decision(one_cpu):

@@ -65,12 +65,18 @@ def inject(monkeypatch, tmp_path):
 
 
 def run(**knobs):
-    # serial_fallback=False: these tests exercise pool mechanics (worker
-    # death, respawn, timeouts) and must use a real pool even on 1-CPU CI.
-    engine = CharacterizationEngine(
-        scale=QUICK_SCALE, serial_fallback=False, **knobs
-    )
-    return engine.characterize_module("S0", WORST_CASE, INTERVALS)
+    # serial_fallback=False + executor="processes": these tests exercise
+    # process-pool mechanics (worker death, respawn, timeouts) and must
+    # use a real process pool even on 1-CPU CI — the default thread
+    # backend cannot lose a worker without losing this test process.
+    # Context-managed so the engine's shared-memory segments unlink here
+    # instead of lingering (same-pid leftovers would shadow later
+    # publishes in this test process).
+    with CharacterizationEngine(
+        scale=QUICK_SCALE, serial_fallback=False, executor="processes",
+        **knobs
+    ) as engine:
+        return engine.characterize_module("S0", WORST_CASE, INTERVALS)
 
 
 # ---------------------------------------------------------------------------

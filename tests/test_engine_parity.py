@@ -37,20 +37,24 @@ def _serial(config):
 
 
 @pytest.mark.engine
+@pytest.mark.parametrize("executor", ("threads", "processes"))
 @pytest.mark.parametrize("config", CONFIGS, ids=("worst-case", "alt"))
-def test_parallel_cached_engine_matches_serial(tmp_path, config):
+def test_parallel_cached_engine_matches_serial(tmp_path, config, executor):
+    """Both pool backends — GIL-releasing threads and shared-memory
+    processes — must be bit-identical to the serial walk."""
     serial_records = _serial(config)
     cache = OutcomeCache(tmp_path)
-    engine = CharacterizationEngine(
-        scale=QUICK_SCALE, workers=4, cache=cache, serial_fallback=False
-    )
+    with CharacterizationEngine(
+        scale=QUICK_SCALE, workers=4, executor=executor, cache=cache,
+        serial_fallback=False,
+    ) as engine:
+        cold = engine.characterize_modules(MODULES, config, INTERVALS)
+        assert cold == serial_records
+        assert engine.last_execution["effective_executor"] == executor
 
-    cold = engine.characterize_modules(MODULES, config, INTERVALS)
-    assert cold == serial_records
-
-    warm = engine.characterize_modules(MODULES, config, INTERVALS)
-    assert warm == serial_records
-    assert cache.hits >= len(serial_records)
+        warm = engine.characterize_modules(MODULES, config, INTERVALS)
+        assert warm == serial_records
+        assert cache.hits >= len(serial_records)
 
 
 @pytest.mark.engine

@@ -109,12 +109,13 @@ def test_engine_and_serial_paths_report_identical_flip_totals():
 
 
 @pytest.mark.engine
-def test_worker_spans_adopted_under_campaign_span():
+@pytest.mark.parametrize("executor", ("threads", "processes"))
+def test_worker_spans_nest_under_campaign_span(executor):
     obs.enable()
-    engine = CharacterizationEngine(
-        scale=QUICK_SCALE, workers=2, serial_fallback=False
-    )
-    engine.characterize_module("S0", WORST_CASE, INTERVALS)
+    with CharacterizationEngine(
+        scale=QUICK_SCALE, workers=2, executor=executor, serial_fallback=False
+    ) as engine:
+        engine.characterize_module("S0", WORST_CASE, INTERVALS)
     spans = obs.finished_spans()
     by_name = {}
     for record in spans:
@@ -124,9 +125,18 @@ def test_worker_spans_adopted_under_campaign_span():
     unit_spans = by_name["engine.unit"]
     assert len(unit_spans) == len(QUICK_SCALE.subarray_indices())
     for unit_span in unit_spans:
-        assert unit_span["adopted"] is True
         assert unit_span["parent_id"] == campaign_span["span_id"]
-        assert unit_span["pid"] != campaign_span["pid"]
+        if executor == "processes":
+            # Process workers ship their spans home in the result
+            # payload; the campaign process adopts and re-roots them.
+            assert unit_span["adopted"] is True
+            assert unit_span["pid"] != campaign_span["pid"]
+        else:
+            # Thread workers share the campaign process: their spans are
+            # native children (the engine copies the submitting context
+            # into each task), never adopted orphans.
+            assert "adopted" not in unit_span
+            assert unit_span["pid"] == campaign_span["pid"]
 
 
 def test_bender_command_counts_match_program(tiny_geometry):

@@ -1,0 +1,148 @@
+"""Shared-memory population segment lifecycle (`repro.core.shm`).
+
+The process executor publishes cell populations into named
+``multiprocessing.shared_memory`` segments.  Names are system-global, so
+the lifecycle must be airtight: every segment a store creates is unlinked
+on close (and engine close), and segments orphaned by a SIGKILLed
+campaign are reclaimed by the next store's init-time sweep — never left
+to accumulate in ``/dev/shm``.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.chip.catalog import get_module
+from repro.chip.cells import CellPopulation
+from repro.core import (
+    QUICK_SCALE,
+    WORST_CASE,
+    CharacterizationEngine,
+    SharedPopulationStore,
+)
+from repro.core.shm import SHM_PREFIX, attach_population, segment_name
+
+SHM_DIR = Path("/dev/shm")
+
+pytestmark = pytest.mark.skipif(
+    not SHM_DIR.is_dir(), reason="no scannable /dev/shm on this platform"
+)
+
+
+def own_segments() -> set[str]:
+    """Names of this process's live repro segments."""
+    return {p.name for p in SHM_DIR.glob(f"{SHM_PREFIX}_{os.getpid()}_*")}
+
+
+KEY = ("S0", 0, 0, 0)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_shm():
+    """Order-robustness: an earlier test that dropped an engine without
+    closing it leaves same-pid segments behind (their store only unlinks
+    at interpreter exit); a later publish of the same identity would
+    then attach instead of create and break ownership assertions."""
+    for name in own_segments():
+        try:
+            (SHM_DIR / name).unlink()
+        except FileNotFoundError:
+            pass
+    yield
+
+
+def test_publish_attach_roundtrip_is_bit_identical():
+    """An attached population's shared arrays equal a local sample's."""
+    local = CellPopulation(
+        key=KEY, profile=get_module("S0").profile, rows=64, columns=128
+    )
+    with SharedPopulationStore(sweep=False) as store:
+        ref = store.publish(KEY, 64, 128)
+        attached = attach_population(ref)
+        assert np.array_equal(attached.lambda_int, local.lambda_int)
+        assert np.array_equal(attached.kappa, local.kappa)
+        # Lazy arrays re-derive from the key rather than crossing shm.
+        assert np.array_equal(attached.hammer_thresholds, local.hammer_thresholds)
+
+
+def test_publish_is_idempotent_per_store():
+    with SharedPopulationStore(sweep=False) as store:
+        first = store.publish(KEY, 64, 128)
+        assert store.publish(KEY, 64, 128) is first
+        assert len(store) == 1
+
+
+def test_store_close_unlinks_segments():
+    store = SharedPopulationStore(sweep=False)
+    ref = store.publish(KEY, 64, 128)
+    assert ref.name == segment_name(KEY, 64, 128)
+    assert ref.name in own_segments()
+    store.close()
+    assert ref.name not in own_segments()
+    store.close()  # idempotent
+
+
+def test_engine_close_unlinks_segments():
+    """A processes-backend campaign leaves nothing in /dev/shm."""
+    before = own_segments()
+    with CharacterizationEngine(
+        scale=QUICK_SCALE, workers=2, executor="processes",
+        serial_fallback=False,
+    ) as engine:
+        engine.characterize_module("S0", WORST_CASE, (0.512, 16.0))
+        assert own_segments() - before  # segments were actually published
+    assert own_segments() == before
+
+
+def test_sigkill_orphan_swept_on_next_init(tmp_path):
+    """Segments of a SIGKILLed process are reclaimed by the next store.
+
+    The victim disables resource-tracker registration before publishing:
+    a lone SIGKILL leaves Python's tracker process alive to clean up,
+    but the leak scenario the sweep exists for is the whole process
+    group dying at once (OOM killer, cgroup kill, `kill -9 -<pgid>`),
+    where the tracker dies too and only the pid-stamped name survives.
+    """
+    script = (
+        "import os, sys, signal\n"
+        "sys.path.insert(0, sys.argv[1])\n"
+        "from multiprocessing import resource_tracker\n"
+        "resource_tracker.register = lambda *a: None\n"
+        "from repro.core import SharedPopulationStore\n"
+        "store = SharedPopulationStore(sweep=False)\n"
+        "ref = store.publish(('S0', 0, 0, 0), 64, 128)\n"
+        "print(ref.name, flush=True)\n"
+        "os.kill(os.getpid(), signal.SIGKILL)\n"
+    )
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    proc = subprocess.run(
+        [sys.executable, "-c", script, src],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert proc.returncode == -signal.SIGKILL, proc.stderr
+    orphan = proc.stdout.strip()
+    assert orphan and (SHM_DIR / orphan).exists(), "orphan did not survive"
+
+    store = SharedPopulationStore()  # sweep=True is the default
+    try:
+        assert store.swept >= 1
+        assert not (SHM_DIR / orphan).exists()
+    finally:
+        store.close()
+
+
+def test_sweep_spares_live_owners():
+    """The sweep must never unlink a segment whose creator still runs."""
+    store = SharedPopulationStore(sweep=False)
+    try:
+        name = store.publish(KEY, 64, 128).name
+        other = SharedPopulationStore()  # sweeps on init
+        other.close()
+        assert name in own_segments()
+    finally:
+        store.close()
