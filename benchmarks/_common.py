@@ -15,6 +15,7 @@ the paper-matching 8 x 1024 x 2048 geometry (slower, more memory).
 from __future__ import annotations
 
 import atexit
+import json
 import os
 import sys
 from collections.abc import Iterator
@@ -31,6 +32,50 @@ from repro.core import (
 )
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Named blocks of ``BENCH_engine.json`` and the bench that owns each.
+#: Every writer must go through :func:`merge_bench_block` so one bench
+#: refreshing its own numbers can never clobber another bench's block
+#: (the failure mode that once erased the committed ``serve`` block).
+BENCH_BLOCKS = ("kernels", "serve", "obs")
+
+
+def merge_bench_block(
+    block: str | None,
+    result: dict,
+    repo_root: Path | None = None,
+    results_dir: Path | None = None,
+) -> str:
+    """Merge one writer's result into ``BENCH_engine.json`` and persist it.
+
+    ``block`` names the sub-dictionary the caller owns (one of
+    :data:`BENCH_BLOCKS`); ``None`` means the caller owns the engine-level
+    top of the file, in which case every named block present in the
+    existing file is carried over untouched.  Both the repo-root copy and
+    the ``benchmarks/results/`` copy are rewritten identically.  Returns
+    the serialized payload (callers may print it).
+    """
+    if block is not None and block not in BENCH_BLOCKS:
+        raise ValueError(f"unknown bench block {block!r}; add it to BENCH_BLOCKS")
+    repo_root = repo_root or REPO_ROOT
+    results_dir = results_dir or RESULTS_DIR
+    bench_path = repo_root / "BENCH_engine.json"
+    if bench_path.exists():
+        data = json.loads(bench_path.read_text())
+    else:
+        data = {"bench": "engine"}
+    if block is None:
+        preserved = {name: data[name] for name in BENCH_BLOCKS if name in data}
+        data = {**result, **preserved}
+    else:
+        data[block] = result
+    payload = json.dumps(data, indent=2) + "\n"
+    bench_path.write_text(payload)
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "BENCH_engine.json").write_text(payload)
+    return payload
 
 if os.environ.get("REPRO_BENCH_FULL"):
     BENCH_GEOMETRY = BankGeometry(subarrays=8, rows_per_subarray=1024,

@@ -17,21 +17,17 @@ check.  The pytest wrapper (marked ``slow``) asserts the same bound.
 
 from __future__ import annotations
 
-import json
 import os
 import statistics
 import sys
 import time
-from pathlib import Path
 
 import pytest
 
+from _common import merge_bench_block
 from repro import obs
 from repro.chip import BankGeometry
 from repro.core import Campaign, CampaignScale, WORST_CASE
-
-_REPO_ROOT = Path(__file__).resolve().parent.parent
-_BENCH_JSON = _REPO_ROOT / "BENCH_engine.json"
 
 #: Small enough to keep a paired multi-round run under a minute, large
 #: enough that per-command metric increments (the hot path) dominate any
@@ -83,11 +79,7 @@ def measure_overhead(rounds: int = 10) -> dict:
 
 
 def _record(result: dict) -> None:
-    data = json.loads(_BENCH_JSON.read_text()) if _BENCH_JSON.exists() else {
-        "bench": "engine"
-    }
-    data["obs"] = result
-    _BENCH_JSON.write_text(json.dumps(data, indent=2) + "\n")
+    merge_bench_block("obs", result)
 
 
 @pytest.mark.slow

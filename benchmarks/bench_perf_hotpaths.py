@@ -27,12 +27,11 @@ import json
 import os
 import sys
 import time
-from pathlib import Path
 
 import numpy as np
 import pytest
 
-from _common import run_once
+from _common import merge_bench_block, run_once
 from repro.chip import BankGeometry, DDR4, SimulatedModule, ddr4_modules, get_module
 from repro.chip.cells import CellPopulation
 from repro.core import (
@@ -57,10 +56,6 @@ GEOMETRY = BankGeometry(subarrays=4, rows_per_subarray=512, columns=1024)
 
 #: The refresh intervals the engine suite queries (paper's §4 sweep points).
 ENGINE_INTERVALS = (0.512, 1.0, 4.0, 16.0)
-
-_REPO_ROOT = Path(__file__).resolve().parent.parent
-_RESULTS_DIR = Path(__file__).resolve().parent / "results"
-
 
 def test_perf_hammer_fast_path(benchmark):
     """One 16-second hammer campaign (227,874 activations) on a bank."""
@@ -330,10 +325,9 @@ def run_engine_suite(
     if trace is not None:
         result["trace"] = trace.summary()
     if write_json:
-        payload = json.dumps(result, indent=2) + "\n"
-        (_REPO_ROOT / "BENCH_engine.json").write_text(payload)
-        _RESULTS_DIR.mkdir(exist_ok=True)
-        (_RESULTS_DIR / "BENCH_engine.json").write_text(payload)
+        # Engine suite owns the top level of the file; named blocks
+        # (kernels/serve/obs) belong to their own benches and survive.
+        merge_bench_block(None, result)
     return result
 
 
@@ -576,21 +570,8 @@ def run_kernel_suite(
         "parity": True,
     }
     if write_json:
-        _merge_bench_block("kernels", result)
+        merge_bench_block("kernels", result)
     return result
-
-
-def _merge_bench_block(block: str, result: dict) -> None:
-    """Merge one named block into BENCH_engine.json (repo root + results/)."""
-    bench_path = _REPO_ROOT / "BENCH_engine.json"
-    data = json.loads(bench_path.read_text()) if bench_path.exists() else {
-        "bench": "engine"
-    }
-    data[block] = result
-    payload = json.dumps(data, indent=2) + "\n"
-    bench_path.write_text(payload)
-    _RESULTS_DIR.mkdir(exist_ok=True)
-    (_RESULTS_DIR / "BENCH_engine.json").write_text(payload)
 
 
 @pytest.mark.slow

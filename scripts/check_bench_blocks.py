@@ -1,0 +1,64 @@
+"""CI gate: the committed BENCH_engine.json must keep every named block.
+
+PR 6 once shipped an engine-suite rewrite that silently dropped the
+``serve`` block from ``BENCH_engine.json``; the perf jobs kept passing
+because nothing asserted the block existed.  This script is that
+assertion: given block names on the command line, it verifies each one
+is present (and a non-empty object) in *both* committed copies — the
+repo root and ``benchmarks/results/`` — and that the two copies are
+identical.  Exits 1 listing everything missing.
+
+Usage: ``python scripts/check_bench_blocks.py serve kernels``
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+COPIES = (
+    REPO_ROOT / "BENCH_engine.json",
+    REPO_ROOT / "benchmarks" / "results" / "BENCH_engine.json",
+)
+
+
+def main(argv: list[str]) -> int:
+    blocks = argv or ["serve", "kernels"]
+    problems: list[str] = []
+    contents: list[str] = []
+    for path in COPIES:
+        relative = path.relative_to(REPO_ROOT)
+        if not path.exists():
+            problems.append(f"{relative}: file missing")
+            continue
+        text = path.read_text()
+        contents.append(text)
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            problems.append(f"{relative}: invalid JSON ({exc})")
+            continue
+        for block in blocks:
+            value = data.get(block)
+            if not isinstance(value, dict) or not value:
+                problems.append(
+                    f"{relative}: block {block!r} is missing or empty"
+                )
+    if len(contents) == 2 and contents[0] != contents[1]:
+        problems.append(
+            "BENCH_engine.json and benchmarks/results/BENCH_engine.json "
+            "have diverged; rerun the bench that owns the stale block"
+        )
+    if problems:
+        for problem in problems:
+            print(f"check_bench_blocks: FAIL: {problem}", file=sys.stderr)
+        return 1
+    print(f"check_bench_blocks: OK ({', '.join(blocks)} present in "
+          f"{len(COPIES)} copies)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

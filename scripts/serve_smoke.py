@@ -9,13 +9,20 @@ three things the serving layer promises:
   attached to one in-flight computation rather than recomputing);
 * SIGTERM drains cleanly — exit code 0 and the drain banner on stderr.
 
+``--fleet N`` runs the same checks through a ``repro serve --fleet N``
+front door instead: duplicates must still coalesce *after* sharding
+(read from the aggregated ``/fleet/stats``), the front door must expose
+its fleet metrics, and SIGTERM must drain front door and workers to a
+zero exit.
+
 Exits nonzero with a one-line reason on any violation.
 
-Usage: ``PYTHONPATH=src python scripts/serve_smoke.py``
+Usage: ``PYTHONPATH=src python scripts/serve_smoke.py [--fleet N]``
 """
 
 from __future__ import annotations
 
+import argparse
 import os
 import re
 import signal
@@ -36,7 +43,15 @@ def fail(reason: str) -> NoReturn:
     sys.exit(1)
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fleet", type=int, default=0, metavar="N",
+        help="smoke the sharded fleet front door with N workers "
+             "(default: single-process server)",
+    )
+    args = parser.parse_args(argv)
+
     sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
     from repro.serve import ServeClient
 
@@ -45,23 +60,31 @@ def main() -> int:
         p for p in (os.path.join(REPO_ROOT, "src"),
                     env.get("PYTHONPATH")) if p
     )
+    command = [sys.executable, "-m", "repro", "serve", "--port", "0",
+               "--batch-window-ms", "25"]
+    # The fleet front door forwards worker banners to its own stderr, so
+    # the port scrape must anchor on the front-door banner specifically.
+    banner = r"listening on http://[^:]+:(\d+)"
+    if args.fleet:
+        command += ["--fleet", str(args.fleet)]
+        banner = r"front door listening on http://[^:]+:(\d+)"
     process = subprocess.Popen(
-        [sys.executable, "-m", "repro", "serve", "--port", "0",
-         "--batch-window-ms", "25"],
-        env=env, stderr=subprocess.PIPE, text=True,
+        command, env=env, stderr=subprocess.PIPE, text=True,
     )
     try:
         port = None
-        deadline = time.monotonic() + 60
+        deadline = time.monotonic() + 120
         while time.monotonic() < deadline and process.poll() is None:
             line = process.stderr.readline()
-            match = re.search(r"http://[^:]+:(\d+)", line)
+            match = re.search(banner, line)
             if match:
                 port = int(match.group(1))
                 break
         if port is None:
             fail("server never announced its port")
-        print(f"serve_smoke: server up on port {port}")
+        role = f"fleet front door ({args.fleet} workers)" if args.fleet \
+            else "server"
+        print(f"serve_smoke: {role} up on port {port}")
 
         results: list = [None] * CLIENTS
         barrier = threading.Barrier(CLIENTS)
@@ -87,18 +110,35 @@ def main() -> int:
         print(f"serve_smoke: {CLIENTS} duplicate requests OK, "
               "identical payloads")
 
-        with ServeClient(port=port) as client:
-            metrics = client.metrics()
-        match = re.search(
-            r"^serve_coalesced_total (\d+)", metrics, re.MULTILINE
-        )
-        coalesced = int(match.group(1)) if match else 0
-        if coalesced == 0:
-            fail("serve_coalesced_total is zero: duplicates did not coalesce")
-        print(f"serve_smoke: serve_coalesced_total={coalesced}")
+        if args.fleet:
+            with ServeClient(port=port) as client:
+                stats = client.fleet_stats()
+                metrics = client.metrics()
+            coalesced = stats["totals"].get("coalesced", 0)
+            if coalesced == 0:
+                fail("fleet coalesced total is zero: sharding broke "
+                     "duplicate coalescing")
+            print(f"serve_smoke: fleet coalesced={coalesced} "
+                  f"(ratio {stats['coalesce_ratio']})")
+            for metric in ("fleet_workers", "fleet_proxied_total",
+                           "fleet_restarts_total"):
+                if metric not in metrics:
+                    fail(f"front door /metrics is missing {metric}")
+            print("serve_smoke: fleet metrics exposed")
+        else:
+            with ServeClient(port=port) as client:
+                metrics = client.metrics()
+            match = re.search(
+                r"^serve_coalesced_total (\d+)", metrics, re.MULTILINE
+            )
+            coalesced = int(match.group(1)) if match else 0
+            if coalesced == 0:
+                fail("serve_coalesced_total is zero: duplicates did not "
+                     "coalesce")
+            print(f"serve_smoke: serve_coalesced_total={coalesced}")
 
         process.send_signal(signal.SIGTERM)
-        code = process.wait(timeout=60)
+        code = process.wait(timeout=120)
         stderr_tail = process.stderr.read()
         if code != 0:
             fail(f"exit code {code} after SIGTERM")

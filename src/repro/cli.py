@@ -261,12 +261,31 @@ def _render_metrics_file(path: str) -> str:
 
 
 def _cmd_serve(args: argparse.Namespace) -> str:
-    from repro.serve import ServeConfig
-    from repro.serve import run as serve_run
-
     # The service exposes /metrics itself; enable observability so the
     # scrape carries spans-adjacent gauges (cache tiers, queue depth).
     obs.enable()
+    if args.fleet:
+        from repro.serve.fleet import FleetConfig
+        from repro.serve.fleet import run as fleet_run
+
+        fleet_run(
+            FleetConfig(
+                host=args.host,
+                port=args.port,
+                fleet=args.fleet,
+                workers=args.workers,
+                cache_dir=args.cache_dir,
+                max_queue=args.max_queue,
+                batch_window_ms=args.batch_window_ms,
+                kernel=args.kernel,
+                executor=args.executor,
+                max_inflight=args.fleet_max_inflight,
+            )
+        )
+        return ""
+    from repro.serve import ServeConfig
+    from repro.serve import run as serve_run
+
     serve_run(
         ServeConfig(
             host=args.host,
@@ -410,6 +429,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--batch-window-ms", type=float, default=5.0,
         help="micro-batching window in milliseconds",
+    )
+    serve.add_argument(
+        "--fleet", type=int, default=0, metavar="N",
+        help="shard the service across N worker processes behind a "
+             "consistent-hash front door (0 = single process); workers "
+             "share --cache-dir as their warm tier",
+    )
+    serve.add_argument(
+        "--fleet-max-inflight", type=int, default=32, metavar="M",
+        help="per-worker in-flight request cap at the front door "
+             "(fleet mode only)",
     )
     _add_kernel_arg(serve)
     _add_executor_arg(serve)

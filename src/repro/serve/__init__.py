@@ -1,11 +1,15 @@
 """repro.serve: async characterization service (stdlib-only).
 
 An HTTP JSON front end over the Campaign/engine/OutcomeCache stack with
-request coalescing, micro-batching, and backpressure.  See
-``docs/SERVING.md`` for the API schema and operational contract.
+request coalescing, micro-batching, and backpressure — plus a
+consistent-hash sharded multi-worker fleet (`repro.serve.fleet`) for
+horizontal scale-out.  See ``docs/SERVING.md`` for the API schema and
+operational contract.
 """
 
-from repro.serve.client import ServeClient, ServeError
+from repro.serve.client import ServeClient, ServeError, parse_retry_after
+from repro.serve.fleet import FleetConfig, FleetFrontDoor, HashRing
+from repro.serve.fleet import run as run_fleet
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
     CharacterizeRequest,
@@ -36,6 +40,11 @@ __all__ = [
     "ServeConfig",
     "ServerThread",
     "run",
+    "FleetConfig",
+    "FleetFrontDoor",
+    "HashRing",
+    "run_fleet",
     "ServeClient",
     "ServeError",
+    "parse_retry_after",
 ]

@@ -11,8 +11,34 @@ from __future__ import annotations
 
 import http.client
 import json
+import math
 
 from repro.serve.protocol import CharacterizeRequest, RiskRequest
+
+#: Back-off floor (seconds) applied to every parsed ``Retry-After``.  A
+#: missing header stays ``None`` (the caller decides), but a header that
+#: is present — even a malformed one — always means "back off": treating
+#: garbage as "retry immediately" turns one overloaded server into a
+#: retry storm.
+RETRY_AFTER_FLOOR_S = 1.0
+
+
+def parse_retry_after(header: str | None) -> float | None:
+    """Parse a ``Retry-After`` header into seconds, floored at 1 s.
+
+    ``None`` (header absent) passes through; any present value — numeric
+    or not — yields at least :data:`RETRY_AFTER_FLOOR_S` seconds, so load
+    loops that sleep on the hint can never spin on a malformed header.
+    """
+    if header is None:
+        return None
+    try:
+        value = float(header)
+    except ValueError:
+        return RETRY_AFTER_FLOOR_S
+    if not math.isfinite(value):
+        return RETRY_AFTER_FLOOR_S
+    return max(RETRY_AFTER_FLOOR_S, value)
 
 
 class ServeError(RuntimeError):
@@ -70,13 +96,7 @@ class ServeClient:
                 message = json.loads(message)["error"]
             except (json.JSONDecodeError, KeyError, TypeError):
                 pass
-            retry_after = None
-            header = response.getheader("Retry-After")
-            if header is not None:
-                try:
-                    retry_after = float(header)
-                except ValueError:
-                    pass
+            retry_after = parse_retry_after(response.getheader("Retry-After"))
             raise ServeError(response.status, message, retry_after)
         if response.getheader("Content-Type", "").startswith("application/json"):
             return json.loads(raw)
@@ -123,3 +143,9 @@ class ServeClient:
     def metrics(self) -> str:
         """``GET /metrics``: Prometheus text exposition."""
         return self._request("GET", "/metrics")
+
+    def fleet_stats(self) -> dict:
+        """``GET /fleet/stats`` (fleet front door only): aggregated
+        scheduler stats across every worker, plus the fleet-wide
+        coalesce ratio.  404s against a single-process server."""
+        return self._request("GET", "/fleet/stats")

@@ -1,0 +1,663 @@
+"""Fleet front door: consistent-hash sharding over N serve workers.
+
+``repro serve --fleet N`` turns the single-process service into a
+horizontally sharded tier: one asyncio *front door* process that owns N
+``repro serve`` worker subprocesses and proxies every request to exactly
+one of them.
+
+The routing invariant is the whole point.  Requests are sharded by their
+``batch_key()`` — (kind, geometry, temperature), the same grouping the
+scheduler micro-batches on — through a consistent-hash ring, so duplicate
+and batchable requests always land on the *same* worker and the
+in-process coalescing/micro-batching built in PR 5 keeps its hit ratios
+after sharding.  Random or round-robin spraying would slice each hot key
+across N workers and divide the coalesce ratio by N; hashing the batch
+key preserves it.
+
+The front door owns the worker lifecycle:
+
+* **spawn** — each worker is a real ``repro serve`` subprocess on an
+  ephemeral port, all sharing one ``--cache-dir`` (the crash-safe disk
+  `OutcomeCache` is the fleet's shared warm tier: any worker's computed
+  outcome is every other worker's disk hit);
+* **health** — a worker is routable only after its ``/readyz`` answers
+  200;
+* **restart** — a crashed worker is respawned with exponential backoff
+  (``fleet_restarts_total``); while it is down, the ring walks to the
+  next live worker so its keys keep being served;
+* **drain** — SIGTERM/SIGINT closes the listener, lets in-flight proxied
+  requests finish, SIGTERMs every worker (each performs its own graceful
+  drain), and exits 0.
+
+Proxying applies a per-worker in-flight cap (an asyncio semaphore): a
+slow worker backs its own shard up instead of starving the fleet, and the
+workers' own 429/``Retry-After`` admission control still applies behind
+the cap.
+
+Front-door routes: the data-plane routes (``/v1/characterize``,
+``/v1/risk``, ``/v1/catalog``) proxy to workers; ``/healthz`` reports
+worker states (pid, port, restarts); ``/readyz`` is 200 while at least
+one worker is routable; ``/metrics`` exposes the front door's own fleet
+metrics (``fleet_workers{state}``, ``fleet_proxied_total{worker}``,
+``fleet_restarts_total``); ``/fleet/stats`` aggregates every worker's
+scheduler stats into one JSON body (the bench reads its post-sharding
+coalesce ratio there).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import hashlib
+import json
+import os
+import re
+import signal
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.obs.export import prometheus_text
+from repro.serve.protocol import (
+    CharacterizeRequest,
+    ProtocolError,
+    RiskRequest,
+)
+from repro.serve.transport import (
+    AsyncHttpServer,
+    BadRequest,
+    HttpRequest,
+    HttpResponse,
+    error_response,
+    json_response,
+    read_http_response,
+)
+
+_WORKERS = obs.gauge(
+    "fleet_workers",
+    "Fleet workers by lifecycle state.",
+    labelnames=("state",),
+)
+_PROXIED = obs.counter(
+    "fleet_proxied_total",
+    "Requests proxied to each worker.",
+    labelnames=("worker",),
+)
+_RESTARTS = obs.counter(
+    "fleet_restarts_total",
+    "Workers respawned after crashing.",
+)
+_PROXY_SECONDS = obs.histogram(
+    "fleet_proxy_seconds",
+    "Wall-clock seconds per proxied request (queueing + worker time).",
+    buckets=(0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0),
+)
+
+#: Worker lifecycle states (the label values of ``fleet_workers``).
+WORKER_STATES = ("starting", "ready", "restarting", "stopped")
+
+
+@dataclass
+class FleetConfig:
+    """Everything the front door needs, mirroring ``repro serve`` flags.
+
+    ``fleet`` is the worker count; the remaining serve knobs are passed
+    through to every worker.  ``cache_dir`` defaults to a front-door
+    owned temporary directory so the workers always share a warm tier.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8787
+    fleet: int = 2
+    workers: int = 0
+    cache_dir: str | None = None
+    max_queue: int = 64
+    batch_window_ms: float = 5.0
+    kernel: str | None = None
+    executor: str | None = None
+    max_inflight: int = 32
+    hash_replicas: int = 64
+    restart_backoff_s: float = 0.5
+    restart_backoff_max_s: float = 8.0
+    startup_timeout_s: float = 60.0
+
+
+def _ring_hash(text: str) -> int:
+    """Stable 64-bit ring position (process-independent, unlike hash())."""
+    return int.from_bytes(hashlib.sha256(text.encode()).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring over worker indices.
+
+    Each worker owns ``replicas`` pseudo-random points on a 64-bit ring;
+    a key routes to the first point at or after its own hash.  `lookup`
+    walks clockwise past points whose worker is not in ``alive``, so a
+    down worker's keys spill to their ring successors — and return home
+    unchanged when it comes back, keeping remapping minimal (the reason
+    this beats ``hash(key) % N``, which reshuffles every key on any
+    membership change).
+    """
+
+    def __init__(self, workers: int, replicas: int = 64) -> None:
+        if workers < 1:
+            raise ValueError("a hash ring needs at least one worker")
+        self.workers = workers
+        self.replicas = replicas
+        self._points = sorted(
+            (_ring_hash(f"worker-{index}:replica-{replica}"), index)
+            for index in range(workers)
+            for replica in range(replicas)
+        )
+
+    def lookup(self, key: str, alive: set[int] | None = None) -> int:
+        """The worker owning ``key``, skipping workers not in ``alive``."""
+        if alive is not None and not alive:
+            raise LookupError("no live workers")
+        position = bisect.bisect_right(self._points, (_ring_hash(key), -1))
+        total = len(self._points)
+        for step in range(total):
+            worker = self._points[(position + step) % total][1]
+            if alive is None or worker in alive:
+                return worker
+        raise LookupError("no live workers")  # pragma: no cover - guarded above
+
+
+@dataclass
+class WorkerHandle:
+    """One serve worker: subprocess, routing state, and in-flight cap."""
+
+    index: int
+    state: str = "starting"
+    port: int | None = None
+    process: asyncio.subprocess.Process | None = None
+    restarts: int = 0
+    inflight: int = 0
+    semaphore: asyncio.Semaphore = field(default_factory=lambda: asyncio.Semaphore(1))
+
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid if self.process is not None else None
+
+
+class FleetFrontDoor(AsyncHttpServer):
+    """The sharding proxy: worker lifecycle + batch-key-affine routing."""
+
+    def __init__(self, config: FleetConfig) -> None:
+        if config.fleet < 1:
+            raise ValueError("--fleet needs at least one worker")
+        super().__init__(config.host, config.port)
+        self.config = config
+        self.ring = HashRing(config.fleet, config.hash_replicas)
+        self.handles = [
+            WorkerHandle(
+                index=index,
+                semaphore=asyncio.Semaphore(config.max_inflight),
+            )
+            for index in range(config.fleet)
+        ]
+        self._draining = False
+        self._started = time.monotonic()
+        self._active_requests = 0
+        self._monitors: list[asyncio.Task] = []
+        self._stderr_tasks: set[asyncio.Task] = set()
+        self._tempdir: tempfile.TemporaryDirectory | None = None
+        if config.cache_dir is None:
+            self._tempdir = tempfile.TemporaryDirectory(prefix="repro-fleet-cache-")
+            config.cache_dir = self._tempdir.name
+        self._round_robin = 0
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+    def _worker_command(self) -> list[str]:
+        config = self.config
+        command = [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--host",
+            "127.0.0.1",
+            "--port",
+            "0",
+            "--workers",
+            str(config.workers),
+            "--cache-dir",
+            str(config.cache_dir),
+            "--max-queue",
+            str(config.max_queue),
+            "--batch-window-ms",
+            str(config.batch_window_ms),
+        ]
+        if config.kernel:
+            command += ["--kernel", config.kernel]
+        if config.executor:
+            command += ["--executor", config.executor]
+        return command
+
+    def _worker_env(self) -> dict[str, str]:
+        """Child env with the parent's `repro` package importable."""
+        env = dict(os.environ)
+        package_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        env["PYTHONPATH"] = os.pathsep.join(
+            path
+            for path in (package_root, env.get("PYTHONPATH"))
+            if path
+        )
+        return env
+
+    def _set_state(self, handle: WorkerHandle, state: str) -> None:
+        handle.state = state
+        counts = {name: 0 for name in WORKER_STATES}
+        for worker in self.handles:
+            counts[worker.state] += 1
+        for name, count in counts.items():
+            _WORKERS.labels(state=name).set(count)
+
+    async def _spawn(self, handle: WorkerHandle) -> None:
+        """Start one worker subprocess and wait until it is routable."""
+        self._set_state(handle, "starting")
+        handle.port = None
+        handle.process = await asyncio.create_subprocess_exec(
+            *self._worker_command(),
+            env=self._worker_env(),
+            stderr=asyncio.subprocess.PIPE,
+        )
+        deadline = time.monotonic() + self.config.startup_timeout_s
+        while handle.port is None:
+            if handle.process.returncode is not None:
+                raise RuntimeError(
+                    f"worker {handle.index} exited during startup "
+                    f"(code {handle.process.returncode})"
+                )
+            if time.monotonic() > deadline:
+                raise RuntimeError(
+                    f"worker {handle.index} never announced its port"
+                )
+            line = await asyncio.wait_for(
+                handle.process.stderr.readline(), timeout=self.config.startup_timeout_s
+            )
+            if not line:
+                continue
+            text = line.decode(errors="replace").rstrip()
+            print(f"repro serve fleet: [worker {handle.index}] {text}", file=sys.stderr)
+            match = re.search(r"listening on http://[^:]+:(\d+)", text)
+            if match:
+                handle.port = int(match.group(1))
+        task = asyncio.get_running_loop().create_task(self._forward_stderr(handle))
+        self._stderr_tasks.add(task)
+        task.add_done_callback(self._stderr_tasks.discard)
+        await self._wait_ready(handle, deadline)
+        self._set_state(handle, "ready")
+
+    async def _forward_stderr(self, handle: WorkerHandle) -> None:
+        """Keep draining a worker's stderr so it never blocks on the pipe."""
+        process = handle.process
+        assert process is not None and process.stderr is not None
+        while True:
+            line = await process.stderr.readline()
+            if not line:
+                return
+            print(
+                f"repro serve fleet: [worker {handle.index}] "
+                f"{line.decode(errors='replace').rstrip()}",
+                file=sys.stderr,
+            )
+
+    async def _wait_ready(self, handle: WorkerHandle, deadline: float) -> None:
+        while time.monotonic() < deadline:
+            try:
+                status, _, _ = await self._raw_request(handle, "GET", "/readyz")
+            except (OSError, BadRequest, asyncio.IncompleteReadError):
+                await asyncio.sleep(0.05)
+                continue
+            if status == 200:
+                return
+            await asyncio.sleep(0.05)
+        raise RuntimeError(f"worker {handle.index} never became ready")
+
+    async def _monitor(self, handle: WorkerHandle) -> None:
+        """Restart-with-backoff loop: runs for the front door's lifetime."""
+        backoff = self.config.restart_backoff_s
+        while not self._draining:
+            assert handle.process is not None
+            await handle.process.wait()
+            if self._draining:
+                break
+            code = handle.process.returncode
+            handle.restarts += 1
+            _RESTARTS.inc()
+            self._set_state(handle, "restarting")
+            print(
+                f"repro serve fleet: worker {handle.index} exited "
+                f"(code {code}); restarting in {backoff:g}s "
+                f"(restart #{handle.restarts})",
+                file=sys.stderr,
+            )
+            await asyncio.sleep(backoff)
+            try:
+                await self._spawn(handle)
+            except (RuntimeError, OSError) as exc:
+                print(
+                    f"repro serve fleet: worker {handle.index} respawn "
+                    f"failed: {exc}",
+                    file=sys.stderr,
+                )
+                backoff = min(backoff * 2, self.config.restart_backoff_max_s)
+                continue
+            backoff = self.config.restart_backoff_s
+        self._set_state(handle, "stopped")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Spawn the whole fleet, then open the front-door listener."""
+        try:
+            await asyncio.gather(*(self._spawn(handle) for handle in self.handles))
+        except BaseException:
+            # One worker failing to start must not leak the others.
+            for handle in self.handles:
+                if handle.process is not None and handle.process.returncode is None:
+                    handle.process.kill()
+                    await handle.process.wait()
+            raise
+        self._monitors = [
+            asyncio.get_running_loop().create_task(self._monitor(handle))
+            for handle in self.handles
+        ]
+        await super().start()
+
+    async def shutdown(self, drain_timeout_s: float = 60.0) -> None:
+        """Drain: stop accepting, finish in-flight, then drain workers."""
+        self._draining = True
+        await self.close_listener()
+        # In-flight proxied requests still need their worker round trips;
+        # workers stay up until every active request has its response.
+        # Idle keep-alive connections (blocked waiting for a next request
+        # that will never come) are dropped right after.
+        deadline = time.monotonic() + drain_timeout_s
+        while self._active_requests and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        await self.finish_connections(timeout=1.0)
+        for handle in self.handles:
+            if handle.process is not None and handle.process.returncode is None:
+                handle.process.send_signal(signal.SIGTERM)
+        for handle in self.handles:
+            if handle.process is None:
+                continue
+            try:
+                await asyncio.wait_for(handle.process.wait(), timeout=60.0)
+            except asyncio.TimeoutError:
+                handle.process.kill()
+                await handle.process.wait()
+            self._set_state(handle, "stopped")
+        for monitor in self._monitors:
+            monitor.cancel()
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _alive(self) -> set[int]:
+        return {handle.index for handle in self.handles if handle.state == "ready"}
+
+    def _keep_alive(self, request: HttpRequest) -> bool:
+        return super()._keep_alive(request) and not self._draining
+
+    async def _dispatch(self, request: HttpRequest) -> HttpResponse:
+        self._active_requests += 1
+        try:
+            return await self._route(request)
+        finally:
+            self._active_requests -= 1
+
+    async def _route(self, request: HttpRequest) -> HttpResponse:
+        route = request.path.split("?", 1)[0]
+        try:
+            if request.method == "GET" and route == "/healthz":
+                return self._healthz()
+            if request.method == "GET" and route == "/readyz":
+                return self._readyz()
+            if request.method == "GET" and route == "/metrics":
+                return HttpResponse(
+                    200,
+                    prometheus_text(obs.REGISTRY).encode(),
+                    content_type="text/plain; version=0.0.4",
+                )
+            if request.method == "GET" and route == "/fleet/stats":
+                return await self._fleet_stats()
+            if request.method == "POST" and route in (
+                "/v1/characterize",
+                "/v1/risk",
+            ):
+                return await self._proxy_sharded(request, route)
+            if request.method == "GET" and route == "/v1/catalog":
+                return await self._proxy_any(request, route)
+            return error_response(404, f"no such route: {route}")
+        except ProtocolError as exc:
+            return error_response(400, str(exc))
+        except LookupError:
+            return error_response(503, "no live workers")
+        except (KeyboardInterrupt, SystemExit, asyncio.CancelledError):
+            raise
+        except Exception as exc:
+            return error_response(500, f"{type(exc).__name__}: {exc}")
+
+    def _batch_key(self, route: str, body: bytes) -> str:
+        try:
+            payload = json.loads(body or b"{}")
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"invalid JSON body: {exc}") from None
+        if route == "/v1/characterize":
+            parsed = CharacterizeRequest.from_json(payload)
+        else:
+            parsed = RiskRequest.from_json(payload)
+        return repr(parsed.batch_key())
+
+    async def _proxy_sharded(self, request: HttpRequest, route: str) -> HttpResponse:
+        """Data-plane proxy: batch-key affinity via the consistent ring.
+
+        The body is validated *here* (the front door answers 400 itself
+        rather than burning a worker round trip), and its batch key picks
+        the shard.  If the owning worker dies mid-flight the ring walks
+        to its successor — at most one attempt per live worker.
+        """
+        if self._draining:
+            return error_response(503, "service is draining")
+        key = self._batch_key(route, request.body)
+        attempted: set[int] = set()
+        while True:
+            alive = self._alive() - attempted
+            if not alive:
+                return error_response(503, "no live workers")
+            handle = self.handles[self.ring.lookup(key, alive)]
+            attempted.add(handle.index)
+            try:
+                return await self._proxy(handle, request.method, route, request.body)
+            except (OSError, BadRequest, asyncio.IncompleteReadError):
+                continue  # worker died mid-flight; walk the ring.
+
+    async def _proxy_any(self, request: HttpRequest, route: str) -> HttpResponse:
+        """Control-plane proxy (catalog): any live worker, round robin."""
+        alive = sorted(self._alive())
+        if not alive:
+            return error_response(503, "no live workers")
+        self._round_robin += 1
+        handle = self.handles[alive[self._round_robin % len(alive)]]
+        return await self._proxy(handle, request.method, route, request.body)
+
+    async def _proxy(
+        self, handle: WorkerHandle, method: str, path: str, body: bytes
+    ) -> HttpResponse:
+        """One proxied round trip under the worker's in-flight cap."""
+        start = time.perf_counter()
+        async with handle.semaphore:
+            handle.inflight += 1
+            try:
+                status, headers, payload = await self._raw_request(
+                    handle, method, path, body
+                )
+            finally:
+                handle.inflight -= 1
+        _PROXIED.labels(worker=str(handle.index)).inc()
+        _PROXY_SECONDS.observe(time.perf_counter() - start)
+        passthrough = {}
+        if "retry-after" in headers:
+            passthrough["Retry-After"] = headers["retry-after"]
+        return HttpResponse(
+            status,
+            payload,
+            content_type=headers.get("content-type", "application/json"),
+            headers=passthrough,
+        )
+
+    async def _raw_request(
+        self, handle: WorkerHandle, method: str, path: str, body: bytes = b""
+    ) -> tuple[int, dict[str, str], bytes]:
+        """One ``Connection: close`` HTTP exchange with a worker."""
+        if handle.port is None:
+            raise OSError(f"worker {handle.index} has no port")
+        reader, writer = await asyncio.open_connection("127.0.0.1", handle.port)
+        try:
+            head = [
+                f"{method} {path} HTTP/1.1",
+                f"Host: 127.0.0.1:{handle.port}",
+                "Connection: close",
+                f"Content-Length: {len(body)}",
+            ]
+            if body:
+                head.append("Content-Type: application/json")
+            writer.write("\r\n".join(head).encode() + b"\r\n\r\n" + body)
+            await writer.drain()
+            return await read_http_response(reader)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # ------------------------------------------------------------------
+    # Front-door routes
+    # ------------------------------------------------------------------
+    def _worker_info(self) -> list[dict]:
+        return [
+            {
+                "index": handle.index,
+                "pid": handle.pid,
+                "port": handle.port,
+                "state": handle.state,
+                "restarts": handle.restarts,
+                "inflight": handle.inflight,
+            }
+            for handle in self.handles
+        ]
+
+    def _healthz(self) -> HttpResponse:
+        return json_response(
+            200,
+            {
+                "status": "ok",
+                "role": "fleet-front-door",
+                "uptime_s": round(time.monotonic() - self._started, 3),
+                "fleet": self.config.fleet,
+                "cache_dir": str(self.config.cache_dir),
+                "workers": self._worker_info(),
+            },
+        )
+
+    def _readyz(self) -> HttpResponse:
+        if self._draining:
+            return error_response(503, "draining")
+        if not self._alive():
+            return error_response(503, "no live workers")
+        return json_response(200, {"status": "ready"})
+
+    async def _fleet_stats(self) -> HttpResponse:
+        """Aggregate every live worker's scheduler stats into one body.
+
+        The coalesce/batching counters live in the workers (that is where
+        the scheduling happens); this route is how a load generator or an
+        operator reads the *fleet-wide* hit ratios after sharding.
+        """
+        totals: dict[str, int] = {}
+        per_worker: list[dict] = []
+        for handle in self.handles:
+            if handle.state != "ready":
+                per_worker.append({"index": handle.index, "state": handle.state})
+                continue
+            try:
+                status, _, payload = await self._raw_request(handle, "GET", "/healthz")
+            except OSError:
+                per_worker.append({"index": handle.index, "state": "unreachable"})
+                continue
+            if status != 200:
+                per_worker.append({"index": handle.index, "state": f"http {status}"})
+                continue
+            health = json.loads(payload)
+            stats = health.get("stats", {})
+            for name, value in stats.items():
+                if isinstance(value, (int, float)):
+                    totals[name] = totals.get(name, 0) + value
+            per_worker.append(
+                {
+                    "index": handle.index,
+                    "state": handle.state,
+                    "restarts": handle.restarts,
+                    "stats": stats,
+                    "queue_depth": health.get("queue_depth"),
+                }
+            )
+        requests = totals.get("requests", 0)
+        coalesced = totals.get("coalesced", 0)
+        return json_response(
+            200,
+            {
+                "fleet": self.config.fleet,
+                "totals": totals,
+                "coalesce_ratio": round(coalesced / requests, 3) if requests else None,
+                "workers": per_worker,
+            },
+        )
+
+
+async def _run_async(config: FleetConfig) -> None:
+    front_door = FleetFrontDoor(config)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+
+    def _request_stop(signame: str) -> None:
+        print(
+            f"repro serve fleet: received {signame}, draining fleet",
+            file=sys.stderr,
+        )
+        stop.set()
+
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(sig, _request_stop, sig.name)
+    await front_door.start()
+    print(
+        f"repro serve fleet: front door listening on "
+        f"http://{config.host}:{front_door.port} "
+        f"(fleet={config.fleet}, cache_dir={config.cache_dir}, "
+        f"max_inflight={config.max_inflight}/worker)",
+        file=sys.stderr,
+        flush=True,
+    )
+    await stop.wait()
+    await front_door.shutdown()
+    print("repro serve: drained cleanly", file=sys.stderr)
+
+
+def run(config: FleetConfig) -> int:
+    """Blocking entry point used by ``repro serve --fleet N``.
+
+    Returns 0 after a graceful (signal-initiated) drain of the fleet.
+    """
+    asyncio.run(_run_async(config))
+    return 0

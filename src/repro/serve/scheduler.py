@@ -78,6 +78,10 @@ _BATCH_SECONDS = obs.histogram(
     "serve_batch_seconds",
     "Wall-clock seconds per batch execution on the submission lane.",
 )
+_BATCH_FAILURES = obs.counter(
+    "serve_batch_failures_total",
+    "Batch jobs that raised instead of producing results.",
+)
 
 
 class QueueFullError(RuntimeError):
@@ -134,6 +138,7 @@ class RequestScheduler:
             "coalesced": 0,
             "rejected": 0,
             "jobs": 0,
+            "failed_jobs": 0,
             "batched_requests": 0,
         }
         self._inflight: dict[str, asyncio.Future] = {}
@@ -218,29 +223,60 @@ class RequestScheduler:
         task.add_done_callback(self._jobs.discard)
 
     async def _run_batch(self, batch_key: tuple, batch: list) -> None:
+        """Execute one flushed bucket and settle every attached future.
+
+        Failure invariant: *whatever* happens inside the job — an engine
+        exception, a short result list, even a cancellation during drain —
+        every primary in the batch must be finished exactly once, so the
+        admission queue returns to zero and `retry_after` cannot inflate
+        forever on a dead queue slot.  The ``finally`` clause is the
+        backstop for exception paths no branch anticipated.
+        """
         requests = [request for _, request, _ in batch]
         try:
             results = await asyncio.get_running_loop().run_in_executor(
                 self._executor, self._execute_batch, batch_key, requests
             )
+            if len(results) != len(batch):
+                raise RuntimeError(
+                    f"batch produced {len(results)} result(s) for "
+                    f"{len(batch)} request(s)"
+                )
         except (KeyboardInterrupt, SystemExit):
-            raise
+            raise  # the finally clause still releases the batch's slots.
         except BaseException as exc:
+            self.stats["failed_jobs"] += 1
+            _BATCH_FAILURES.inc()
             for key, _, future in batch:
                 self._finish(key, future, error=exc)
         else:
             for (key, _, future), result in zip(batch, results):
                 self._finish(key, future, result=result)
+        finally:
+            for key, _, future in batch:
+                if not future.done():
+                    self._finish(
+                        key,
+                        future,
+                        error=RuntimeError("batch job abandoned this request"),
+                    )
 
     def _finish(self, key, future, result=None, error=None) -> None:
+        """Settle one primary exactly once (idempotent on double calls).
+
+        A future that is already done has already been accounted for —
+        finishing it again must not decrement the queue a second time, or
+        depth would drift negative and admission control would over-admit.
+        """
         self._inflight.pop(key, None)
+        if future.done():
+            return
         self._queued -= 1
         _QUEUE_DEPTH.set(self._queued)
-        if not future.done():
-            if error is not None:
-                future.set_exception(error)
-            else:
-                future.set_result(result)
+        if error is not None:
+            future.set_exception(error)
+        else:
+            future.set_result(result)
 
     # ------------------------------------------------------------------
     # Execution (submission-lane thread)

@@ -1,9 +1,9 @@
 """Async HTTP front end for the characterization service.
 
-A deliberately small HTTP/1.1 server on ``asyncio.start_server`` — the
-service is stdlib-only, so there is no framework underneath.  The parser
-handles exactly what the protocol needs: request line, headers,
-``Content-Length`` bodies, and keep-alive connections.
+One process of the serving tier: routes, scheduler wiring, and lifecycle
+live here; the HTTP/1.1 transport itself (parsing, framing, keep-alive,
+connection tracking) is shared with the fleet front door through
+`repro.serve.transport`.
 
 Routes:
 
@@ -20,6 +20,9 @@ Error contract: malformed requests get 400 with a JSON ``error`` body; a
 full admission queue gets 429 with a ``Retry-After`` header; a draining
 server gets 503.  SIGTERM/SIGINT trigger a graceful drain — the listener
 closes, queued work finishes, metrics/trace files flush — before exit.
+
+For horizontal scale-out (N of these processes behind one consistent-hash
+front door) see `repro.serve.fleet` and ``repro serve --fleet N``.
 """
 
 from __future__ import annotations
@@ -30,7 +33,7 @@ import signal
 import sys
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro import obs
 from repro.chip.catalog import CATALOG
@@ -46,11 +49,13 @@ from repro.serve.scheduler import (
     QueueFullError,
     RequestScheduler,
 )
-
-#: Request line + headers may not exceed this (bytes).
-MAX_HEADER_BYTES = 16 * 1024
-#: Request bodies may not exceed this (bytes).
-MAX_BODY_BYTES = 1024 * 1024
+from repro.serve.transport import (
+    AsyncHttpServer,
+    HttpRequest,
+    HttpResponse,
+    error_response,
+    json_response,
+)
 
 _REQUESTS = obs.counter(
     "serve_requests_total",
@@ -79,53 +84,13 @@ class ServeConfig:
     executor: str | None = None
 
 
-class _BadRequest(Exception):
-    """Transport-level protocol violation; close the connection after 400."""
-
-
-@dataclass
-class _HttpRequest:
-    method: str
-    path: str
-    headers: dict[str, str]
-    body: bytes
-
-
-@dataclass
-class _HttpResponse:
-    status: int
-    body: bytes
-    content_type: str = "application/json"
-    headers: dict[str, str] = field(default_factory=dict)
-
-
-_REASONS = {
-    200: "OK",
-    400: "Bad Request",
-    404: "Not Found",
-    405: "Method Not Allowed",
-    413: "Payload Too Large",
-    429: "Too Many Requests",
-    500: "Internal Server Error",
-    503: "Service Unavailable",
-}
-
-
-def _json_response(status: int, payload: dict, **headers: str) -> _HttpResponse:
-    body = (json.dumps(payload) + "\n").encode()
-    return _HttpResponse(status, body, headers=headers)
-
-
-def _error_response(status: int, message: str, **headers: str) -> _HttpResponse:
-    return _json_response(status, {"error": message}, **headers)
-
-
-class ReproServer:
+class ReproServer(AsyncHttpServer):
     """The service: one scheduler behind an asyncio socket server."""
 
     def __init__(self, config: ServeConfig) -> None:
         from repro.core.cache import OutcomeCache
 
+        super().__init__(config.host, config.port)
         self.config = config
         self.scheduler = RequestScheduler(
             workers=config.workers,
@@ -135,32 +100,22 @@ class ReproServer:
             kernel=config.kernel,
             executor=config.executor,
         )
-        self._server: asyncio.Server | None = None
-        self._connections: set[asyncio.Task] = set()
         self._started = time.monotonic()
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.config.host, self.config.port
-        )
-        if self.config.port == 0:
-            self.config.port = self._server.sockets[0].getsockname()[1]
+        await super().start()
+        self.config.port = self.port
 
     async def shutdown(self) -> None:
         """Graceful drain: stop accepting, finish queued work."""
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
+        await self.close_listener()
         await self.scheduler.drain()
         # Drained work still needs its responses flushed; give handlers a
         # moment, then drop idle keep-alive connections.
-        if self._connections:
-            _, pending = await asyncio.wait(list(self._connections), timeout=1.0)
-            for task in pending:
-                task.cancel()
+        await self.finish_connections(timeout=1.0)
 
     async def serve_until(self, stop: asyncio.Event) -> None:
         """Run until ``stop`` is set, then drain and return."""
@@ -168,103 +123,13 @@ class ReproServer:
         await stop.wait()
         await self.shutdown()
 
-    @property
-    def port(self) -> int:
-        return self.config.port
-
-    # ------------------------------------------------------------------
-    # HTTP transport
-    # ------------------------------------------------------------------
-    async def _handle_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        task = asyncio.current_task()
-        if task is not None:
-            self._connections.add(task)
-            task.add_done_callback(self._connections.discard)
-        try:
-            while True:
-                try:
-                    request = await self._read_request(reader)
-                except _BadRequest as exc:
-                    await self._write_response(
-                        writer, _error_response(400, str(exc)), close=True
-                    )
-                    return
-                if request is None:
-                    return
-                response = await self._dispatch(request)
-                keep_alive = (
-                    request.headers.get("connection", "").lower() != "close"
-                    and not self.scheduler.draining
-                )
-                await self._write_response(writer, response, close=not keep_alive)
-                if not keep_alive:
-                    return
-        except (ConnectionError, asyncio.IncompleteReadError):
-            pass  # client went away; nothing to answer.
-        finally:
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
-
-    async def _read_request(self, reader: asyncio.StreamReader) -> _HttpRequest | None:
-        try:
-            header_blob = await reader.readuntil(b"\r\n\r\n")
-        except asyncio.IncompleteReadError as exc:
-            if not exc.partial:
-                return None  # clean keep-alive close between requests.
-            raise _BadRequest("truncated request") from None
-        except asyncio.LimitOverrunError:
-            raise _BadRequest("headers too large") from None
-        if len(header_blob) > MAX_HEADER_BYTES:
-            raise _BadRequest("headers too large")
-        lines = header_blob.decode("latin-1").split("\r\n")
-        parts = lines[0].split(" ")
-        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
-            raise _BadRequest(f"malformed request line: {lines[0]!r}")
-        method, path, _ = parts
-        headers: dict[str, str] = {}
-        for line in lines[1:]:
-            if not line:
-                continue
-            name, sep, value = line.partition(":")
-            if not sep:
-                raise _BadRequest(f"malformed header line: {line!r}")
-            headers[name.strip().lower()] = value.strip()
-        length_text = headers.get("content-length", "0")
-        try:
-            length = int(length_text)
-        except ValueError:
-            raise _BadRequest("invalid Content-Length") from None
-        if length < 0 or length > MAX_BODY_BYTES:
-            raise _BadRequest(f"body must be at most {MAX_BODY_BYTES} bytes")
-        body = await reader.readexactly(length) if length else b""
-        return _HttpRequest(method, path, headers, body)
-
-    async def _write_response(
-        self,
-        writer: asyncio.StreamWriter,
-        response: _HttpResponse,
-        close: bool,
-    ) -> None:
-        reason = _REASONS.get(response.status, "Unknown")
-        head = [
-            f"HTTP/1.1 {response.status} {reason}",
-            f"Content-Type: {response.content_type}",
-            f"Content-Length: {len(response.body)}",
-            f"Connection: {'close' if close else 'keep-alive'}",
-        ]
-        head.extend(f"{k}: {v}" for k, v in response.headers.items())
-        writer.write("\r\n".join(head).encode() + b"\r\n\r\n" + response.body)
-        await writer.drain()
+    def _keep_alive(self, request: HttpRequest) -> bool:
+        return super()._keep_alive(request) and not self.scheduler.draining
 
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
-    async def _dispatch(self, request: _HttpRequest) -> _HttpResponse:
+    async def _dispatch(self, request: HttpRequest) -> HttpResponse:
         route = request.path.split("?", 1)[0]
         start = time.perf_counter()
         response = await self._route(request, route)
@@ -272,7 +137,7 @@ class ReproServer:
         _REQUESTS.labels(route=route, status=str(response.status)).inc()
         return response
 
-    async def _route(self, request: _HttpRequest, route: str) -> _HttpResponse:
+    async def _route(self, request: HttpRequest, route: str) -> HttpResponse:
         handlers = {
             ("GET", "/healthz"): self._healthz,
             ("GET", "/readyz"): self._readyz,
@@ -284,43 +149,43 @@ class ReproServer:
         handler = handlers.get((request.method, route))
         if handler is None:
             if any(path == route for _, path in handlers):
-                return _error_response(
+                return error_response(
                     405, f"method {request.method} not allowed on {route}"
                 )
-            return _error_response(404, f"no such route: {route}")
+            return error_response(404, f"no such route: {route}")
         try:
             with obs.span("serve.request", route=route):
                 return await handler(request)
         except QueueFullError as exc:
-            return _error_response(
+            return error_response(
                 429, str(exc), **{"Retry-After": f"{exc.retry_after:g}"}
             )
         except DrainingError as exc:
-            return _error_response(503, str(exc))
+            return error_response(503, str(exc))
         except ProtocolError as exc:
-            return _error_response(400, str(exc))
+            return error_response(400, str(exc))
         except (KeyboardInterrupt, SystemExit, asyncio.CancelledError):
             raise
         except Exception as exc:
-            return _error_response(500, f"{type(exc).__name__}: {exc}")
+            return error_response(500, f"{type(exc).__name__}: {exc}")
 
-    def _parse_body(self, request: _HttpRequest) -> object:
+    def _parse_body(self, request: HttpRequest) -> object:
         try:
             return json.loads(request.body or b"{}")
         except json.JSONDecodeError as exc:
             raise ProtocolError(f"invalid JSON body: {exc}") from None
 
-    async def _characterize(self, request: _HttpRequest) -> _HttpResponse:
+    async def _characterize(self, request: HttpRequest) -> HttpResponse:
         parsed = CharacterizeRequest.from_json(self._parse_body(request))
         result = await self.scheduler.submit(parsed)
-        return _json_response(200, result)
+        return json_response(200, result)
 
-    async def _risk(self, request: _HttpRequest) -> _HttpResponse:
+    async def _risk(self, request: HttpRequest) -> HttpResponse:
         parsed = RiskRequest.from_json(self._parse_body(request))
         result = await self.scheduler.submit(parsed)
-        return _json_response(200, result)
+        return json_response(200, result)
 
-    async def _catalog(self, request: _HttpRequest) -> _HttpResponse:
+    async def _catalog(self, request: HttpRequest) -> HttpResponse:
         modules = [
             {
                 "serial": spec.serial,
@@ -333,12 +198,12 @@ class ReproServer:
             }
             for spec in CATALOG.values()
         ]
-        return _json_response(
+        return json_response(
             200, {"protocol_version": PROTOCOL_VERSION, "modules": modules}
         )
 
-    async def _healthz(self, request: _HttpRequest) -> _HttpResponse:
-        return _json_response(
+    async def _healthz(self, request: HttpRequest) -> HttpResponse:
+        return json_response(
             200,
             {
                 "status": "ok",
@@ -348,13 +213,13 @@ class ReproServer:
             },
         )
 
-    async def _readyz(self, request: _HttpRequest) -> _HttpResponse:
+    async def _readyz(self, request: HttpRequest) -> HttpResponse:
         if self.scheduler.draining:
-            return _error_response(503, "draining")
-        return _json_response(200, {"status": "ready"})
+            return error_response(503, "draining")
+        return json_response(200, {"status": "ready"})
 
-    async def _metrics(self, request: _HttpRequest) -> _HttpResponse:
-        return _HttpResponse(
+    async def _metrics(self, request: HttpRequest) -> HttpResponse:
+        return HttpResponse(
             200,
             prometheus_text(obs.REGISTRY).encode(),
             content_type="text/plain; version=0.0.4",
@@ -383,6 +248,7 @@ async def _run_async(config: ServeConfig) -> None:
         f"max_queue={config.max_queue}, "
         f"batch_window={config.batch_window_ms:g}ms)",
         file=sys.stderr,
+        flush=True,
     )
     await stop.wait()
     await server.shutdown()

@@ -1,0 +1,232 @@
+"""Shared asyncio HTTP/1.1 transport for the serving tier.
+
+Both faces of `repro.serve` speak HTTP through this module: the
+single-process :class:`~repro.serve.server.ReproServer` and the fleet
+front door (:mod:`repro.serve.fleet`).  The parser handles exactly what
+the service protocol needs — request line, headers, ``Content-Length``
+bodies, keep-alive connections — and nothing more; the service is
+stdlib-only, so there is no framework underneath.
+
+:class:`AsyncHttpServer` owns the socket listener and the per-connection
+read/dispatch/write loop.  Subclasses implement ``_dispatch`` (one
+:class:`HttpRequest` in, one :class:`HttpResponse` out) and may override
+``_keep_alive`` to force connection close while draining.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+
+#: Request line + headers may not exceed this (bytes).
+MAX_HEADER_BYTES = 16 * 1024
+#: Request bodies may not exceed this (bytes).
+MAX_BODY_BYTES = 1024 * 1024
+
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+}
+
+
+class BadRequest(Exception):
+    """Transport-level protocol violation; close the connection after 400."""
+
+
+@dataclass
+class HttpRequest:
+    method: str
+    path: str
+    headers: dict[str, str]
+    body: bytes
+
+
+@dataclass
+class HttpResponse:
+    status: int
+    body: bytes
+    content_type: str = "application/json"
+    headers: dict[str, str] = field(default_factory=dict)
+
+
+def json_response(status: int, payload: dict, **headers: str) -> HttpResponse:
+    body = (json.dumps(payload) + "\n").encode()
+    return HttpResponse(status, body, headers=headers)
+
+
+def error_response(status: int, message: str, **headers: str) -> HttpResponse:
+    return json_response(status, {"error": message}, **headers)
+
+
+class AsyncHttpServer:
+    """Minimal asyncio HTTP/1.1 server: listener + connection loop.
+
+    Subclasses implement ``_dispatch``; everything transport-shaped
+    (parsing, response framing, keep-alive bookkeeping, connection-task
+    tracking for drains) lives here.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._server: asyncio.Server | None = None
+        self._connections: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        if self.port == 0:
+            self.port = self._server.sockets[0].getsockname()[1]
+
+    async def close_listener(self) -> None:
+        """Stop accepting new connections (existing ones keep running)."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    async def finish_connections(self, timeout: float = 1.0) -> None:
+        """Give in-flight connection handlers ``timeout`` to flush their
+        responses, then cancel whatever is left (idle keep-alives)."""
+        if self._connections:
+            _, pending = await asyncio.wait(list(self._connections), timeout=timeout)
+            for task in pending:
+                task.cancel()
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    async def _dispatch(self, request: HttpRequest) -> HttpResponse:
+        raise NotImplementedError
+
+    def _keep_alive(self, request: HttpRequest) -> bool:
+        """Whether to hold the connection open after this response."""
+        return request.headers.get("connection", "").lower() != "close"
+
+    # ------------------------------------------------------------------
+    # Connection loop
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except BadRequest as exc:
+                    await self._write_response(
+                        writer, error_response(400, str(exc)), close=True
+                    )
+                    return
+                if request is None:
+                    return
+                response = await self._dispatch(request)
+                keep_alive = self._keep_alive(request)
+                await self._write_response(writer, response, close=not keep_alive)
+                if not keep_alive:
+                    return
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away; nothing to answer.
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader) -> HttpRequest | None:
+        try:
+            header_blob = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None  # clean keep-alive close between requests.
+            raise BadRequest("truncated request") from None
+        except asyncio.LimitOverrunError:
+            raise BadRequest("headers too large") from None
+        if len(header_blob) > MAX_HEADER_BYTES:
+            raise BadRequest("headers too large")
+        lines = header_blob.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise BadRequest(f"malformed request line: {lines[0]!r}")
+        method, path, _ = parts
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, sep, value = line.partition(":")
+            if not sep:
+                raise BadRequest(f"malformed header line: {line!r}")
+            headers[name.strip().lower()] = value.strip()
+        length_text = headers.get("content-length", "0")
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise BadRequest("invalid Content-Length") from None
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise BadRequest(f"body must be at most {MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length) if length else b""
+        return HttpRequest(method, path, headers, body)
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        response: HttpResponse,
+        close: bool,
+    ) -> None:
+        reason = REASONS.get(response.status, "Unknown")
+        head = [
+            f"HTTP/1.1 {response.status} {reason}",
+            f"Content-Type: {response.content_type}",
+            f"Content-Length: {len(response.body)}",
+            f"Connection: {'close' if close else 'keep-alive'}",
+        ]
+        head.extend(f"{k}: {v}" for k, v in response.headers.items())
+        writer.write("\r\n".join(head).encode() + b"\r\n\r\n" + response.body)
+        await writer.drain()
+
+
+async def read_http_response(
+    reader: asyncio.StreamReader,
+) -> tuple[int, dict[str, str], bytes]:
+    """Read one HTTP/1.1 response (status, headers, body) from a stream.
+
+    The fleet front door uses this to consume worker responses.  Bodies
+    are delimited by ``Content-Length`` (the only framing the serving
+    tier emits); absent a length the body runs to EOF, which is correct
+    for the ``Connection: close`` requests the proxy sends.
+    """
+    header_blob = await reader.readuntil(b"\r\n\r\n")
+    lines = header_blob.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ", 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+        raise BadRequest(f"malformed status line: {lines[0]!r}")
+    status = int(parts[1])
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    length_text = headers.get("content-length")
+    if length_text is None:
+        body = await reader.read()
+    else:
+        body = await reader.readexactly(int(length_text))
+    return status, headers, body

@@ -1,0 +1,112 @@
+"""Regression tests for the shared BENCH_engine.json block merge.
+
+PR 6's engine-suite rewrite once clobbered the committed ``serve`` block
+(the engine writer replaced the whole file instead of merging).  These
+tests pin the contract of ``benchmarks/_common.merge_bench_block``: every
+writer — block-owning benches and the engine suite's top-level writer —
+preserves byte-identically any block it does not own, and keeps the
+repo-root and ``benchmarks/results/`` copies in lockstep.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+from _common import BENCH_BLOCKS, merge_bench_block  # noqa: E402
+
+SERVE_BLOCK = {
+    "requests": 240,
+    "clients": 8,
+    "throughput_rps": 123.4,
+    "p95_ms": 41.0,
+    "coalesce_ratio": 0.775,
+}
+
+ENGINE_RESULT = {
+    "bench": "engine",
+    "modules": 20,
+    "serial_cold_s": 10.0,
+    "parallel_cold_s": 5.0,
+}
+
+KERNELS_BLOCK = {"speedup": 3.1, "parity": True}
+
+
+@pytest.fixture
+def bench_dirs(tmp_path):
+    repo_root = tmp_path / "repo"
+    results_dir = repo_root / "benchmarks" / "results"
+    repo_root.mkdir()
+    results_dir.mkdir(parents=True)
+    return repo_root, results_dir
+
+
+def _merge(block, result, dirs):
+    repo_root, results_dir = dirs
+    return merge_bench_block(
+        block, result, repo_root=repo_root, results_dir=results_dir
+    )
+
+
+def _read(dirs):
+    repo_root, results_dir = dirs
+    root_text = (repo_root / "BENCH_engine.json").read_text()
+    results_text = (results_dir / "BENCH_engine.json").read_text()
+    assert root_text == results_text, "root and results/ copies diverged"
+    return json.loads(root_text)
+
+
+def test_engine_rewrite_preserves_foreign_serve_block(bench_dirs):
+    """The original bug: an engine-suite refresh must not eat 'serve'."""
+    _merge("serve", SERVE_BLOCK, bench_dirs)
+    before = json.dumps(_read(bench_dirs)["serve"], sort_keys=True)
+
+    _merge(None, ENGINE_RESULT, bench_dirs)
+
+    data = _read(bench_dirs)
+    assert data["modules"] == 20
+    assert json.dumps(data["serve"], sort_keys=True) == before
+
+
+def test_kernel_merge_roundtrips_serve_block_byte_identically(bench_dirs):
+    _merge("serve", SERVE_BLOCK, bench_dirs)
+    _merge("kernels", KERNELS_BLOCK, bench_dirs)
+    _merge(None, ENGINE_RESULT, bench_dirs)
+    _merge("kernels", {**KERNELS_BLOCK, "speedup": 3.3}, bench_dirs)
+
+    data = _read(bench_dirs)
+    assert data["serve"] == SERVE_BLOCK
+    assert data["kernels"]["speedup"] == 3.3
+    assert data["serial_cold_s"] == 10.0
+
+
+def test_engine_rewrite_replaces_its_own_top_level_keys(bench_dirs):
+    """Top-level engine keys are the engine writer's to replace — a stale
+    key from a previous schema must not linger."""
+    _merge(None, {**ENGINE_RESULT, "legacy_key": 1}, bench_dirs)
+    _merge(None, ENGINE_RESULT, bench_dirs)
+    data = _read(bench_dirs)
+    assert "legacy_key" not in data
+
+
+def test_unknown_block_is_rejected(bench_dirs):
+    with pytest.raises(ValueError, match="unknown bench block"):
+        _merge("tpyo", {"x": 1}, bench_dirs)
+
+
+def test_first_writer_creates_both_copies(bench_dirs):
+    repo_root, results_dir = bench_dirs
+    _merge("obs", {"overhead_pct": 1.2}, bench_dirs)
+    data = _read(bench_dirs)
+    assert data["bench"] == "engine"
+    assert data["obs"]["overhead_pct"] == 1.2
+
+
+def test_block_registry_covers_every_known_writer():
+    assert set(BENCH_BLOCKS) == {"kernels", "serve", "obs"}

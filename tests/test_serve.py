@@ -225,6 +225,121 @@ def test_risk_requests_served():
 
 
 # ---------------------------------------------------------------------------
+# Scheduler: failure accounting (queue depth must survive a dead batch)
+# ---------------------------------------------------------------------------
+
+def test_failed_batch_releases_queue_slots_and_readmits():
+    """Fault injection on the flush path: a batch job that raises must
+    still return every admitted slot, or ``retry_after`` inflates forever
+    and the queue eventually wedges shut."""
+
+    async def scenario():
+        scheduler = RequestScheduler(max_queue=2, batch_window_s=0.01)
+        calls = {"n": 0}
+
+        real_execute = scheduler._execute_batch
+
+        def explode_once(batch_key, requests):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("engine fell over")
+            return real_execute(batch_key, requests)
+
+        scheduler._execute_batch = explode_once
+        request = CharacterizeRequest.from_json(REQ)
+        failed = await asyncio.gather(
+            scheduler.submit(request),
+            scheduler.submit(CharacterizeRequest.from_json(
+                {**REQ, "serial": "S1"}
+            )),
+            return_exceptions=True,
+        )
+        depth_after_failure = scheduler.queue_depth
+        # The queue recovered: a fresh request is admitted and served.
+        recovered = await scheduler.submit(request)
+        stats = dict(scheduler.stats)
+        await scheduler.drain()
+        return failed, depth_after_failure, recovered, stats, scheduler
+
+    failed, depth, recovered, stats, scheduler = run_async(scenario())
+    assert all(isinstance(r, RuntimeError) for r in failed)
+    assert depth == 0
+    assert scheduler.queue_depth == 0
+    assert recovered["records"][0]["status"] == "ok"
+    assert stats["failed_jobs"] == 1
+    assert stats["rejected"] == 0  # nothing bounced off a phantom queue
+
+
+def test_short_result_list_fails_the_batch_not_the_queue():
+    """A batch that silently returns too few results is a bug in the
+    execution layer; every waiter gets an error and depth returns to 0."""
+
+    async def scenario():
+        scheduler = RequestScheduler(batch_window_s=0.02)
+        scheduler._execute_batch = lambda batch_key, requests: []
+        results = await asyncio.gather(
+            scheduler.submit(CharacterizeRequest.from_json(REQ)),
+            scheduler.submit(CharacterizeRequest.from_json(
+                {**REQ, "serial": "S1"}
+            )),
+            return_exceptions=True,
+        )
+        depth = scheduler.queue_depth
+        stats = dict(scheduler.stats)
+        await scheduler.drain()
+        return results, depth, stats
+
+    results, depth, stats = run_async(scenario())
+    assert all(isinstance(r, RuntimeError) for r in results)
+    assert all("result(s)" in str(r) for r in results)
+    assert depth == 0
+    assert stats["failed_jobs"] == 1
+
+
+def test_finish_is_idempotent_on_double_settlement():
+    """Double-finishing one primary must not decrement depth twice (it
+    would drift negative and over-admit past ``max_queue``)."""
+
+    async def scenario():
+        scheduler = RequestScheduler()
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        scheduler._inflight["k"] = future
+        scheduler._queued = 1
+        scheduler._finish("k", future, result={"ok": True})
+        scheduler._finish("k", future, error=RuntimeError("again"))
+        depth = scheduler.queue_depth
+        await scheduler.drain()
+        return depth, await future
+
+    depth, result = run_async(scenario())
+    assert depth == 0
+    assert result == {"ok": True}
+
+
+# ---------------------------------------------------------------------------
+# Client: Retry-After parsing (a malformed header must still back off)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("header,expected", [
+    (None, None),          # absent: caller decides
+    ("5", 5.0),            # honest hint passes through
+    ("2.5", 2.5),
+    ("0", 1.0),            # zero would spin; floored
+    ("0.2", 1.0),          # sub-floor clamps up
+    ("-3", 1.0),           # negative clamps up
+    ("abc", 1.0),          # garbage means "back off", not "retry now"
+    ("", 1.0),
+    ("inf", 1.0),          # non-finite is garbage too
+    ("nan", 1.0),
+])
+def test_parse_retry_after_never_spins(header, expected):
+    from repro.serve import parse_retry_after
+
+    assert parse_retry_after(header) == expected
+
+
+# ---------------------------------------------------------------------------
 # Byte-identity with the direct campaign path
 # ---------------------------------------------------------------------------
 
