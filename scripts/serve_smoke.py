@@ -12,8 +12,9 @@ three things the serving layer promises:
 ``--fleet N`` runs the same checks through a ``repro serve --fleet N``
 front door instead: duplicates must still coalesce *after* sharding
 (read from the aggregated ``/fleet/stats``), the front door must expose
-its fleet metrics, and SIGTERM must drain front door and workers to a
-zero exit.
+its fleet metrics federated with per-worker labels, a request's
+``X-Request-Id`` must surface in a worker's forwarded JSON log line,
+and SIGTERM must drain front door and workers to a zero exit.
 
 Exits nonzero with a one-line reason on any violation.
 
@@ -23,6 +24,7 @@ Usage: ``PYTHONPATH=src python scripts/serve_smoke.py [--fleet N]``
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import re
 import signal
@@ -110,10 +112,14 @@ def main(argv: list[str] | None = None) -> int:
         print(f"serve_smoke: {CLIENTS} duplicate requests OK, "
               "identical payloads")
 
+        traced_request_id = None
         if args.fleet:
             with ServeClient(port=port) as client:
                 stats = client.fleet_stats()
-                metrics = client.metrics()
+                client.metrics()  # this scrape hits every worker's /metrics
+                metrics = client.metrics()  # ...so this one carries samples
+                client.characterize(REQUEST)
+                traced_request_id = client.last_request_id
             coalesced = stats["totals"].get("coalesced", 0)
             if coalesced == 0:
                 fail("fleet coalesced total is zero: sharding broke "
@@ -124,7 +130,13 @@ def main(argv: list[str] | None = None) -> int:
                            "fleet_restarts_total"):
                 if metric not in metrics:
                     fail(f"front door /metrics is missing {metric}")
-            print("serve_smoke: fleet metrics exposed")
+            if not re.search(r'\{[^}]*worker="\d+"[^}]*\}', metrics):
+                fail("federated /metrics has no per-worker-labeled series")
+            if 'worker="all"' not in metrics:
+                fail('federated /metrics has no worker="all" aggregate')
+            if not traced_request_id:
+                fail("front door did not echo an X-Request-Id header")
+            print("serve_smoke: fleet metrics federated with worker labels")
         else:
             with ServeClient(port=port) as client:
                 metrics = client.metrics()
@@ -145,6 +157,28 @@ def main(argv: list[str] | None = None) -> int:
         if "drained cleanly" not in stderr_tail:
             fail(f"no clean-drain banner; stderr tail: {stderr_tail!r}")
         print("serve_smoke: SIGTERM drained cleanly, exit 0")
+        if traced_request_id is not None:
+            # The worker that served the traced request logged it as JSON
+            # (request_id + worker index), and the front door forwarded
+            # that line verbatim — log correlation survives the fleet.
+            correlated = False
+            for line in stderr_tail.splitlines():
+                line = line.strip()
+                if not line.startswith("{"):
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if (record.get("request_id") == traced_request_id
+                        and "worker" in record):
+                    correlated = True
+                    break
+            if not correlated:
+                fail(f"X-Request-Id {traced_request_id} never appeared in a "
+                     "worker JSON log line")
+            print(f"serve_smoke: request {traced_request_id[:8]}… correlated "
+                  f"to worker {record['worker']} log line")
         print("serve_smoke: PASS")
         return 0
     finally:

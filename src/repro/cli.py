@@ -234,7 +234,148 @@ def _cmd_run_program(args: argparse.Namespace) -> str:
 def _cmd_obs(args: argparse.Namespace) -> str:
     if args.obs_command == "report":
         return _render_metrics_file(args.file)
+    if args.obs_command == "trace":
+        return _render_trace_files(
+            args.path, top=args.top, trace_id=args.trace_id
+        )
     raise ValueError(f"unknown obs command {args.obs_command!r}")
+
+
+def _load_trace_entries(path: str) -> list[dict]:
+    """Load trace JSONL files into per-trace entries.
+
+    Accepts one file or a directory of ``*.jsonl`` files and understands
+    both shapes the toolkit writes: slow-request capture entries (one
+    request per line, carrying its span tree) and raw span records
+    (``--trace`` / ``write_spans`` output, one span per line).  A trace
+    split across files — the front door's capture and a worker's — is
+    merged into one entry keyed by ``trace_id``.
+    """
+    import json
+    from pathlib import Path
+
+    target = Path(path)
+    if target.is_dir():
+        files = sorted(target.glob("*.jsonl"))
+    elif target.exists():
+        files = [target]
+    else:
+        raise ValueError(f"no such trace file or directory: {path}")
+    entries: dict[str, dict] = {}
+
+    def _entry(trace_id: str) -> dict:
+        return entries.setdefault(
+            trace_id,
+            {
+                "trace_id": trace_id,
+                "request_id": None,
+                "route": None,
+                "duration_s": 0.0,
+                "spans": [],
+            },
+        )
+
+    for file in files:
+        for line in file.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if "spans" in record:  # slow-request capture entry
+                entry = _entry(record.get("trace_id", ""))
+                entry["spans"].extend(record["spans"])
+                entry["request_id"] = entry["request_id"] or record.get("request_id")
+                entry["route"] = entry["route"] or record.get("route")
+                entry["duration_s"] = max(
+                    entry["duration_s"], record.get("duration_s") or 0.0
+                )
+            else:  # raw span record
+                entry = _entry(record.get("trace_id", ""))
+                entry["spans"].append(record)
+                entry["duration_s"] = max(
+                    entry["duration_s"], record.get("duration_s") or 0.0
+                )
+    return list(entries.values())
+
+
+def _render_trace_tree(entry: dict) -> str:
+    spans = entry["spans"]
+    span_ids = {span.get("span_id") for span in spans}
+    children: dict[object, list[dict]] = {}
+    roots: list[dict] = []
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent in span_ids:
+            children.setdefault(parent, []).append(span)
+        else:
+            roots.append(span)
+    header = (
+        f"trace {entry['trace_id'] or '(no trace id)'}"
+        f"  request_id={entry.get('request_id') or '-'}"
+        f"  route={entry.get('route') or '-'}"
+        f"  duration={entry['duration_s'] * 1000:.1f}ms"
+        f"  spans={len(spans)}"
+    )
+    lines = [header]
+
+    def _walk(span: dict, depth: int) -> None:
+        attrs = span.get("attributes") or {}
+        detail = " ".join(f"{key}={value}" for key, value in sorted(attrs.items()))
+        duration_ms = (span.get("duration_s") or 0.0) * 1000
+        parts = [
+            f"{'  ' * depth}- {span.get('name', '?')}",
+            f"[{duration_ms:.2f}ms]",
+            f"pid={span.get('pid', '?')}",
+        ]
+        if detail:
+            parts.append(detail)
+        if span.get("links"):
+            parts.append(f"links={len(span['links'])}")
+        lines.append(" ".join(parts))
+        for child in sorted(
+            children.get(span.get("span_id"), []),
+            key=lambda record: record.get("start_unix", 0.0),
+        ):
+            _walk(child, depth + 1)
+
+    for root in sorted(roots, key=lambda record: record.get("start_unix", 0.0)):
+        _walk(root, 1)
+    return "\n".join(lines)
+
+
+def _render_trace_files(
+    path: str, top: int = 10, trace_id: str | None = None
+) -> str:
+    entries = _load_trace_entries(path)
+    if not entries:
+        return "no traces recorded"
+    if trace_id:
+        matches = [
+            entry for entry in entries if entry["trace_id"].startswith(trace_id)
+        ]
+        if not matches:
+            raise ValueError(f"no trace matching {trace_id!r} in {path}")
+        return "\n\n".join(_render_trace_tree(entry) for entry in matches)
+    entries.sort(key=lambda entry: entry["duration_s"], reverse=True)
+    shown = entries[:top]
+    body = table(
+        ["trace_id", "request_id", "route", "duration_ms", "spans"],
+        [
+            [
+                entry["trace_id"] or "-",
+                entry.get("request_id") or "-",
+                entry.get("route") or "-",
+                f"{entry['duration_s'] * 1000:.1f}",
+                len(entry["spans"]),
+            ]
+            for entry in shown
+        ],
+    )
+    return (
+        body
+        + f"\n{len(entries)} trace(s); showing the {len(shown)} slowest "
+        "(repro obs trace PATH --trace-id ID for the span tree)"
+    )
 
 
 def _render_metrics_file(path: str) -> str:
@@ -280,6 +421,8 @@ def _cmd_serve(args: argparse.Namespace) -> str:
                 kernel=args.kernel,
                 executor=args.executor,
                 max_inflight=args.fleet_max_inflight,
+                trace_dir=args.trace_dir,
+                slow_trace_ms=args.slow_trace_ms,
             )
         )
         return ""
@@ -296,6 +439,8 @@ def _cmd_serve(args: argparse.Namespace) -> str:
             batch_window_ms=args.batch_window_ms,
             kernel=args.kernel,
             executor=args.executor,
+            trace_dir=args.trace_dir,
+            slow_trace_ms=args.slow_trace_ms,
         )
     )
     return ""
@@ -441,6 +586,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-worker in-flight request cap at the front door "
              "(fleet mode only)",
     )
+    serve.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="capture the span tree of every slow request as JSONL files "
+             "under DIR (read them back with 'repro obs trace DIR')",
+    )
+    serve.add_argument(
+        "--slow-trace-ms", type=float, default=1000.0, metavar="MS",
+        help="latency threshold for --trace-dir capture (default 1000)",
+    )
     _add_kernel_arg(serve)
     _add_executor_arg(serve)
 
@@ -450,6 +604,23 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="render a metrics file (--metrics output) as a table"
     )
     report.add_argument("file", help="a JSON snapshot or Prometheus text file")
+    trace = obs_sub.add_parser(
+        "trace",
+        help="render trace captures: top-N slowest requests, or one "
+             "trace's span tree with --trace-id",
+    )
+    trace.add_argument(
+        "path",
+        help="a trace JSONL file or a --trace-dir directory of them",
+    )
+    trace.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="how many of the slowest traces to list (default 10)",
+    )
+    trace.add_argument(
+        "--trace-id", default=None, metavar="ID",
+        help="render the span tree of the trace(s) whose id starts with ID",
+    )
 
     return parser
 

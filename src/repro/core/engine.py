@@ -342,6 +342,7 @@ def _worker_run(
     horizon: float,
     guardband: int,
     shm_ref: "_shm.SegmentRef | None" = None,
+    trace: "obs.TraceContext | None" = None,
 ) -> tuple[OutcomeSummary, int, float, dict | None]:
     """Pool/in-process execution wrapper.
 
@@ -351,17 +352,25 @@ def _worker_run(
     delta) back to the campaign process, which merges them; thread-pool
     and in-process execution write straight to the campaign's own
     (thread-safe) registry and ship ``None``.
+
+    ``trace`` is the submitter's trace context, shipped across the pool
+    boundary: a process worker has no ambient span, so without it the
+    unit span would mint a fresh trace and the campaign/request trace
+    would break at the pool edge.  Thread and in-process execution run
+    under the submitter's live span (which takes precedence), so passing
+    ``trace`` there is harmless.
     """
     _maybe_inject_fault(unit)
     start = time.perf_counter()
-    with obs.span(
-        "engine.unit",
-        serial=unit.serial, chip=unit.chip, bank=unit.bank,
-        subarray=unit.subarray,
-    ):
-        summary = execute_unit(
-            unit, horizon=horizon, guardband=guardband, shm_ref=shm_ref
-        )
+    with obs.use_context(trace):
+        with obs.span(
+            "engine.unit",
+            serial=unit.serial, chip=unit.chip, bank=unit.bank,
+            subarray=unit.subarray,
+        ):
+            summary = execute_unit(
+                unit, horizon=horizon, guardband=guardband, shm_ref=shm_ref
+            )
     wall = time.perf_counter() - start
     payload = obs.pool_worker_payload() if _IN_POOL_WORKER else None
     return summary, os.getpid(), wall, payload
@@ -685,7 +694,14 @@ class CharacterizationEngine:
     ) -> dict[int, _ExecResult]:
         """Execute ``pending`` unit indices with retries, timeout, pool
         recovery, and the failure policy; returns results keyed by index."""
-        compute = partial(_worker_run, horizon=horizon, guardband=self.guardband)
+        compute = partial(
+            _worker_run,
+            horizon=horizon,
+            guardband=self.guardband,
+            # Captured here — under the campaign/batch span — so process
+            # pool workers are born into the submitter's trace.
+            trace=obs.current_context(),
+        )
         results: dict[int, _ExecResult] = {}
         attempts = {i: 0 for i in pending}
         errors: dict[int, str] = {}

@@ -28,6 +28,7 @@ from repro.obs import state as _state
 from repro.obs import tracing as _tracing
 from repro.obs.export import (
     MetricsServer,
+    federate_prometheus,
     json_snapshot,
     load_metrics,
     parse_prometheus_text,
@@ -37,6 +38,8 @@ from repro.obs.export import (
     write_metrics,
     write_spans,
 )
+from repro.obs.logs import JsonLineFormatter, get_logger, worker_index
+from repro.obs.logs import configure as configure_logging
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -47,11 +50,18 @@ from repro.obs.metrics import (
 )
 from repro.obs.tracing import (
     Span,
+    TraceContext,
+    current_context,
     current_span,
     drain_spans,
     dropped_spans,
+    extract,
     finished_spans,
+    inject,
+    new_trace_id,
     span,
+    take_trace,
+    use_context,
 )
 
 #: The process-wide default registry every ``repro`` layer instruments.
@@ -147,19 +157,30 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "JsonLineFormatter",
     "MetricFamily",
     "MetricsRegistry",
     "MetricsServer",
     "Span",
+    "TraceContext",
     "DEFAULT_BUCKETS",
     "counter",
     "gauge",
     "histogram",
     "current_span",
+    "current_context",
     "span",
+    "inject",
+    "extract",
+    "use_context",
+    "new_trace_id",
+    "take_trace",
     "finished_spans",
     "drain_spans",
     "dropped_spans",
+    "configure_logging",
+    "get_logger",
+    "worker_index",
     "enable",
     "disable",
     "is_enabled",
@@ -169,6 +190,7 @@ __all__ = [
     "pool_worker_payload",
     "merge_payload",
     "prometheus_text",
+    "federate_prometheus",
     "json_snapshot",
     "parse_prometheus_text",
     "load_metrics",

@@ -143,6 +143,113 @@ def write_spans(spans: list[dict], path: str | Path) -> Path:
 
 
 # ---------------------------------------------------------------------------
+# Fleet federation
+# ---------------------------------------------------------------------------
+
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _scan_family_meta(text: str) -> tuple[dict[str, str], dict[str, str], list[str]]:
+    """``# TYPE`` / ``# HELP`` declarations of one exposition, in order."""
+    types: dict[str, str] = {}
+    helps: dict[str, str] = {}
+    order: list[str] = []
+    for line in text.splitlines():
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) >= 4:
+                name, kind = parts[2], parts[3]
+                if name not in types:
+                    order.append(name)
+                types[name] = kind
+        elif line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) >= 4:
+                helps.setdefault(parts[2], parts[3])
+    return types, helps, order
+
+
+def _family_of(sample_name: str, types: dict[str, str]) -> str:
+    """The family a sample series belongs to (histogram suffixes folded)."""
+    if sample_name in types:
+        return sample_name
+    for suffix in _HISTOGRAM_SUFFIXES:
+        base = sample_name[: -len(suffix)] if sample_name.endswith(suffix) else None
+        if base and types.get(base) == "histogram":
+            return base
+    return sample_name
+
+
+def federate_prometheus(
+    own_text: str,
+    expositions: list[tuple[str, str]],
+    label: str = "worker",
+    aggregate_value: str = "all",
+) -> str:
+    """Merge worker ``/metrics`` expositions into one federated exposition.
+
+    ``expositions`` is ``[(worker_id, prometheus_text), ...]`` as scraped
+    from each fleet worker.  The result is ``own_text`` (the front door's
+    own metrics, unlabeled) followed by every worker sample re-emitted
+    with a ``worker="<id>"`` label, plus fleet-wide aggregate series under
+    ``worker="all"`` — counters summed and histogram ``_bucket``/``_sum``/
+    ``_count`` series merged bucket-by-bucket across workers.  Gauges stay
+    per-worker only (summing a queue depth is meaningful; summing a hit
+    *ratio* is not, so no gauge aggregate is fabricated).
+
+    Family ``# TYPE``/``# HELP`` declarations already present in
+    ``own_text`` are not re-declared, keeping the merged exposition valid
+    for a strict Prometheus scraper.
+    """
+    own_types, _, _ = _scan_family_meta(own_text)
+    types: dict[str, str] = {}
+    helps: dict[str, str] = {}
+    order: list[str] = []
+    # family -> list of (sample_name, worker_id, labels, value)
+    collected: dict[str, list[tuple[str, str, dict, float]]] = {}
+    for worker_id, text in expositions:
+        worker_types, worker_helps, worker_order = _scan_family_meta(text)
+        for name in worker_order:
+            if name not in types:
+                types[name] = worker_types[name]
+                order.append(name)
+            if name in worker_helps:
+                helps.setdefault(name, worker_helps[name])
+        for sample_name, entries in parse_prometheus_text(text).items():
+            family = _family_of(sample_name, worker_types)
+            for labels, value in entries:
+                collected.setdefault(family, []).append(
+                    (sample_name, worker_id, labels, value)
+                )
+    lines: list[str] = [own_text.rstrip("\n")] if own_text else []
+    for family in order:
+        entries = collected.get(family)
+        if not entries:
+            continue
+        kind = types[family]
+        if family not in own_types:
+            if family in helps:
+                lines.append(f"# HELP {family} {helps[family]}")
+            lines.append(f"# TYPE {family} {kind}")
+        aggregates: dict[tuple[str, tuple], float] = {}
+        for sample_name, worker_id, labels, value in entries:
+            lines.append(
+                f"{sample_name}{_label_block(labels, {label: worker_id})} "
+                f"{_format_value(value)}"
+            )
+            if kind in ("counter", "histogram") and not math.isnan(value):
+                group = (sample_name, tuple(sorted(labels.items())))
+                aggregates[group] = aggregates.get(group, 0.0) + value
+        for (sample_name, label_items), total in aggregates.items():
+            lines.append(
+                f"{sample_name}"
+                f"{_label_block(dict(label_items), {label: aggregate_value})} "
+                f"{_format_value(total)}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
 # Reading metrics back
 # ---------------------------------------------------------------------------
 

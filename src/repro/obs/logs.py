@@ -1,0 +1,153 @@
+"""Structured JSON-lines logging, correlated with the active trace.
+
+The serving tier emits every operational message — banners, lifecycle
+events, per-request access records, forwarded worker output — as exactly
+one JSON object per line on stderr::
+
+    {"ts": 1754550000.123456, "level": "INFO", "logger": "repro.serve",
+     "message": "repro serve: listening on http://127.0.0.1:8787 ...",
+     "worker": 1, "trace_id": "4bf9...", "span_id": "0000ab12..."}
+
+One line per record is the whole design: a multi-process fleet forwards
+worker stderr through the front door, and line-atomic records are the
+only way interleaved streams stay machine-readable.  Three fields do the
+correlation work:
+
+* ``trace_id`` / ``span_id`` — stamped automatically from the span active
+  on the logging thread/task (absent when no span is active), so a log
+  line can be joined to the request trace that produced it;
+* ``worker`` — the fleet worker index (from :func:`configure`'s ``worker``
+  argument, defaulting to the ``REPRO_FLEET_WORKER`` environment variable
+  the front door sets when spawning), so federated logs say *which*
+  process spoke;
+* any extra fields passed through standard ``logging``'s ``extra=`` dict
+  (``logger.info("request", extra={"route": ..., "status": ...})``).
+
+The formatter is plain :mod:`logging` machinery — no new logging API to
+learn — and everything here is stdlib-only, like the rest of the stack.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+
+from repro.obs import tracing as _tracing
+
+#: Environment variable carrying the fleet worker index (set by the fleet
+#: front door when spawning worker subprocesses).
+WORKER_ENV = "REPRO_FLEET_WORKER"
+
+#: ``logging.LogRecord`` attribute names; anything else found on a record's
+#: ``__dict__`` was passed via ``extra=`` and belongs in the JSON payload.
+_RECORD_FIELDS = frozenset(
+    (
+        "name",
+        "msg",
+        "args",
+        "levelname",
+        "levelno",
+        "pathname",
+        "filename",
+        "module",
+        "exc_info",
+        "exc_text",
+        "stack_info",
+        "lineno",
+        "funcName",
+        "created",
+        "msecs",
+        "relativeCreated",
+        "thread",
+        "threadName",
+        "processName",
+        "process",
+        "taskName",
+        "message",
+        "asctime",
+    )
+)
+
+
+def worker_index() -> int | None:
+    """The fleet worker index from the environment, if this process is a
+    fleet-spawned serve worker."""
+    raw = os.environ.get(WORKER_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        return None
+
+
+class JsonLineFormatter(logging.Formatter):
+    """Format each record as one JSON object on one line.
+
+    Static fields (e.g. ``{"worker": 2}``) are merged into every record;
+    ``extra=`` fields and the active span's trace identity ride along.
+    Values that are not JSON-serializable are stringified rather than
+    allowed to break the log line.
+    """
+
+    def __init__(self, static_fields: dict | None = None) -> None:
+        super().__init__()
+        self._static = dict(static_fields or {})
+
+    def format(self, record: logging.LogRecord) -> str:
+        entry: dict = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        entry.update(self._static)
+        span = _tracing.current_span()
+        if span is not None:
+            entry["trace_id"] = span.trace_id
+            entry["span_id"] = span.span_id
+        for key, value in record.__dict__.items():
+            if key not in _RECORD_FIELDS and not key.startswith("_"):
+                entry[key] = value
+        if record.exc_info:
+            entry["exc"] = self.formatException(record.exc_info)
+        return json.dumps(entry, default=str)
+
+
+def configure(
+    stream=None,
+    worker: int | None = None,
+    level: int = logging.INFO,
+) -> logging.Logger:
+    """Route the ``repro`` logger hierarchy through the JSON formatter.
+
+    Idempotent: a second call replaces the previously installed handler
+    (it never stacks duplicates), so re-configuration — say, a test
+    changing the worker index — is safe.  ``worker`` defaults to the
+    ``REPRO_FLEET_WORKER`` environment variable when unset.  Returns the
+    configured root ``repro`` logger.
+    """
+    if worker is None:
+        worker = worker_index()
+    static = {} if worker is None else {"worker": worker}
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonLineFormatter(static))
+    handler._repro_obs_handler = True  # type: ignore[attr-defined]
+    root = logging.getLogger("repro")
+    for existing in list(root.handlers):
+        if getattr(existing, "_repro_obs_handler", False):
+            root.removeHandler(existing)
+    root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = False
+    return root
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``repro.`` prefixed unless
+    already there), so :func:`configure` governs it."""
+    if name != "repro" and not name.startswith("repro."):
+        name = f"repro.{name}"
+    return logging.getLogger(name)

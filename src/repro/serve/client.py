@@ -13,7 +13,12 @@ import http.client
 import json
 import math
 
-from repro.serve.protocol import CharacterizeRequest, RiskRequest
+from repro import obs
+from repro.serve.protocol import (
+    REQUEST_ID_RESPONSE_HEADER,
+    CharacterizeRequest,
+    RiskRequest,
+)
 
 #: Back-off floor (seconds) applied to every parsed ``Retry-After``.  A
 #: missing header stays ``None`` (the caller decides), but a header that
@@ -51,14 +56,29 @@ class ServeError(RuntimeError):
 
 
 class ServeClient:
-    """Blocking JSON client over one keep-alive connection."""
+    """Blocking JSON client over one keep-alive connection.
+
+    ``headers`` (optional) are sent with every request — e.g. a fixed
+    ``X-Request-Id``.  When a trace is active in the calling thread its
+    ``traceparent`` is injected automatically, so a client call made
+    inside an ``obs.span(...)`` joins the caller's trace server-side.
+    After each exchange, :attr:`last_request_id` holds the server's
+    ``X-Request-Id`` echo — the handle to quote when chasing that
+    request through fleet logs and trace captures.
+    """
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 8787, timeout: float = 120.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8787,
+        timeout: float = 120.0,
+        headers: dict[str, str] | None = None,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.headers = dict(headers or {})
+        self.last_request_id: str | None = None
         self._connection: http.client.HTTPConnection | None = None
 
     # ------------------------------------------------------------------
@@ -66,7 +86,8 @@ class ServeClient:
     # ------------------------------------------------------------------
     def _request(self, method: str, path: str, payload: dict | None = None):
         body = None
-        headers = {}
+        headers = dict(self.headers)
+        obs.inject(headers)
         if payload is not None:
             body = json.dumps(payload).encode()
             headers["Content-Type"] = "application/json"
@@ -88,6 +109,7 @@ class ServeClient:
             self._connection.request(method, path, body=body, headers=headers)
             response = self._connection.getresponse()
             raw = response.read()
+        self.last_request_id = response.getheader(REQUEST_ID_RESPONSE_HEADER)
         if response.getheader("Connection", "").lower() == "close":
             self.close()
         if not 200 <= response.status < 300:

@@ -59,12 +59,16 @@ import time
 from dataclasses import dataclass, field
 
 from repro import obs
-from repro.obs.export import prometheus_text
+from repro.obs import logs as obs_logs
+from repro.obs.export import federate_prometheus, prometheus_text
 from repro.serve.protocol import (
+    REQUEST_ID_HEADER,
+    REQUEST_ID_RESPONSE_HEADER,
     CharacterizeRequest,
     ProtocolError,
     RiskRequest,
 )
+from repro.serve.server import capture_slow_trace
 from repro.serve.transport import (
     AsyncHttpServer,
     BadRequest,
@@ -98,6 +102,8 @@ _PROXY_SECONDS = obs.histogram(
 #: Worker lifecycle states (the label values of ``fleet_workers``).
 WORKER_STATES = ("starting", "ready", "restarting", "stopped")
 
+_LOG = obs_logs.get_logger("serve.fleet")
+
 
 @dataclass
 class FleetConfig:
@@ -122,6 +128,8 @@ class FleetConfig:
     restart_backoff_s: float = 0.5
     restart_backoff_max_s: float = 8.0
     startup_timeout_s: float = 60.0
+    trace_dir: str | None = None
+    slow_trace_ms: float = 1000.0
 
 
 def _ring_hash(text: str) -> int:
@@ -236,10 +244,18 @@ class FleetFrontDoor(AsyncHttpServer):
             command += ["--kernel", config.kernel]
         if config.executor:
             command += ["--executor", config.executor]
+        if config.trace_dir:
+            command += [
+                "--trace-dir",
+                str(config.trace_dir),
+                "--slow-trace-ms",
+                str(config.slow_trace_ms),
+            ]
         return command
 
-    def _worker_env(self) -> dict[str, str]:
-        """Child env with the parent's `repro` package importable."""
+    def _worker_env(self, index: int) -> dict[str, str]:
+        """Child env with the parent's `repro` package importable and the
+        worker's fleet index (stamped into its JSON log lines)."""
         env = dict(os.environ)
         package_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
         env["PYTHONPATH"] = os.pathsep.join(
@@ -247,6 +263,7 @@ class FleetFrontDoor(AsyncHttpServer):
             for path in (package_root, env.get("PYTHONPATH"))
             if path
         )
+        env[obs_logs.WORKER_ENV] = str(index)
         return env
 
     def _set_state(self, handle: WorkerHandle, state: str) -> None:
@@ -263,7 +280,7 @@ class FleetFrontDoor(AsyncHttpServer):
         handle.port = None
         handle.process = await asyncio.create_subprocess_exec(
             *self._worker_command(),
-            env=self._worker_env(),
+            env=self._worker_env(handle.index),
             stderr=asyncio.subprocess.PIPE,
         )
         deadline = time.monotonic() + self.config.startup_timeout_s
@@ -283,7 +300,7 @@ class FleetFrontDoor(AsyncHttpServer):
             if not line:
                 continue
             text = line.decode(errors="replace").rstrip()
-            print(f"repro serve fleet: [worker {handle.index}] {text}", file=sys.stderr)
+            self._emit_worker_line(handle, text)
             match = re.search(r"listening on http://[^:]+:(\d+)", text)
             if match:
                 handle.port = int(match.group(1))
@@ -293,6 +310,32 @@ class FleetFrontDoor(AsyncHttpServer):
         await self._wait_ready(handle, deadline)
         self._set_state(handle, "ready")
 
+    def _emit_worker_line(self, handle: WorkerHandle, text: str) -> None:
+        """Re-emit one line of worker stderr on the front door's stderr.
+
+        Workers log JSON lines already stamped with their ``worker`` index;
+        those are forwarded verbatim (one write per line, so interleaved
+        worker streams stay record-atomic).  Anything else — tracebacks,
+        third-party prints — is wrapped in a structured record carrying
+        the worker index rather than passed through raw.
+        """
+        if not text:
+            return
+        if text.startswith("{") and text.endswith("}"):
+            try:
+                json.loads(text)
+            except json.JSONDecodeError:
+                pass
+            else:
+                print(text, file=sys.stderr, flush=True)
+                return
+        _LOG.info(
+            "repro serve fleet: [worker %d] %s",
+            handle.index,
+            text,
+            extra={"worker": handle.index, "forwarded": True},
+        )
+
     async def _forward_stderr(self, handle: WorkerHandle) -> None:
         """Keep draining a worker's stderr so it never blocks on the pipe."""
         process = handle.process
@@ -301,11 +344,7 @@ class FleetFrontDoor(AsyncHttpServer):
             line = await process.stderr.readline()
             if not line:
                 return
-            print(
-                f"repro serve fleet: [worker {handle.index}] "
-                f"{line.decode(errors='replace').rstrip()}",
-                file=sys.stderr,
-            )
+            self._emit_worker_line(handle, line.decode(errors="replace").rstrip())
 
     async def _wait_ready(self, handle: WorkerHandle, deadline: float) -> None:
         while time.monotonic() < deadline:
@@ -331,20 +370,24 @@ class FleetFrontDoor(AsyncHttpServer):
             handle.restarts += 1
             _RESTARTS.inc()
             self._set_state(handle, "restarting")
-            print(
-                f"repro serve fleet: worker {handle.index} exited "
-                f"(code {code}); restarting in {backoff:g}s "
-                f"(restart #{handle.restarts})",
-                file=sys.stderr,
+            _LOG.warning(
+                "repro serve fleet: worker %d exited (code %s); restarting "
+                "in %gs (restart #%d)",
+                handle.index,
+                code,
+                backoff,
+                handle.restarts,
+                extra={"worker": handle.index, "exit_code": code},
             )
             await asyncio.sleep(backoff)
             try:
                 await self._spawn(handle)
             except (RuntimeError, OSError) as exc:
-                print(
-                    f"repro serve fleet: worker {handle.index} respawn "
-                    f"failed: {exc}",
-                    file=sys.stderr,
+                _LOG.error(
+                    "repro serve fleet: worker %d respawn failed: %s",
+                    handle.index,
+                    exc,
+                    extra={"worker": handle.index},
                 )
                 backoff = min(backoff * 2, self.config.restart_backoff_max_s)
                 continue
@@ -411,8 +454,35 @@ class FleetFrontDoor(AsyncHttpServer):
 
     async def _dispatch(self, request: HttpRequest) -> HttpResponse:
         self._active_requests += 1
+        route = request.path.split("?", 1)[0]
+        start = time.perf_counter()
         try:
-            return await self._route(request)
+            # The fleet front door is where a trace is born: join the
+            # client's traceparent if it sent one, mint a fresh trace
+            # otherwise, and echo an X-Request-Id on every response so
+            # callers can quote the id that correlates spans and logs
+            # across the front door and whichever worker served them.
+            context = obs.extract(request.headers)
+            with obs.use_context(context):
+                with obs.span("fleet.request", route=route) as span:
+                    trace_id = getattr(span, "trace_id", "") or (
+                        context.trace_id if context else obs.new_trace_id()
+                    )
+                    request_id = request.headers.get(REQUEST_ID_HEADER) or trace_id
+                    request.headers[REQUEST_ID_HEADER] = request_id
+                    response = await self._route(request)
+                    span.set_attribute("status", response.status)
+                    span.set_attribute("request_id", request_id)
+            response.headers.setdefault(REQUEST_ID_RESPONSE_HEADER, request_id)
+            capture_slow_trace(
+                self.config.trace_dir,
+                self.config.slow_trace_ms,
+                trace_id,
+                request_id,
+                route,
+                time.perf_counter() - start,
+            )
+            return response
         finally:
             self._active_requests -= 1
 
@@ -424,11 +494,7 @@ class FleetFrontDoor(AsyncHttpServer):
             if request.method == "GET" and route == "/readyz":
                 return self._readyz()
             if request.method == "GET" and route == "/metrics":
-                return HttpResponse(
-                    200,
-                    prometheus_text(obs.REGISTRY).encode(),
-                    content_type="text/plain; version=0.0.4",
-                )
+                return await self._metrics()
             if request.method == "GET" and route == "/fleet/stats":
                 return await self._fleet_stats()
             if request.method == "POST" and route in (
@@ -478,7 +544,13 @@ class FleetFrontDoor(AsyncHttpServer):
             handle = self.handles[self.ring.lookup(key, alive)]
             attempted.add(handle.index)
             try:
-                return await self._proxy(handle, request.method, route, request.body)
+                return await self._proxy(
+                    handle,
+                    request.method,
+                    route,
+                    request.body,
+                    request_id=request.headers.get(REQUEST_ID_HEADER),
+                )
             except (OSError, BadRequest, asyncio.IncompleteReadError):
                 continue  # worker died mid-flight; walk the ring.
 
@@ -489,35 +561,62 @@ class FleetFrontDoor(AsyncHttpServer):
             return error_response(503, "no live workers")
         self._round_robin += 1
         handle = self.handles[alive[self._round_robin % len(alive)]]
-        return await self._proxy(handle, request.method, route, request.body)
+        return await self._proxy(
+            handle,
+            request.method,
+            route,
+            request.body,
+            request_id=request.headers.get(REQUEST_ID_HEADER),
+        )
 
     async def _proxy(
-        self, handle: WorkerHandle, method: str, path: str, body: bytes
+        self,
+        handle: WorkerHandle,
+        method: str,
+        path: str,
+        body: bytes,
+        request_id: str | None = None,
     ) -> HttpResponse:
-        """One proxied round trip under the worker's in-flight cap."""
+        """One proxied round trip under the worker's in-flight cap.
+
+        The ``fleet.proxy`` span is the propagation point: its context is
+        injected as the outgoing ``traceparent``, so the worker's
+        ``serve.request`` span becomes its child and the whole hop chain
+        shares one trace_id.
+        """
         start = time.perf_counter()
-        async with handle.semaphore:
-            handle.inflight += 1
-            try:
-                status, headers, payload = await self._raw_request(
-                    handle, method, path, body
-                )
-            finally:
-                handle.inflight -= 1
+        with obs.span("fleet.proxy", worker=handle.index, route=path) as span:
+            headers = obs.inject({})
+            if request_id:
+                headers[REQUEST_ID_RESPONSE_HEADER] = request_id
+            async with handle.semaphore:
+                handle.inflight += 1
+                try:
+                    status, resp_headers, payload = await self._raw_request(
+                        handle, method, path, body, headers=headers
+                    )
+                finally:
+                    handle.inflight -= 1
+            span.set_attribute("status", status)
         _PROXIED.labels(worker=str(handle.index)).inc()
         _PROXY_SECONDS.observe(time.perf_counter() - start)
         passthrough = {}
-        if "retry-after" in headers:
-            passthrough["Retry-After"] = headers["retry-after"]
+        if "retry-after" in resp_headers:
+            passthrough["Retry-After"] = resp_headers["retry-after"]
         return HttpResponse(
             status,
             payload,
-            content_type=headers.get("content-type", "application/json"),
+            content_type=resp_headers.get("content-type", "application/json"),
             headers=passthrough,
         )
 
     async def _raw_request(
-        self, handle: WorkerHandle, method: str, path: str, body: bytes = b""
+        self,
+        handle: WorkerHandle,
+        method: str,
+        path: str,
+        body: bytes = b"",
+        headers: dict[str, str] | None = None,
     ) -> tuple[int, dict[str, str], bytes]:
         """One ``Connection: close`` HTTP exchange with a worker."""
         if handle.port is None:
@@ -532,6 +631,8 @@ class FleetFrontDoor(AsyncHttpServer):
             ]
             if body:
                 head.append("Content-Type: application/json")
+            if headers:
+                head.extend(f"{name}: {value}" for name, value in headers.items())
             writer.write("\r\n".join(head).encode() + b"\r\n\r\n" + body)
             await writer.drain()
             return await read_http_response(reader)
@@ -577,6 +678,31 @@ class FleetFrontDoor(AsyncHttpServer):
         if not self._alive():
             return error_response(503, "no live workers")
         return json_response(200, {"status": "ready"})
+
+    async def _metrics(self) -> HttpResponse:
+        """Federated exposition: front-door metrics plus every ready
+        worker's scrape re-labeled ``worker="<index>"``, with fleet-wide
+        ``worker="all"`` aggregates for counters and histograms."""
+        expositions: list[tuple[str, str]] = []
+        for handle in self.handles:
+            if handle.state != "ready":
+                continue
+            try:
+                status, _, payload = await self._raw_request(
+                    handle, "GET", "/metrics"
+                )
+            except (OSError, BadRequest, asyncio.IncompleteReadError):
+                continue
+            if status == 200:
+                expositions.append(
+                    (str(handle.index), payload.decode("utf-8", errors="replace"))
+                )
+        merged = federate_prometheus(prometheus_text(obs.REGISTRY), expositions)
+        return HttpResponse(
+            200,
+            merged.encode(),
+            content_type="text/plain; version=0.0.4",
+        )
 
     async def _fleet_stats(self) -> HttpResponse:
         """Aggregate every live worker's scheduler stats into one body.
@@ -627,31 +753,31 @@ class FleetFrontDoor(AsyncHttpServer):
 
 
 async def _run_async(config: FleetConfig) -> None:
+    obs_logs.configure()
     front_door = FleetFrontDoor(config)
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
 
     def _request_stop(signame: str) -> None:
-        print(
-            f"repro serve fleet: received {signame}, draining fleet",
-            file=sys.stderr,
-        )
+        _LOG.info("repro serve fleet: received %s, draining fleet", signame)
         stop.set()
 
     for sig in (signal.SIGTERM, signal.SIGINT):
         loop.add_signal_handler(sig, _request_stop, sig.name)
     await front_door.start()
-    print(
-        f"repro serve fleet: front door listening on "
-        f"http://{config.host}:{front_door.port} "
-        f"(fleet={config.fleet}, cache_dir={config.cache_dir}, "
-        f"max_inflight={config.max_inflight}/worker)",
-        file=sys.stderr,
-        flush=True,
+    _LOG.info(
+        "repro serve fleet: front door listening on http://%s:%d "
+        "(fleet=%d, cache_dir=%s, max_inflight=%d/worker)",
+        config.host,
+        front_door.port,
+        config.fleet,
+        config.cache_dir,
+        config.max_inflight,
+        extra={"host": config.host, "port": front_door.port},
     )
     await stop.wait()
     await front_door.shutdown()
-    print("repro serve: drained cleanly", file=sys.stderr)
+    _LOG.info("repro serve: drained cleanly")
 
 
 def run(config: FleetConfig) -> int:

@@ -35,6 +35,13 @@ from repro.core.risk import RefreshWindowRisk
 #: stale coalescing identities can never alias new ones.
 PROTOCOL_VERSION = 1
 
+#: Trace-propagation header names.  The transport lower-cases incoming
+#: header names, so readers use the lower-cased forms; the canonical
+#: ``X-Request-Id`` spelling is what responses echo back.
+TRACEPARENT_HEADER = "traceparent"
+REQUEST_ID_HEADER = "x-request-id"
+REQUEST_ID_RESPONSE_HEADER = "X-Request-Id"
+
 #: Validation bounds: generous for real use, tight enough that one JSON
 #: body cannot ask the service to instantiate absurd silicon.
 MAX_SUBARRAYS = 64

@@ -142,6 +142,7 @@ class RequestScheduler:
             "batched_requests": 0,
         }
         self._inflight: dict[str, asyncio.Future] = {}
+        self._contexts: dict[str, object] = {}
         self._buckets: dict[tuple, list] = {}
         self._timers: dict[tuple, asyncio.TimerHandle] = {}
         self._jobs: set[asyncio.Task] = set()
@@ -179,10 +180,17 @@ class RequestScheduler:
         """
         self.stats["requests"] += 1
         key = request.cache_key()
+        context = obs.current_context()
         future = self._inflight.get(key)
         if future is not None:
             self.stats["coalesced"] += 1
             _COALESCED.inc()
+            # The attached request's own trace still records where its
+            # answer came from: link its active span to the primary's.
+            primary = self._contexts.get(key)
+            active = obs.current_span()
+            if primary is not None and active is not None:
+                active.add_link(primary.trace_id, primary.span_id)
             # shield: one waiter's disconnect must not cancel the shared
             # computation out from under the other attached waiters.
             return await asyncio.shield(future)
@@ -195,11 +203,13 @@ class RequestScheduler:
         loop = asyncio.get_running_loop()
         future = loop.create_future()
         self._inflight[key] = future
+        if context is not None:
+            self._contexts[key] = context
         self._queued += 1
         _QUEUE_DEPTH.set(self._queued)
         batch_key = request.batch_key()
         bucket = self._buckets.setdefault(batch_key, [])
-        bucket.append((key, request, future))
+        bucket.append((key, request, future, context))
         if len(bucket) >= self.max_batch:
             self._flush(batch_key)
         elif len(bucket) == 1:
@@ -232,10 +242,11 @@ class RequestScheduler:
         forever on a dead queue slot.  The ``finally`` clause is the
         backstop for exception paths no branch anticipated.
         """
-        requests = [request for _, request, _ in batch]
+        requests = [request for _, request, _, _ in batch]
+        contexts = [context for _, _, _, context in batch]
         try:
             results = await asyncio.get_running_loop().run_in_executor(
-                self._executor, self._execute_batch, batch_key, requests
+                self._executor, self._execute_batch, batch_key, requests, contexts
             )
             if len(results) != len(batch):
                 raise RuntimeError(
@@ -247,13 +258,13 @@ class RequestScheduler:
         except BaseException as exc:
             self.stats["failed_jobs"] += 1
             _BATCH_FAILURES.inc()
-            for key, _, future in batch:
+            for key, _, future, _ in batch:
                 self._finish(key, future, error=exc)
         else:
-            for (key, _, future), result in zip(batch, results):
+            for (key, _, future, _), result in zip(batch, results):
                 self._finish(key, future, result=result)
         finally:
-            for key, _, future in batch:
+            for key, _, future, _ in batch:
                 if not future.done():
                     self._finish(
                         key,
@@ -269,6 +280,7 @@ class RequestScheduler:
         depth would drift negative and admission control would over-admit.
         """
         self._inflight.pop(key, None)
+        self._contexts.pop(key, None)
         if future.done():
             return
         self._queued -= 1
@@ -281,14 +293,26 @@ class RequestScheduler:
     # ------------------------------------------------------------------
     # Execution (submission-lane thread)
     # ------------------------------------------------------------------
-    def _execute_batch(self, batch_key: tuple, requests: list) -> list:
+    def _execute_batch(
+        self, batch_key: tuple, requests: list, contexts: list | None = None
+    ) -> list:
         kind = batch_key[0]
+        contexts = contexts if contexts is not None else [None] * len(requests)
+        # A batch folds N request traces into one execution.  The span can
+        # have only one parent, so it continues the *first* primary's trace
+        # (a single-request batch is then one unbroken trace) and records
+        # every other folded request as a span link.
+        primary = next((context for context in contexts if context is not None), None)
         start = time.perf_counter()
-        with obs.span("serve.batch", kind=kind, size=len(requests)):
-            if kind == "characterize":
-                results = self._execute_characterize(requests)
-            else:
-                results = self._execute_risk(requests)
+        with obs.use_context(primary):
+            with obs.span("serve.batch", kind=kind, size=len(requests)) as batch_span:
+                for context in contexts:
+                    if context is not None and context is not primary:
+                        batch_span.add_link(context.trace_id, context.span_id)
+                if kind == "characterize":
+                    results = self._execute_characterize(requests)
+                else:
+                    results = self._execute_risk(requests)
         wall = time.perf_counter() - start
         _BATCH_SECONDS.observe(wall)
         self._ewma_batch_s += 0.25 * (wall - self._ewma_batch_s)

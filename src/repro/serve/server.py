@@ -29,17 +29,21 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import signal
-import sys
 import threading
 import time
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro import obs
 from repro.chip.catalog import CATALOG
+from repro.obs import logs as obs_logs
 from repro.obs.export import prometheus_text
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
+    REQUEST_ID_HEADER,
+    REQUEST_ID_RESPONSE_HEADER,
     CharacterizeRequest,
     ProtocolError,
     RiskRequest,
@@ -69,6 +73,9 @@ _LATENCY = obs.histogram(
     buckets=(0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0),
 )
 
+_LOG = obs_logs.get_logger("serve")
+_ACCESS_LOG = obs_logs.get_logger("serve.access")
+
 
 @dataclass
 class ServeConfig:
@@ -82,6 +89,43 @@ class ServeConfig:
     batch_window_ms: float = 5.0
     kernel: str | None = None
     executor: str | None = None
+    trace_dir: str | None = None
+    slow_trace_ms: float = 1000.0
+
+
+def capture_slow_trace(
+    trace_dir: str | None,
+    slow_ms: float,
+    trace_id: str,
+    request_id: str,
+    route: str,
+    duration_s: float,
+) -> Path | None:
+    """Consume a finished request's span tree; persist it when slow.
+
+    With capture active (``trace_dir`` set), *every* request's spans are
+    taken out of the bounded buffer — a long-running server's buffer is
+    not consumed by routine traffic — and only requests at or above the
+    ``slow_ms`` threshold are appended (one JSON object per line) to
+    ``<trace_dir>/slow-<pid>.jsonl``.  Returns the file written, if any.
+    """
+    if trace_dir is None or not trace_id or not obs.is_enabled():
+        return None
+    spans = obs.take_trace(trace_id)
+    if not spans or duration_s * 1000.0 < slow_ms:
+        return None
+    path = Path(trace_dir) / f"slow-{os.getpid()}.jsonl"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    entry = {
+        "trace_id": trace_id,
+        "request_id": request_id,
+        "route": route,
+        "duration_s": duration_s,
+        "spans": spans,
+    }
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return path
 
 
 class ReproServer(AsyncHttpServer):
@@ -132,9 +176,45 @@ class ReproServer(AsyncHttpServer):
     async def _dispatch(self, request: HttpRequest) -> HttpResponse:
         route = request.path.split("?", 1)[0]
         start = time.perf_counter()
-        response = await self._route(request, route)
-        _LATENCY.labels(route=route).observe(time.perf_counter() - start)
+        # Join the caller's trace (fresh one on a missing/malformed header)
+        # and answer with an X-Request-Id — the client's if it sent one,
+        # else the trace id itself, so the response header, the span tree,
+        # and the access-log line all correlate on the same identifiers.
+        context = obs.extract(request.headers)
+        with obs.use_context(context):
+            with obs.span("serve.request", route=route) as span:
+                trace_id = getattr(span, "trace_id", "") or (
+                    context.trace_id if context else obs.new_trace_id()
+                )
+                request_id = request.headers.get(REQUEST_ID_HEADER) or trace_id
+                response = await self._route(request, route)
+                span.set_attribute("status", response.status)
+                span.set_attribute("request_id", request_id)
+        duration = time.perf_counter() - start
+        _LATENCY.labels(route=route).observe(duration)
         _REQUESTS.labels(route=route, status=str(response.status)).inc()
+        response.headers.setdefault(REQUEST_ID_RESPONSE_HEADER, request_id)
+        _ACCESS_LOG.info(
+            "%s %s -> %d",
+            request.method,
+            route,
+            response.status,
+            extra={
+                "route": route,
+                "status": response.status,
+                "duration_ms": round(duration * 1000.0, 3),
+                "request_id": request_id,
+                "trace_id": trace_id,
+            },
+        )
+        capture_slow_trace(
+            self.config.trace_dir,
+            self.config.slow_trace_ms,
+            trace_id,
+            request_id,
+            route,
+            duration,
+        )
         return response
 
     async def _route(self, request: HttpRequest, route: str) -> HttpResponse:
@@ -154,8 +234,7 @@ class ReproServer(AsyncHttpServer):
                 )
             return error_response(404, f"no such route: {route}")
         try:
-            with obs.span("serve.request", route=route):
-                return await handler(request)
+            return await handler(request)
         except QueueFullError as exc:
             return error_response(
                 429, str(exc), **{"Retry-After": f"{exc.retry_after:g}"}
@@ -227,32 +306,36 @@ class ReproServer(AsyncHttpServer):
 
 
 async def _run_async(config: ServeConfig) -> None:
+    obs_logs.configure()
     server = ReproServer(config)
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
 
     def _request_stop(signame: str) -> None:
-        print(
-            f"repro serve: received {signame}, draining "
-            f"({server.scheduler.queue_depth} request(s) in flight)",
-            file=sys.stderr,
+        _LOG.info(
+            "repro serve: received %s, draining (%d request(s) in flight)",
+            signame,
+            server.scheduler.queue_depth,
         )
         stop.set()
 
     for sig in (signal.SIGTERM, signal.SIGINT):
         loop.add_signal_handler(sig, _request_stop, sig.name)
     await server.start()
-    print(
-        f"repro serve: listening on http://{config.host}:{server.port} "
-        f"(workers={config.workers}, executor={config.executor or 'auto'}, "
-        f"max_queue={config.max_queue}, "
-        f"batch_window={config.batch_window_ms:g}ms)",
-        file=sys.stderr,
-        flush=True,
+    _LOG.info(
+        "repro serve: listening on http://%s:%d (workers=%d, executor=%s, "
+        "max_queue=%d, batch_window=%gms)",
+        config.host,
+        server.port,
+        config.workers,
+        config.executor or "auto",
+        config.max_queue,
+        config.batch_window_ms,
+        extra={"host": config.host, "port": server.port},
     )
     await stop.wait()
     await server.shutdown()
-    print("repro serve: drained cleanly", file=sys.stderr)
+    _LOG.info("repro serve: drained cleanly")
 
 
 def run(config: ServeConfig) -> int:

@@ -1,0 +1,143 @@
+"""Structured JSON-lines logging: line atomicity, trace correlation,
+worker stamping, and configure() idempotence."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro import obs
+from repro.obs import logs as obs_logs
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+@pytest.fixture(autouse=True)
+def _clean_logging():
+    yield
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            root.removeHandler(handler)
+
+
+def _capture(worker=None, level=logging.INFO):
+    stream = io.StringIO()
+    obs_logs.configure(stream=stream, worker=worker, level=level)
+    return stream
+
+
+def _records(stream):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+def test_each_record_is_one_json_line():
+    stream = _capture()
+    log = obs_logs.get_logger("serve")
+    log.info("first %s", "message")
+    log.warning("second")
+    first, second = _records(stream)
+    assert first["message"] == "first message"
+    assert first["level"] == "INFO"
+    assert first["logger"] == "repro.serve"
+    assert isinstance(first["ts"], float)
+    assert second["message"] == "second"
+    assert second["level"] == "WARNING"
+
+
+def test_active_span_identity_is_stamped():
+    stream = _capture()
+    obs.enable()
+    log = obs_logs.get_logger("serve")
+    with obs.span("serve.request") as span:
+        log.info("inside")
+    log.info("outside")
+    inside, outside = _records(stream)
+    assert inside["trace_id"] == span.trace_id
+    assert inside["span_id"] == span.span_id
+    assert "trace_id" not in outside
+
+
+def test_extra_fields_ride_along():
+    stream = _capture()
+    obs_logs.get_logger("serve.access").info(
+        "request", extra={"route": "/v1/risk", "status": 200, "duration_ms": 1.5}
+    )
+    (record,) = _records(stream)
+    assert record["route"] == "/v1/risk"
+    assert record["status"] == 200
+    assert record["duration_ms"] == 1.5
+
+
+def test_worker_index_is_a_static_field():
+    stream = _capture(worker=3)
+    obs_logs.get_logger("serve").info("hello")
+    (record,) = _records(stream)
+    assert record["worker"] == 3
+
+
+def test_worker_index_defaults_from_environment(monkeypatch):
+    monkeypatch.setenv(obs_logs.WORKER_ENV, "7")
+    assert obs_logs.worker_index() == 7
+    stream = _capture()
+    obs_logs.get_logger("serve").info("hello")
+    (record,) = _records(stream)
+    assert record["worker"] == 7
+
+
+def test_worker_index_ignores_garbage(monkeypatch):
+    monkeypatch.setenv(obs_logs.WORKER_ENV, "not-a-number")
+    assert obs_logs.worker_index() is None
+    monkeypatch.delenv(obs_logs.WORKER_ENV)
+    assert obs_logs.worker_index() is None
+
+
+def test_configure_is_idempotent():
+    first = io.StringIO()
+    obs_logs.configure(stream=first)
+    second = io.StringIO()
+    obs_logs.configure(stream=second)
+    obs_logs.get_logger("serve").info("once")
+    root = logging.getLogger("repro")
+    ours = [h for h in root.handlers if getattr(h, "_repro_obs_handler", False)]
+    assert len(ours) == 1
+    assert first.getvalue() == ""
+    assert len(_records(second)) == 1
+
+
+def test_unserializable_values_are_stringified():
+    stream = _capture()
+    marker = object()
+    obs_logs.get_logger("serve").info("payload", extra={"thing": marker})
+    (record,) = _records(stream)
+    assert record["thing"] == str(marker)
+
+
+def test_exceptions_are_captured_inline():
+    stream = _capture()
+    log = obs_logs.get_logger("serve")
+    try:
+        raise ValueError("boom")
+    except ValueError:
+        log.error("failed", exc_info=True)
+    (record,) = _records(stream)
+    assert "ValueError: boom" in record["exc"]
+    # The traceback is embedded in the JSON string, so the physical
+    # stream still holds exactly one line for the record.
+    assert len(stream.getvalue().splitlines()) == 1
+
+
+def test_get_logger_prefixes_the_hierarchy():
+    assert obs_logs.get_logger("serve").name == "repro.serve"
+    assert obs_logs.get_logger("repro.serve").name == "repro.serve"
+    assert obs_logs.get_logger("repro").name == "repro"

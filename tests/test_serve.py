@@ -190,7 +190,7 @@ def test_engine_errors_propagate_to_every_waiter():
     async def scenario():
         scheduler = RequestScheduler(batch_window_s=0.02)
 
-        def explode(batch_key, requests):
+        def explode(batch_key, requests, contexts=None):
             raise RuntimeError("engine fell over")
 
         scheduler._execute_batch = explode
@@ -239,11 +239,11 @@ def test_failed_batch_releases_queue_slots_and_readmits():
 
         real_execute = scheduler._execute_batch
 
-        def explode_once(batch_key, requests):
+        def explode_once(batch_key, requests, contexts=None):
             calls["n"] += 1
             if calls["n"] == 1:
                 raise RuntimeError("engine fell over")
-            return real_execute(batch_key, requests)
+            return real_execute(batch_key, requests, contexts)
 
         scheduler._execute_batch = explode_once
         request = CharacterizeRequest.from_json(REQ)
@@ -276,7 +276,7 @@ def test_short_result_list_fails_the_batch_not_the_queue():
 
     async def scenario():
         scheduler = RequestScheduler(batch_window_s=0.02)
-        scheduler._execute_batch = lambda batch_key, requests: []
+        scheduler._execute_batch = lambda batch_key, requests, contexts=None: []
         results = await asyncio.gather(
             scheduler.submit(CharacterizeRequest.from_json(REQ)),
             scheduler.submit(CharacterizeRequest.from_json(

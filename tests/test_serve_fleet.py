@@ -14,6 +14,7 @@ Three contracts anchor this file:
 from __future__ import annotations
 
 import collections
+import json
 import os
 import re
 import signal
@@ -81,14 +82,17 @@ def test_ring_rejects_empty_membership():
 # Fleet subprocess harness
 # ---------------------------------------------------------------------------
 
-def _spawn_fleet(fleet: int = 2, batch_window_ms: float = 25.0):
+def _spawn_fleet(fleet: int = 2, batch_window_ms: float = 25.0,
+                 extra_args: list[str] | None = None,
+                 stderr_lines: list[str] | None = None):
     env = dict(os.environ)
     repo_src = os.path.join(os.path.dirname(__file__), "..", "src")
     env["PYTHONPATH"] = os.path.abspath(repo_src)
     process = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve",
          "--fleet", str(fleet), "--port", "0",
-         "--batch-window-ms", str(batch_window_ms)],
+         "--batch-window-ms", str(batch_window_ms),
+         *(extra_args or [])],
         env=env, stderr=subprocess.PIPE, text=True,
     )
     port = None
@@ -97,6 +101,8 @@ def _spawn_fleet(fleet: int = 2, batch_window_ms: float = 25.0):
         line = process.stderr.readline()
         if not line:
             break
+        if stderr_lines is not None:
+            stderr_lines.append(line)
         match = re.search(r"front door listening on http://[^:]+:(\d+)", line)
         if match:
             port = int(match.group(1))
@@ -105,10 +111,15 @@ def _spawn_fleet(fleet: int = 2, batch_window_ms: float = 25.0):
         process.kill()
         process.wait()
         raise RuntimeError("fleet never announced its front-door port")
-    # Keep stderr drained so log forwarding can never block the fleet.
-    threading.Thread(
-        target=lambda: process.stderr.read(), daemon=True
-    ).start()
+
+    # Keep stderr drained so log forwarding can never block the fleet
+    # (collecting the lines when the caller asked to inspect them).
+    def _drain():
+        for line in process.stderr:
+            if stderr_lines is not None:
+                stderr_lines.append(line)
+
+    threading.Thread(target=_drain, daemon=True).start()
     return process, port
 
 
@@ -145,6 +156,30 @@ def test_fleet_serves_and_reports_workers(fleet):
     assert "fleet_workers" in text
     assert "fleet_proxied_total" in text
     assert "fleet_restarts_total" in text
+
+
+def test_fleet_metrics_are_federated_per_worker(fleet):
+    """The front door's /metrics merges every worker's exposition under a
+    ``worker`` label, plus a summed ``worker="all"`` aggregate."""
+    _, port = fleet
+    with ServeClient(port=port) as client:
+        client.characterize(REQ)
+        # The scrape itself hits each worker's /metrics route, so a second
+        # scrape is guaranteed per-worker serve_requests_total samples.
+        client.metrics()
+        text = client.metrics()
+    assert 'worker="0"' in text
+    assert 'worker="1"' in text
+    # Counters aggregate across the fleet; each family is declared once.
+    pattern = r'^serve_requests_total\{.*worker="(\d+|all)".*\} (\d+(?:\.\d+)?)$'
+    samples = collections.defaultdict(float)
+    for match in re.finditer(pattern, text, re.MULTILINE):
+        samples[match.group(1)] += float(match.group(2))
+    assert samples["0"] > 0 and samples["1"] > 0
+    assert samples["all"] == pytest.approx(samples["0"] + samples["1"])
+    assert text.count("# TYPE serve_requests_total ") == 1
+    # Histograms merge bucket-by-bucket too.
+    assert re.search(r'serve_request_seconds_bucket\{.*worker="all"', text)
 
 
 def test_fleet_duplicates_coalesce_on_one_worker(fleet):
@@ -220,6 +255,91 @@ def test_fleet_worker_crash_reroutes_then_restarts(fleet):
     assert len(result["records"]) == REQ["subarrays"]
     match = re.search(r"^fleet_restarts_total (\d+)", text, re.MULTILINE)
     assert match and int(match.group(1)) >= 1
+
+
+# ---------------------------------------------------------------------------
+# End-to-end tracing (own fleet: captures everything via --slow-trace-ms 0)
+# ---------------------------------------------------------------------------
+
+def test_one_request_is_one_trace_across_the_fleet(tmp_path):
+    """The tentpole contract: a single request through the front door
+    yields ONE trace id visible in the front door's proxy span, the
+    worker's serve.request span, the engine's work-unit span, the
+    X-Request-Id response header, and a correlated worker log line."""
+    stderr_lines: list[str] = []
+    process, port = _spawn_fleet(
+        extra_args=["--trace-dir", str(tmp_path), "--slow-trace-ms", "0"],
+        stderr_lines=stderr_lines,
+    )
+    try:
+        with ServeClient(port=port) as client:
+            result = client.characterize(REQ)
+            request_id = client.last_request_id
+        assert len(result["records"]) == REQ["subarrays"]
+        assert request_id and re.fullmatch(r"[0-9a-f]{32}", request_id)
+
+        # Front door AND the serving worker each dumped the trace (their
+        # own pid's slow-*.jsonl) — stitch the span tree back together.
+        deadline = time.monotonic() + 30
+        spans_by_name: dict[str, list[dict]] = collections.defaultdict(list)
+        while time.monotonic() < deadline:
+            spans_by_name.clear()
+            for path in tmp_path.glob("slow-*.jsonl"):
+                for line in path.read_text().splitlines():
+                    entry = json.loads(line)
+                    if entry["request_id"] != request_id:
+                        continue
+                    for span in entry["spans"]:
+                        spans_by_name[span["name"]].append(span)
+            if {"fleet.proxy", "serve.request", "engine.unit"} <= set(
+                spans_by_name
+            ):
+                break
+            time.sleep(0.2)
+        assert "fleet.proxy" in spans_by_name, "front door capture missing"
+        assert "serve.request" in spans_by_name, "worker capture missing"
+        assert "engine.unit" in spans_by_name, "engine spans missing"
+
+        # One request, one trace — every layer agrees, and the trace id
+        # IS the minted request id.
+        trace_ids = {
+            span["trace_id"]
+            for name in ("fleet.request", "fleet.proxy", "serve.request",
+                         "serve.batch", "engine.unit")
+            for span in spans_by_name.get(name, ())
+        }
+        assert trace_ids == {request_id}
+
+        # The worker logged the request as JSON, correlated by id; the
+        # front door forwarded that line to its own stderr verbatim.
+        def worker_logged():
+            for line in stderr_lines:
+                line = line.strip()
+                if not line.startswith("{"):
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if (
+                    record.get("request_id") == request_id
+                    and "worker" in record
+                ):
+                    return record
+            return None
+
+        deadline = time.monotonic() + 30
+        record = None
+        while record is None and time.monotonic() < deadline:
+            record = worker_logged()
+            if record is None:
+                time.sleep(0.2)
+        assert record is not None, "no correlated worker log line"
+        assert record["trace_id"] == request_id
+    finally:
+        if process.poll() is None:
+            process.send_signal(signal.SIGTERM)
+        assert process.wait(timeout=120) == 0
 
 
 # ---------------------------------------------------------------------------
