@@ -1,0 +1,131 @@
+"""Fleet-risk campaign throughput/memory bench: `repro.fleet` end to end.
+
+Runs a seeded fleet campaign (sampled module instances -> streaming
+percentile aggregation with periodic checkpoints) and records the two
+numbers that matter for "millions of modules" claims: sustained
+modules/sec through the characterization path, and the aggregator's
+memory ceiling — peak process RSS plus the serialized aggregator-state
+size, which is what a checkpoint (and a resume) actually carries.  The
+state size is geometry-independent (fixed histogram bins per tREFC
+interval), so a flat number here *is* the bounded-memory evidence.
+
+Results merge as the ``fleet_risk`` block of ``BENCH_engine.json`` (repo
+root + ``benchmarks/results/``) via the shared block-preserving writer
+in ``_common`` — other benches' blocks survive a refresh and vice versa.
+
+Run directly for the committed numbers::
+
+    PYTHONPATH=src python benchmarks/bench_fleet_risk.py
+
+or via pytest (marked ``slow``; asserts throughput and the bounded
+aggregator state without rewriting the JSON)::
+
+    PYTHONPATH=src:benchmarks python -m pytest benchmarks/bench_fleet_risk.py -m slow
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+from _common import merge_bench_block
+from repro.fleet import FleetCampaign, FleetSpec
+
+
+def _peak_rss_mb() -> float:
+    """Peak RSS of this process in MiB (``ru_maxrss`` is KiB on Linux)."""
+    peak_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - bytes on macOS
+        peak_kib /= 1024.0
+    return peak_kib / 1024.0
+
+
+def run_fleet_risk_bench(
+    modules: int = 2000,
+    workers: int = 4,
+    checkpoint_every: int = 500,
+    scenario: str = "mixed",
+) -> dict:
+    """One seeded campaign, wall-clocked, with checkpointing enabled."""
+    spec = FleetSpec(modules=modules, seed=7, scenario=scenario)
+    with tempfile.TemporaryDirectory(prefix="bench-fleet-risk-") as tmp:
+        campaign = FleetCampaign(
+            spec=spec,
+            checkpoint_dir=tmp,
+            checkpoint_every=checkpoint_every,
+            workers=workers,
+        )
+        start = time.perf_counter()
+        result = campaign.run()
+        wall = time.perf_counter() - start
+        checkpoints = len(list(Path(tmp).glob("checkpoint-*.json")))
+    assert result.complete, "bench campaign did not finish"
+    state_bytes = len(json.dumps(campaign.live_state()).encode())
+    snapshot = result.snapshot()
+    worst = snapshot["intervals"][-1]
+    return {
+        "modules": modules,
+        "workers": workers,
+        "scenario": scenario,
+        "rows": spec.rows,
+        "columns": spec.columns,
+        "intervals": len(spec.intervals),
+        "checkpoint_every": checkpoint_every,
+        "checkpoints_retained": checkpoints,
+        "wall_s": round(wall, 3),
+        "modules_per_s": round(modules / wall, 1),
+        "peak_rss_mb": round(_peak_rss_mb(), 1),
+        "aggregator_state_bytes": state_bytes,
+        "p99_flip_rate_worst_interval": worst["p99_flip_rate"],
+        "vulnerable_fraction_worst_interval": worst["vulnerable_fraction"],
+    }
+
+
+@pytest.mark.slow
+def test_fleet_risk_bench_bounded_state():
+    """The aggregator's promise: campaign size changes throughput, never
+    the carried state — a checkpoint stays small at any module count."""
+    result = run_fleet_risk_bench(modules=300, workers=0, checkpoint_every=100)
+    assert result["modules_per_s"] > 0
+    # 5 intervals x 4096 sparse int bins has a hard serialization ceiling
+    # far below a megabyte; a growing state means per-module records leaked
+    # into the aggregator.
+    assert result["aggregator_state_bytes"] < 1_000_000
+    assert 0.0 <= result["vulnerable_fraction_worst_interval"] <= 1.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fleet-risk campaign bench; merges a 'fleet_risk' "
+                    "block into BENCH_engine.json",
+    )
+    parser.add_argument("--modules", type=int, default=2000)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--checkpoint-every", type=int, default=500)
+    parser.add_argument("--scenario", default="mixed")
+    parser.add_argument(
+        "--no-json", action="store_true",
+        help="print the result without rewriting BENCH_engine.json",
+    )
+    args = parser.parse_args(argv)
+    result = run_fleet_risk_bench(
+        modules=args.modules,
+        workers=args.workers,
+        checkpoint_every=args.checkpoint_every,
+        scenario=args.scenario,
+    )
+    print(json.dumps({"fleet_risk": result}, indent=2))
+    if not args.no_json:
+        merge_bench_block("fleet_risk", result)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,7 @@ is present (and a non-empty object) in *both* committed copies — the
 repo root and ``benchmarks/results/`` — and that the two copies are
 identical.  Exits 1 listing everything missing.
 
-Usage: ``python scripts/check_bench_blocks.py serve kernels``
+Usage: ``python scripts/check_bench_blocks.py serve kernels fleet_risk``
 """
 
 from __future__ import annotations
@@ -25,7 +25,7 @@ COPIES = (
 
 
 def main(argv: list[str]) -> int:
-    blocks = argv or ["serve", "kernels"]
+    blocks = argv or ["serve", "kernels", "fleet_risk"]
     problems: list[str] = []
     contents: list[str] = []
     for path in COPIES:

@@ -1,0 +1,218 @@
+"""Campaign smoke: SIGKILL a fleet campaign mid-run, resume, assert identity.
+
+The fleet-risk resume contract is "a killed campaign loses wall-clock,
+never answers": checkpoints carry the exact histogram state, so a run
+killed with SIGKILL (no handler, no flush opportunity beyond the last
+checkpoint) and rerun with the same spec must report percentiles
+bit-identical to a never-interrupted run.  This script is that contract
+as an executable check:
+
+1. start ``repro fleet-risk`` as a real subprocess with periodic
+   checkpoints, wait until at least ``--kill-after-checkpoints`` exist,
+   and SIGKILL it;
+2. rerun the identical command — it must resume from the newest
+   checkpoint (``resumed_from`` in the output JSON proves it) and finish;
+3. run the same spec uninterrupted into a separate checkpoint directory;
+4. assert the two percentile snapshots are identical apart from the
+   run-shaped fields (wall time, cache hit counts, resume marker).
+
+Artifacts (the two percentile JSONs plus the surviving checkpoint files)
+land under ``--artifacts-dir`` for CI upload, so a red run can be
+diffed without reproducing it locally.
+
+Usage::
+
+    PYTHONPATH=src python scripts/fleet_smoke.py --modules 2000
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Snapshot fields that legitimately differ between an interrupted-and-
+#: resumed run and an uninterrupted one.  Everything else must match
+#: bit-for-bit.
+RUN_SHAPED_FIELDS = frozenset(
+    {"wall_s", "cache_hits", "cache_misses", "resumed_from"}
+)
+
+
+def _campaign_cmd(
+    modules: int,
+    checkpoint_dir: Path,
+    checkpoint_every: int,
+    cache_dir: Path,
+    out: Path,
+    workers: int,
+) -> list[str]:
+    return [
+        sys.executable, "-m", "repro", "fleet-risk",
+        "--modules", str(modules),
+        "--seed", "11",
+        "--scenario", "mixed",
+        "--checkpoint-dir", str(checkpoint_dir),
+        "--checkpoint-every", str(checkpoint_every),
+        "--cache", str(cache_dir),
+        "--workers", str(workers),
+        "--out", str(out),
+    ]
+
+
+def _env() -> dict[str, str]:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        path for path in (src, env.get("PYTHONPATH")) if path
+    )
+    return env
+
+
+def _fail(message: str) -> None:
+    print(f"fleet_smoke: FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="SIGKILL-resume identity smoke for repro fleet-risk"
+    )
+    parser.add_argument("--modules", type=int, default=2000)
+    parser.add_argument("--checkpoint-every", type=int, default=100)
+    parser.add_argument(
+        "--kill-after-checkpoints", type=int, default=2,
+        help="SIGKILL once this many checkpoint files exist",
+    )
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--artifacts-dir", default="fleet-smoke-artifacts",
+        help="directory for percentile JSONs + surviving checkpoints",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="per-phase subprocess timeout in seconds",
+    )
+    args = parser.parse_args(argv)
+
+    artifacts = Path(args.artifacts_dir)
+    artifacts.mkdir(parents=True, exist_ok=True)
+    out_resumed = artifacts / "percentiles-resumed.json"
+    out_baseline = artifacts / "percentiles-baseline.json"
+
+    with tempfile.TemporaryDirectory(prefix="fleet-smoke-") as tmp:
+        work = Path(tmp)
+        ckpt_killed = work / "checkpoints-killed"
+        ckpt_baseline = work / "checkpoints-baseline"
+        cache = work / "cache"
+        cmd = _campaign_cmd(
+            args.modules, ckpt_killed, args.checkpoint_every,
+            cache, out_resumed, args.workers,
+        )
+
+        # Phase 1: start, wait for checkpoints, SIGKILL.
+        print(f"fleet_smoke: phase 1: {' '.join(cmd)}", flush=True)
+        proc = subprocess.Popen(cmd, env=_env())
+        deadline = time.monotonic() + args.timeout
+        try:
+            while True:
+                checkpoints = sorted(ckpt_killed.glob("checkpoint-*.json"))
+                if len(checkpoints) >= args.kill_after_checkpoints:
+                    break
+                if proc.poll() is not None:
+                    _fail(
+                        f"campaign exited {proc.returncode} before "
+                        f"{args.kill_after_checkpoints} checkpoints appeared; "
+                        "lower --checkpoint-every or raise --modules"
+                    )
+                if time.monotonic() > deadline:
+                    _fail("timed out waiting for checkpoints")
+                time.sleep(0.05)
+            proc.kill()
+            proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        if proc.returncode != -signal.SIGKILL:
+            _fail(f"expected SIGKILL death, got returncode {proc.returncode}")
+        survivors = sorted(ckpt_killed.glob("checkpoint-*.json"))
+        if not survivors:
+            _fail("no checkpoint survived the SIGKILL")
+        print(
+            f"fleet_smoke: killed mid-run; {len(survivors)} checkpoint(s) "
+            f"survive, newest {survivors[-1].name}",
+            flush=True,
+        )
+        for survivor in survivors:
+            shutil.copy2(survivor, artifacts / survivor.name)
+
+        # Phase 2: identical command resumes and completes.
+        print("fleet_smoke: phase 2: resuming the killed campaign", flush=True)
+        resumed = subprocess.run(
+            cmd, env=_env(), timeout=args.timeout
+        )
+        if resumed.returncode != 0:
+            _fail(f"resumed campaign exited {resumed.returncode}")
+        resumed_snapshot = json.loads(out_resumed.read_text())
+        if resumed_snapshot.get("resumed_from") is None:
+            _fail("resumed run did not report resumed_from — it restarted")
+        print(
+            f"fleet_smoke: resumed from instance "
+            f"{resumed_snapshot['resumed_from']}",
+            flush=True,
+        )
+
+        # Phase 3: uninterrupted baseline, fresh checkpoint dir, shared
+        # outcome cache (cached vs computed summaries must not matter).
+        print("fleet_smoke: phase 3: uninterrupted baseline", flush=True)
+        baseline_cmd = _campaign_cmd(
+            args.modules, ckpt_baseline, args.checkpoint_every,
+            cache, out_baseline, args.workers,
+        )
+        baseline = subprocess.run(
+            baseline_cmd, env=_env(), timeout=args.timeout
+        )
+        if baseline.returncode != 0:
+            _fail(f"baseline campaign exited {baseline.returncode}")
+        baseline_snapshot = json.loads(out_baseline.read_text())
+        if baseline_snapshot.get("resumed_from") is not None:
+            _fail("baseline unexpectedly resumed from a checkpoint")
+
+    # Phase 4: bit-identical percentiles.
+    resumed_core = {
+        key: value for key, value in resumed_snapshot.items()
+        if key not in RUN_SHAPED_FIELDS
+    }
+    baseline_core = {
+        key: value for key, value in baseline_snapshot.items()
+        if key not in RUN_SHAPED_FIELDS
+    }
+    if resumed_core != baseline_core:
+        diff_keys = [
+            key for key in sorted(set(resumed_core) | set(baseline_core))
+            if resumed_core.get(key) != baseline_core.get(key)
+        ]
+        _fail(
+            "resumed and uninterrupted snapshots differ in "
+            f"{diff_keys}; see {out_resumed} vs {out_baseline}"
+        )
+    intervals = resumed_core["intervals"]
+    print(
+        f"fleet_smoke: OK — {resumed_core['modules_done']} modules, "
+        f"{len(intervals)} tREFC bins, SIGKILL+resume percentiles "
+        "bit-identical to the uninterrupted run"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,6 +35,7 @@ from repro.core import (
     WORST_CASE,
     refresh_window_risk,
 )
+from repro.fleet.scenario import SCENARIO_NAMES
 from repro.refresh import columndisturb_safe_period, compare_mitigations
 
 _CLI_GEOMETRY = BankGeometry(subarrays=4, rows_per_subarray=256, columns=512)
@@ -446,6 +447,86 @@ def _cmd_serve(args: argparse.Namespace) -> str:
     return ""
 
 
+def _cmd_fleet_risk(args: argparse.Namespace) -> str:
+    import json
+    from pathlib import Path
+
+    from repro.core import OutcomeCache
+    from repro.fleet import FleetCampaign, FleetSpec
+
+    try:
+        intervals = tuple(float(part) for part in args.intervals.split(","))
+    except ValueError:
+        raise ValueError("--intervals must be comma-separated seconds") from None
+    spec = FleetSpec(
+        modules=args.modules,
+        seed=args.seed,
+        offset=args.offset,
+        serials=tuple(args.serials.split(",")) if args.serials else (),
+        scenario=args.scenario,
+        temperature_c=args.temperature,
+        intervals=intervals,
+        rows=args.rows,
+        columns=args.columns,
+        sigma_retention_die=args.sigma_retention,
+        sigma_kappa_die=args.sigma_kappa,
+    )
+    campaign = FleetCampaign(
+        spec=spec,
+        cache=OutcomeCache(args.cache) if args.cache else None,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        workers=args.workers,
+    )
+    try:
+        result = campaign.run()
+    except KeyboardInterrupt:
+        # The campaign already flushed its checkpoint; say so on the way
+        # to exit 130 so the operator knows a rerun resumes, not restarts.
+        if args.checkpoint_dir:
+            print(
+                f"repro fleet-risk: interrupted at "
+                f"{campaign.modules_done}/{spec.modules} modules; checkpoint "
+                f"flushed to {args.checkpoint_dir} (rerun to resume)",
+                file=sys.stderr,
+            )
+        raise
+    snapshot = result.snapshot()
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(snapshot, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+    rows = [
+        [
+            f"{entry['interval_s']:g}",
+            f"{entry['p50_flip_rate']:.3e}",
+            f"{entry['p95_flip_rate']:.3e}",
+            f"{entry['p99_flip_rate']:.3e}",
+            f"{entry['vulnerable_fraction']:.1%}",
+        ]
+        for entry in snapshot["intervals"]
+    ]
+    body = table(
+        ["tREFC (s)", "p50 flip rate", "p95 flip rate", "p99 flip rate",
+         "vulnerable"],
+        rows,
+    )
+    footer = (
+        f"\n{result.modules_done}/{spec.modules} modules "
+        f"({spec.scenario} scenario, seed {spec.seed}) in {result.wall_s:.1f}s"
+    )
+    if result.cache_hits or result.cache_misses:
+        footer += (
+            f"; cache: {result.cache_hits} hits / "
+            f"{result.cache_misses} computed"
+        )
+    if result.resumed_from is not None:
+        footer += f"; resumed from instance {result.resumed_from}"
+    if args.out:
+        footer += f"\npercentile snapshot written to {args.out}"
+    return body + footer
+
+
 def _cmd_mitigations(args: argparse.Namespace) -> str:
     spec = get_module(args.serial)
     estimates = compare_mitigations(
@@ -598,6 +679,66 @@ def build_parser() -> argparse.ArgumentParser:
     _add_kernel_arg(serve)
     _add_executor_arg(serve)
 
+    fleet_risk = sub.add_parser(
+        "fleet-risk",
+        help="run a fleet-scale risk campaign over sampled module instances",
+    )
+    fleet_risk.add_argument(
+        "--modules", type=int, required=True, metavar="N",
+        help="number of module instances to sample",
+    )
+    fleet_risk.add_argument("--seed", type=int, default=0)
+    fleet_risk.add_argument(
+        "--offset", type=int, default=0,
+        help="first instance index (for sharded campaigns)",
+    )
+    fleet_risk.add_argument(
+        "--serials", default=None, metavar="S0,S1,...",
+        help="comma-separated catalog serials to sample from "
+             "(default: whole catalog)",
+    )
+    fleet_risk.add_argument(
+        "--scenario", choices=SCENARIO_NAMES, default="worst-case",
+        help="attack scenario axis ('mixed' samples one per instance)",
+    )
+    fleet_risk.add_argument("--temperature", type=float, default=85.0)
+    fleet_risk.add_argument(
+        "--intervals", default="1,2,4,8,16", metavar="S,S,...",
+        help="comma-separated tREFC bins in seconds",
+    )
+    fleet_risk.add_argument("--rows", type=int, default=64)
+    fleet_risk.add_argument("--columns", type=int, default=256)
+    fleet_risk.add_argument(
+        "--sigma-retention", type=float, default=0.25, metavar="SIGMA",
+        help="per-die lognormal sigma on median retention",
+    )
+    fleet_risk.add_argument(
+        "--sigma-kappa", type=float, default=0.35, metavar="SIGMA",
+        help="per-die lognormal sigma on median coupling strength",
+    )
+    fleet_risk.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="write periodic resume checkpoints under DIR; rerunning with "
+             "the same spec resumes from the newest one",
+    )
+    fleet_risk.add_argument(
+        "--checkpoint-every", type=int, default=500, metavar="N",
+        help="checkpoint cadence in modules (default 500)",
+    )
+    fleet_risk.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="on-disk outcome cache shared with other campaigns",
+    )
+    fleet_risk.add_argument(
+        "--workers", type=int, default=0,
+        help="characterization threads (0 = serial)",
+    )
+    fleet_risk.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the percentile snapshot as JSON to FILE",
+    )
+    _add_observability_args(fleet_risk)
+
     obs_parser = sub.add_parser("obs", help="observability utilities")
     obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
     report = obs_sub.add_parser(
@@ -630,6 +771,7 @@ _HANDLERS = {
     "floor": _cmd_floor,
     "risk": _cmd_risk,
     "characterize": _cmd_characterize,
+    "fleet-risk": _cmd_fleet_risk,
     "mitigations": _cmd_mitigations,
     "run-program": _cmd_run_program,
     "datasheet": _cmd_datasheet,
@@ -666,6 +808,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             sys.stdout.close()
         except BrokenPipeError:
             os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    except KeyboardInterrupt:
+        # Campaign handlers flush their checkpoint before re-raising, so by
+        # the time the interrupt reaches here the work is resumable.  Exit
+        # with the conventional 128+SIGINT code instead of a traceback.
+        print("repro: interrupted", file=sys.stderr)
+        return 130
     except (ValueError, OSError) as exc:
         # Bad input (unknown serial, unreadable file, busy port, malformed
         # program) is a one-line diagnostic and a nonzero exit, never a

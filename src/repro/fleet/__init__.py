@@ -1,0 +1,50 @@
+"""repro.fleet: fleet-scale risk campaigns over sampled module populations.
+
+The catalog (`repro.chip.catalog`) holds 28 module *specs*; a datacenter
+holds millions of module *instances* whose per-die parameters scatter
+around those specs.  This package turns the one-module characterization
+stack into a population-level risk service:
+
+* `repro.fleet.scenario` — seeded, content-addressed sampling of N module
+  instances with per-die lognormal variation on retention/coupling
+  parameters, plus pluggable attack-scenario axes (worst-case single
+  aggressor, the §5.3 two-aggressor pattern, combined
+  ColumnDisturb+RowPress pressing, or a mixed fleet);
+* `repro.fleet.aggregate` — a bounded-memory streaming aggregator that
+  reduces per-module outcomes into fleet-level risk percentiles
+  (p50/p95/p99 flip rate, vulnerable-module fraction per tREFC bin)
+  without ever holding all N records, with atomic checkpoint files so a
+  killed campaign resumes exactly where it stopped;
+* `repro.fleet.campaign` — the campaign runner: chunked execution
+  (serial or thread pool), `OutcomeCache` integration (reruns and
+  resumption are cache hits), periodic checkpoints, and clean
+  interrupt semantics (Ctrl-C flushes the current checkpoint);
+* `repro.fleet.jobs` — the async job manager behind
+  ``POST /v1/fleet-risk`` (`repro.serve`): submit, poll, resume.
+
+See ``docs/FLEET_RISK.md`` for the sampling model, the aggregation
+guarantees, and the resume semantics.
+"""
+
+from repro.fleet.aggregate import CheckpointStore, FleetAggregator
+from repro.fleet.campaign import FleetCampaign, FleetResult
+from repro.fleet.jobs import FleetJob, FleetJobManager
+from repro.fleet.scenario import (
+    SCENARIOS,
+    FleetSpec,
+    ModuleInstance,
+    scenario_config,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "FleetSpec",
+    "ModuleInstance",
+    "scenario_config",
+    "FleetAggregator",
+    "CheckpointStore",
+    "FleetCampaign",
+    "FleetResult",
+    "FleetJob",
+    "FleetJobManager",
+]

@@ -1,0 +1,192 @@
+"""Async fleet-risk jobs: the state machine behind ``/v1/fleet-risk``.
+
+A job is a `FleetCampaign` running on its own thread, identified by the
+content digest of its `FleetSpec` — submission is idempotent: re-POSTing
+the same spec attaches to the running job (or returns the finished
+result), and re-POSTing after a crash or kill starts a campaign that
+resumes from the job's on-disk checkpoint, because the checkpoint
+directory is derived from the same digest.  That is the whole resume
+protocol: there is no job table to recover, the spec *is* the address.
+
+Poll responses are live percentile snapshots (the campaign aggregates
+under a lock, so a poll mid-flight sees a consistent prefix).  With
+``include_state`` the exact aggregator state rides along — the fleet
+front door uses that to merge shard aggregates into one fleet answer.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+
+from repro.core.cache import OutcomeCache
+from repro.fleet.campaign import FleetCampaign, FleetResult
+from repro.fleet.scenario import FleetSpec
+from repro.obs import logs as obs_logs
+
+_log = obs_logs.get_logger("fleet.jobs")
+
+#: Job id length: a 16-hex-digit prefix of the spec digest.
+JOB_ID_HEX = 16
+
+JOB_RUNNING = "running"
+JOB_DONE = "done"
+JOB_INTERRUPTED = "interrupted"
+JOB_FAILED = "failed"
+
+
+class FleetBusyError(Exception):
+    """Raised when the manager is at its concurrent-campaign capacity."""
+
+
+def job_id_for(spec: FleetSpec) -> str:
+    """Deterministic job id of a spec (prefix of its content digest)."""
+    return spec.digest()[:JOB_ID_HEX]
+
+
+class FleetJob:
+    """One fleet campaign and its lifecycle state."""
+
+    def __init__(self, job_id: str, campaign: FleetCampaign) -> None:
+        self.job_id = job_id
+        self.campaign = campaign
+        self.status = JOB_RUNNING
+        self.error: str | None = None
+        self.result: FleetResult | None = None
+        self.thread: threading.Thread | None = None
+
+    def _run(self) -> None:
+        try:
+            result = self.campaign.run()
+        except Exception as exc:  # surfaced via poll, not lost in a thread
+            self.status = JOB_FAILED
+            self.error = f"{type(exc).__name__}: {exc}"
+            _log.error(
+                "fleet job failed",
+                extra={"job_id": self.job_id, "error": self.error},
+            )
+            return
+        self.result = result
+        self.status = JOB_INTERRUPTED if result.interrupted else JOB_DONE
+        _log.info(
+            "fleet job finished",
+            extra={
+                "job_id": self.job_id,
+                "job_status": self.status,
+                "modules_done": result.modules_done,
+            },
+        )
+
+    def start(self) -> None:
+        self.status = JOB_RUNNING
+        self.error = None
+        self.thread = threading.Thread(
+            target=self._run, name=f"fleet-job-{self.job_id}", daemon=True
+        )
+        self.thread.start()
+
+    def snapshot(self, include_state: bool = False) -> dict:
+        """JSON-able poll payload: status + live percentile snapshot."""
+        if self.result is not None:
+            body = self.result.snapshot()
+        else:
+            body = self.campaign.live_snapshot()
+        body["job_id"] = self.job_id
+        body["status"] = self.status
+        if self.error is not None:
+            body["error"] = self.error
+        if include_state:
+            body["state"] = self.campaign.live_state()
+        return body
+
+
+class FleetJobManager:
+    """Submit/poll/resume registry of fleet campaigns.
+
+    Args:
+        checkpoint_root: directory holding one checkpoint subdirectory
+            per job id; ``None`` disables checkpointing (jobs still run,
+            but a killed process cannot resume them).
+        cache: optional shared `OutcomeCache` for instance outcomes.
+        workers: thread-pool width per campaign.
+        checkpoint_every: instances between checkpoints.
+        max_running: concurrent-campaign admission limit.
+    """
+
+    def __init__(
+        self,
+        checkpoint_root: str | Path | None = None,
+        cache: OutcomeCache | None = None,
+        workers: int = 0,
+        checkpoint_every: int = 500,
+        max_running: int = 4,
+    ) -> None:
+        self.checkpoint_root = Path(checkpoint_root) if checkpoint_root else None
+        self.cache = cache
+        self.workers = workers
+        self.checkpoint_every = checkpoint_every
+        self.max_running = max_running
+        self._jobs: dict[str, FleetJob] = {}
+        self._lock = threading.Lock()
+
+    def _running_count(self) -> int:
+        return sum(1 for job in self._jobs.values() if job.status == JOB_RUNNING)
+
+    def submit(self, spec: FleetSpec) -> tuple[FleetJob, bool]:
+        """Submit (or attach to, or resume) the job for ``spec``.
+
+        Returns ``(job, started)`` — ``started`` is False when the call
+        attached to an already-running or already-finished job.
+        """
+        job_id = job_id_for(spec)
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is not None and job.status in (JOB_RUNNING, JOB_DONE):
+                return job, False
+            if self._running_count() >= self.max_running:
+                raise FleetBusyError(
+                    f"{self._running_count()} campaigns already running "
+                    f"(limit {self.max_running})"
+                )
+            checkpoint_dir = (
+                str(self.checkpoint_root / job_id) if self.checkpoint_root else None
+            )
+            campaign = FleetCampaign(
+                spec=spec,
+                cache=self.cache,
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_every=self.checkpoint_every,
+                workers=self.workers,
+            )
+            job = FleetJob(job_id, campaign)
+            self._jobs[job_id] = job
+            job.start()
+            _log.info(
+                "fleet job started",
+                extra={
+                    "job_id": job_id,
+                    "modules": spec.modules,
+                    "offset": spec.offset,
+                    "scenario": spec.scenario,
+                },
+            )
+            return job, True
+
+    def get(self, job_id: str) -> FleetJob | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[FleetJob]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def stop_all(self, timeout: float = 10.0) -> None:
+        """Cooperatively stop every running campaign (each flushes its
+        checkpoint) and join the job threads."""
+        with self._lock:
+            jobs = list(self._jobs.values())
+        for job in jobs:
+            job.campaign.stop_event.set()
+        for job in jobs:
+            if job.thread is not None:
+                job.thread.join(timeout=timeout)

@@ -1,0 +1,267 @@
+"""Fleet scenario generation: seeded sampling of module instances.
+
+A fleet campaign evaluates ColumnDisturb risk over a *population* of
+module instances, not over the 28 catalog specs themselves.  Two specs
+with the same part number still differ die to die: intrinsic retention
+and coupling susceptibility scatter around the calibrated medians.  The
+sampler models that scatter as per-instance lognormal multipliers on
+``median_retention`` and ``median_kappa`` (the kappa cap scales with the
+same multiplier, so the per-die first-bitflip floor moves coherently
+with the die's coupling strength and the profile invariant
+``kappa_cap > median_kappa`` is preserved).
+
+Determinism and content addressing
+----------------------------------
+Instance ``i`` of a spec is a pure function of ``(seed, i)`` — each
+instance derives its own RNG via ``derive_rng("fleet", seed, i)``, so
+sampling is independent of iteration order, chunking, or sharding:
+shard ``[offset, offset+n)`` of a campaign produces exactly the
+instances the unsharded campaign would.  The varied profile feeds into
+``outcome_cache_key`` (profiles are hashed field-by-field), so every
+instance is content-addressed in the existing `OutcomeCache` and
+reruns/resumptions of a campaign are cache hits, not recomputation.
+
+Attack scenarios
+----------------
+Pluggable axes over the §3.2 test condition, drawn from the related
+work: ``worst-case`` is the paper's single-aggressor worst case;
+``two-aggressor`` is the §5.3 two-aggressor access pattern (the
+column-wise analog of many-sided RowHammer); ``press`` holds the
+aggressor open 8x longer, the combined ColumnDisturb+RowPress pattern;
+``mixed`` draws one of the above per instance, modelling a fleet under
+heterogeneous attack.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections.abc import Iterator
+from dataclasses import dataclass, replace
+from typing import Callable
+
+import numpy as np
+
+from repro._util.rng import derive_rng
+from repro.chip.catalog import CATALOG, get_module
+from repro.chip.timing import DDR4, HBM2, T_AGG_ON_DEFAULT, TimingParameters
+from repro.core.analytic import GUARDBAND_ROWS, SubarrayRole
+from repro.core.cache import content_key, outcome_cache_key
+from repro.core.config import REFRESH_INTERVALS_LONG, WORST_CASE, DisturbConfig
+from repro.physics.profile import DisturbanceProfile
+
+#: Aggressor-on time of the combined ColumnDisturb+RowPress scenario:
+#: 8x the worst-case tAggOn, pressing the row open the way RowPress does.
+PRESS_T_AGG_ON = 8 * T_AGG_ON_DEFAULT
+
+#: Concrete attack scenarios: name -> DisturbConfig builder at temperature.
+SCENARIOS: dict[str, Callable[[float], DisturbConfig]] = {
+    "worst-case": lambda t: WORST_CASE.at_temperature(t),
+    "two-aggressor": lambda t: replace(
+        WORST_CASE, second_aggressor_pattern=0x00
+    ).at_temperature(t),
+    "press": lambda t: WORST_CASE.with_t_agg_on(PRESS_T_AGG_ON).at_temperature(t),
+}
+
+#: The per-instance draw pool of the ``mixed`` scenario (sorted for
+#: determinism independent of dict order).
+MIXED_POOL: tuple[str, ...] = tuple(sorted(SCENARIOS))
+
+#: Every name `FleetSpec.scenario` accepts.
+SCENARIO_NAMES: tuple[str, ...] = MIXED_POOL + ("mixed",)
+
+
+def scenario_config(name: str, temperature_c: float) -> DisturbConfig:
+    """Test condition of one concrete scenario at ``temperature_c``."""
+    try:
+        builder = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; known: {sorted(SCENARIOS)} + ['mixed']"
+        ) from None
+    return builder(temperature_c)
+
+
+@dataclass(frozen=True)
+class ModuleInstance:
+    """One sampled module instance: a catalog spec with per-die variation.
+
+    Attributes:
+        index: global instance index within the fleet (the sampling key).
+        serial: catalog serial the instance was drawn from.
+        scenario: resolved concrete scenario (never ``"mixed"``).
+        retention_mult: lognormal multiplier applied to median_retention.
+        kappa_mult: lognormal multiplier applied to median_kappa (and to
+            a finite kappa_cap).
+        profile: the varied per-die profile.
+        config: the instance's test condition.
+        rows: subarray rows characterized.
+        columns: subarray columns characterized.
+        population_key: `CellPopulation` identity key.
+    """
+
+    index: int
+    serial: str
+    scenario: str
+    retention_mult: float
+    kappa_mult: float
+    profile: DisturbanceProfile
+    config: DisturbConfig
+    rows: int
+    columns: int
+    population_key: tuple
+
+    @property
+    def aggressor_local_row(self) -> int:
+        """Aggressor row offset inside the characterized subarray."""
+        if self.config.aggressor_location == "beginning":
+            return 0
+        if self.config.aggressor_location == "end":
+            return self.rows - 1
+        return self.rows // 2
+
+    @property
+    def timing(self) -> TimingParameters:
+        """Interface timing of the instance's module spec."""
+        return HBM2 if get_module(self.serial).interface == "HBM2" else DDR4
+
+    def cache_key(self) -> str:
+        """Content address of this instance's characterization outcome."""
+        return outcome_cache_key(
+            self.population_key,
+            self.rows,
+            self.columns,
+            self.profile,
+            self.config,
+            SubarrayRole.AGGRESSOR,
+            GUARDBAND_ROWS,
+            self.aggressor_local_row,
+        )
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """A fleet campaign's sampled population, fully determined by value.
+
+    Attributes:
+        modules: number of instances in this (shard of the) campaign.
+        seed: fleet sampling seed.
+        offset: global index of the first instance (sharding support:
+            instance identity depends only on ``(seed, index)``).
+        serials: catalog serials to draw from; empty means all 28 DDR4
+            modules plus the HBM2 stack.
+        scenario: attack scenario name (one of `SCENARIO_NAMES`).
+        temperature_c: device temperature.
+        intervals: tREFC bins (seconds) the aggregator reports on.
+        rows / columns: characterized subarray geometry per instance.
+        sigma_retention_die: lognormal sigma of the per-die retention
+            multiplier.
+        sigma_kappa_die: lognormal sigma of the per-die coupling
+            multiplier.
+    """
+
+    modules: int
+    seed: int = 0
+    offset: int = 0
+    serials: tuple[str, ...] = ()
+    scenario: str = "worst-case"
+    temperature_c: float = 85.0
+    intervals: tuple[float, ...] = REFRESH_INTERVALS_LONG
+    rows: int = 64
+    columns: int = 256
+    sigma_retention_die: float = 0.25
+    sigma_kappa_die: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.modules < 1:
+            raise ValueError("modules must be positive")
+        if self.offset < 0:
+            raise ValueError("offset must be non-negative")
+        if self.scenario not in SCENARIO_NAMES:
+            raise ValueError(
+                f"unknown scenario {self.scenario!r}; known: {SCENARIO_NAMES}"
+            )
+        for serial in self.serials:
+            if serial not in CATALOG:
+                raise ValueError(f"unknown serial {serial!r}")
+        if not self.intervals:
+            raise ValueError("at least one interval required")
+        if any(t <= 0 for t in self.intervals):
+            raise ValueError("intervals must be positive")
+        if list(self.intervals) != sorted(set(self.intervals)):
+            raise ValueError("intervals must be strictly increasing")
+        if self.rows < 2 * GUARDBAND_ROWS + 2:
+            raise ValueError(f"rows must be at least {2 * GUARDBAND_ROWS + 2}")
+        if self.columns < 8:
+            raise ValueError("columns must be at least 8")
+        if self.sigma_retention_die < 0 or self.sigma_kappa_die < 0:
+            raise ValueError("die sigmas must be non-negative")
+        if self.temperature_c < -40 or self.temperature_c > 150:
+            raise ValueError("temperature_c out of range")
+
+    @property
+    def resolved_serials(self) -> tuple[str, ...]:
+        """Serials drawn from (the whole catalog when unspecified)."""
+        return self.serials or tuple(sorted(CATALOG))
+
+    @property
+    def horizon(self) -> float:
+        """Summary horizon: the largest reported interval."""
+        return max(self.intervals)
+
+    def digest(self) -> str:
+        """Content hash of the spec (checkpoint/spec binding)."""
+        return content_key(dataclasses.astuple(self))
+
+    def instance(self, index: int) -> ModuleInstance:
+        """Sample instance ``index`` — a pure function of ``(seed, index)``."""
+        index = int(index)
+        if index < 0:
+            raise ValueError("index must be non-negative")
+        rng = derive_rng("fleet", self.seed, index)
+        serials = self.resolved_serials
+        serial = serials[int(rng.integers(len(serials)))]
+        retention_mult = 1.0
+        if self.sigma_retention_die > 0:
+            retention_mult = float(np.exp(rng.normal(0.0, self.sigma_retention_die)))
+        kappa_mult = 1.0
+        if self.sigma_kappa_die > 0:
+            kappa_mult = float(np.exp(rng.normal(0.0, self.sigma_kappa_die)))
+        scenario = self.scenario
+        if scenario == "mixed":
+            scenario = MIXED_POOL[int(rng.integers(len(MIXED_POOL)))]
+        base = get_module(serial).profile
+        # The cap scales with the same die multiplier as the median: a die
+        # with stronger coupling has a proportionally higher geometric
+        # ceiling, and the kappa_cap > median_kappa invariant holds for
+        # any multiplier.
+        kappa_cap = base.kappa_cap
+        if math.isfinite(kappa_cap):
+            kappa_cap = kappa_cap * kappa_mult
+        profile = replace(
+            base,
+            median_retention=base.median_retention * retention_mult,
+            median_kappa=base.median_kappa * kappa_mult,
+            kappa_cap=kappa_cap,
+        )
+        return ModuleInstance(
+            index=index,
+            serial=serial,
+            scenario=scenario,
+            retention_mult=retention_mult,
+            kappa_mult=kappa_mult,
+            profile=profile,
+            config=scenario_config(scenario, self.temperature_c),
+            rows=self.rows,
+            columns=self.columns,
+            population_key=("fleet", self.seed, index, serial),
+        )
+
+    def instances(self, start: int | None = None) -> Iterator[ModuleInstance]:
+        """Iterate instances from global index ``start`` (default: offset)
+        through the end of this spec's range."""
+        begin = self.offset if start is None else start
+        if begin < self.offset or begin > self.offset + self.modules:
+            raise ValueError("start outside this spec's range")
+        for index in range(begin, self.offset + self.modules):
+            yield self.instance(index)

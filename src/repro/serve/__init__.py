@@ -13,6 +13,7 @@ from repro.serve.fleet import run as run_fleet
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
     CharacterizeRequest,
+    FleetRiskRequest,
     ProtocolError,
     RiskRequest,
 )
@@ -31,6 +32,7 @@ from repro.serve.server import (
 __all__ = [
     "PROTOCOL_VERSION",
     "CharacterizeRequest",
+    "FleetRiskRequest",
     "RiskRequest",
     "ProtocolError",
     "RequestScheduler",

@@ -12,11 +12,13 @@ from __future__ import annotations
 import http.client
 import json
 import math
+import time
 
 from repro import obs
 from repro.serve.protocol import (
     REQUEST_ID_RESPONSE_HEADER,
     CharacterizeRequest,
+    FleetRiskRequest,
     RiskRequest,
 )
 
@@ -149,6 +151,41 @@ class ServeClient:
         if isinstance(request, RiskRequest):
             request = request.to_json()
         return self._request("POST", "/v1/risk", request)
+
+    def fleet_risk(self, request: FleetRiskRequest | dict) -> dict:
+        """``POST /v1/fleet-risk``: submit (or attach to) an async fleet
+        campaign; returns the initial job snapshot (with ``job_id``)."""
+        if isinstance(request, FleetRiskRequest):
+            request = request.to_json()
+        return self._request("POST", "/v1/fleet-risk", request)
+
+    def fleet_risk_status(self, job_id: str, include_state: bool = False) -> dict:
+        """``GET /v1/fleet-risk/<id>``: live percentile snapshot."""
+        path = f"/v1/fleet-risk/{job_id}"
+        if include_state:
+            path += "?state=1"
+        return self._request("GET", path)
+
+    def fleet_risk_wait(
+        self,
+        job_id: str,
+        poll_s: float = 0.5,
+        timeout: float = 3600.0,
+        on_snapshot=None,
+    ) -> dict:
+        """Poll until the job leaves the running state; returns the final
+        snapshot.  ``on_snapshot`` (if given) sees every poll payload —
+        the streamed-percentiles hook."""
+        deadline = time.monotonic() + timeout
+        while True:
+            snapshot = self.fleet_risk_status(job_id)
+            if on_snapshot is not None:
+                on_snapshot(snapshot)
+            if snapshot.get("status") != "running":
+                return snapshot
+            if time.monotonic() >= deadline:
+                raise ServeError(504, f"fleet job {job_id} still running")
+            time.sleep(poll_s)
 
     def catalog(self) -> dict:
         """``GET /v1/catalog``."""

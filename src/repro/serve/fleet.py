@@ -59,12 +59,14 @@ import time
 from dataclasses import dataclass, field
 
 from repro import obs
+from repro.fleet.aggregate import FleetAggregator
 from repro.obs import logs as obs_logs
 from repro.obs.export import federate_prometheus, prometheus_text
 from repro.serve.protocol import (
     REQUEST_ID_HEADER,
     REQUEST_ID_RESPONSE_HEADER,
     CharacterizeRequest,
+    FleetRiskRequest,
     ProtocolError,
     RiskRequest,
 )
@@ -216,6 +218,13 @@ class FleetFrontDoor(AsyncHttpServer):
             self._tempdir = tempfile.TemporaryDirectory(prefix="repro-fleet-cache-")
             config.cache_dir = self._tempdir.name
         self._round_robin = 0
+        # Fleet-risk campaigns sharded across workers: fleet job id ->
+        # {"modules_total", "shards": [{"worker", "job_id", "body"}]}.
+        # The shard *bodies* are kept so a restarted worker (which lost
+        # its in-memory job table) can be re-POSTed the same sub-request
+        # on the next poll; it resumes from its checkpoint because every
+        # worker shares the front door's --cache-dir.
+        self._fleet_risk_jobs: dict[str, dict] = {}
 
     # ------------------------------------------------------------------
     # Worker lifecycle
@@ -502,6 +511,10 @@ class FleetFrontDoor(AsyncHttpServer):
                 "/v1/risk",
             ):
                 return await self._proxy_sharded(request, route)
+            if request.method == "POST" and route == "/v1/fleet-risk":
+                return await self._fleet_risk_submit(request)
+            if request.method == "GET" and route.startswith("/v1/fleet-risk/"):
+                return await self._fleet_risk_poll(route)
             if request.method == "GET" and route == "/v1/catalog":
                 return await self._proxy_any(request, route)
             return error_response(404, f"no such route: {route}")
@@ -750,6 +763,166 @@ class FleetFrontDoor(AsyncHttpServer):
                 "workers": per_worker,
             },
         )
+
+    # ------------------------------------------------------------------
+    # Fleet-risk campaigns (sharded across workers)
+    # ------------------------------------------------------------------
+    async def _fleet_risk_submit(self, request: HttpRequest) -> HttpResponse:
+        """Split one fleet campaign into contiguous instance ranges, one
+        per live worker, and submit each as a worker-local job.
+
+        Instance identity depends only on ``(seed, index)``, so an
+        offset split partitions the campaign *exactly* — the merged
+        shard aggregates equal the single-process campaign bit for bit.
+        Re-POSTing the same body attaches to the existing sharded job
+        (and resumes any shard a restarted worker forgot).
+        """
+        if self._draining:
+            return error_response(503, "service is draining")
+        try:
+            payload = json.loads(request.body or b"{}")
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"invalid JSON body: {exc}") from None
+        parsed = FleetRiskRequest.from_json(payload)
+        fleet_job_id = parsed.cache_key()[:16]
+        if fleet_job_id in self._fleet_risk_jobs:
+            return await self._fleet_risk_status(fleet_job_id, status_code=200)
+        alive = sorted(self._alive())
+        if not alive:
+            return error_response(503, "no live workers")
+        base, extra = divmod(parsed.modules, len(alive))
+        shards: list[dict] = []
+        offset = parsed.offset
+        for position, worker_index in enumerate(alive):
+            count = base + (1 if position < extra else 0)
+            if count == 0:
+                continue
+            shards.append(
+                {
+                    "worker": worker_index,
+                    "body": parsed.shard(offset, count).to_json(),
+                    "job_id": None,
+                }
+            )
+            offset += count
+        for shard in shards:
+            handle = self.handles[shard["worker"]]
+            status, _, raw = await self._raw_request(
+                handle,
+                "POST",
+                "/v1/fleet-risk",
+                json.dumps(shard["body"]).encode(),
+            )
+            if status not in (200, 202):
+                # Worker jobs already started are left running: a retry
+                # of this POST re-submits identical shard bodies, which
+                # attach idempotently on the workers that accepted them.
+                message = raw.decode(errors="replace")
+                return error_response(
+                    status if status in (429, 503) else 502,
+                    f"worker {shard['worker']} refused shard: {message}",
+                )
+            shard["job_id"] = json.loads(raw)["job_id"]
+        self._fleet_risk_jobs[fleet_job_id] = {
+            "modules_total": parsed.modules,
+            "intervals": list(parsed.intervals),
+            "shards": shards,
+        }
+        return await self._fleet_risk_status(fleet_job_id, status_code=202)
+
+    async def _fleet_risk_poll(self, route: str) -> HttpResponse:
+        fleet_job_id = route.rsplit("/", 1)[-1]
+        if fleet_job_id not in self._fleet_risk_jobs:
+            return error_response(404, f"no such fleet job: {fleet_job_id}")
+        return await self._fleet_risk_status(fleet_job_id, status_code=200)
+
+    async def _poll_shard(self, shard: dict) -> dict | None:
+        """One shard's snapshot+state; re-submits to a worker that lost
+        the job (restart) so its campaign resumes from checkpoint."""
+        handle = self.handles[shard["worker"]]
+        if handle.state != "ready":
+            return None
+        path = f"/v1/fleet-risk/{shard['job_id']}?state=1"
+        try:
+            status, _, raw = await self._raw_request(handle, "GET", path)
+            if status == 404:
+                status, _, _ = await self._raw_request(
+                    handle,
+                    "POST",
+                    "/v1/fleet-risk",
+                    json.dumps(shard["body"]).encode(),
+                )
+                if status not in (200, 202):
+                    return None
+                status, _, raw = await self._raw_request(handle, "GET", path)
+            if status != 200:
+                return None
+            return json.loads(raw)
+        except (OSError, BadRequest, asyncio.IncompleteReadError):
+            return None
+
+    async def _fleet_risk_status(
+        self, fleet_job_id: str, status_code: int
+    ) -> HttpResponse:
+        """Merge shard aggregator states into one fleet-level snapshot.
+
+        The merge is exact (integer histogram addition), so the fleet
+        percentiles equal what one worker running the whole range would
+        report.  Shards on unreachable workers degrade the status to
+        ``running`` — never to wrong numbers.
+        """
+        record = self._fleet_risk_jobs[fleet_job_id]
+        merged: FleetAggregator | None = None
+        shard_views: list[dict] = []
+        statuses: list[str] = []
+        modules_done = 0
+        for shard in record["shards"]:
+            snapshot = await self._poll_shard(shard)
+            if snapshot is None:
+                statuses.append("unreachable")
+                shard_views.append(
+                    {
+                        "worker": shard["worker"],
+                        "job_id": shard["job_id"],
+                        "status": "unreachable",
+                    }
+                )
+                continue
+            statuses.append(snapshot.get("status", "running"))
+            modules_done += int(snapshot.get("modules_done", 0))
+            state = snapshot.get("state")
+            if state is not None:
+                aggregator = FleetAggregator.from_state(state["aggregator"])
+                if merged is None:
+                    merged = aggregator
+                else:
+                    merged.merge(aggregator)
+            shard_views.append(
+                {
+                    "worker": shard["worker"],
+                    "job_id": shard["job_id"],
+                    "status": snapshot.get("status"),
+                    "modules_done": snapshot.get("modules_done"),
+                    "error": snapshot.get("error"),
+                }
+            )
+        if any(status == "failed" for status in statuses):
+            overall = "failed"
+        elif statuses and all(status == "done" for status in statuses):
+            overall = "done"
+        else:
+            overall = "running"
+        body: dict = (
+            merged.snapshot()
+            if merged is not None
+            else {"modules": 0, "intervals": []}
+        )
+        body["job_id"] = fleet_job_id
+        body["status"] = overall
+        body["modules_total"] = record["modules_total"]
+        body["modules_done"] = modules_done
+        body["shards"] = shard_views
+        return json_response(status_code, body)
 
 
 async def _run_async(config: FleetConfig) -> None:

@@ -21,15 +21,18 @@ or intervals can be folded into one engine submission.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass
 
 from repro.chip.catalog import get_module
 from repro.chip.geometry import BankGeometry
+from repro.core.analytic import GUARDBAND_ROWS
 from repro.core.cache import content_key
 from repro.core.campaign import CampaignScale, SubarrayRecord
 from repro.core.config import WORST_CASE, DisturbConfig
 from repro.core.risk import RefreshWindowRisk
+from repro.fleet.scenario import SCENARIO_NAMES, FleetSpec
 
 #: Stamped into every request key; bump when request semantics change so
 #: stale coalescing identities can never alias new ones.
@@ -49,6 +52,12 @@ MAX_ROWS = 4096
 MAX_COLUMNS = 8192
 MAX_INTERVALS = 32
 MAX_INTERVAL_S = 128.0
+
+#: Fleet-campaign bounds: a campaign streams, so the module ceiling is
+#: about wall-clock honesty (10M instances is hours, not memory).
+MAX_FLEET_MODULES = 10_000_000
+MAX_FLEET_SEED = 2**63 - 1
+MAX_DIE_SIGMA = 2.0
 
 
 class ProtocolError(ValueError):
@@ -282,6 +291,163 @@ class RiskRequest:
             self.rows,
             self.columns,
             self.temperature_c,
+        )
+
+
+def _require_bounded_int(
+    payload: dict, name: str, default: int, low: int, high: int
+) -> int:
+    value = payload.get(name, default)
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ProtocolError(f"{name} must be an integer")
+    if not low <= value <= high:
+        raise ProtocolError(f"{name} must be in [{low}, {high}], got {value}")
+    return value
+
+
+def _require_serials(payload: dict) -> tuple[str, ...]:
+    raw = payload.get("serials", [])
+    if not isinstance(raw, (list, tuple)):
+        raise ProtocolError("serials must be an array of catalog serials")
+    serials = []
+    for serial in raw:
+        if not isinstance(serial, str):
+            raise ProtocolError("serials must be strings")
+        try:
+            get_module(serial)
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from None
+        serials.append(serial)
+    if len(set(serials)) != len(serials):
+        raise ProtocolError("serials must not repeat")
+    return tuple(serials)
+
+
+@dataclass(frozen=True)
+class FleetRiskRequest:
+    """``POST /v1/fleet-risk``: an async fleet-scale risk campaign.
+
+    Submits a seeded campaign over ``modules`` sampled instances
+    (`repro.fleet.FleetSpec` semantics: instance ``i`` depends only on
+    ``(seed, i)``, so ``offset`` shards a larger campaign exactly).
+    The response carries a job id; poll ``GET /v1/fleet-risk/<id>`` for
+    streamed percentile snapshots until ``status`` is ``done``.
+    """
+
+    FIELDS = frozenset(
+        (
+            "modules",
+            "seed",
+            "offset",
+            "serials",
+            "scenario",
+            "temperature_c",
+            "intervals",
+            "rows",
+            "columns",
+            "sigma_retention_die",
+            "sigma_kappa_die",
+        )
+    )
+
+    modules: int
+    seed: int = 0
+    offset: int = 0
+    serials: tuple[str, ...] = ()
+    scenario: str = "worst-case"
+    temperature_c: float = 85.0
+    intervals: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0)
+    rows: int = 64
+    columns: int = 256
+    sigma_retention_die: float = 0.25
+    sigma_kappa_die: float = 0.35
+
+    @classmethod
+    def from_json(cls, payload: object) -> "FleetRiskRequest":
+        if not isinstance(payload, dict):
+            raise ProtocolError("request body must be a JSON object")
+        _check_extra_fields(payload, cls.FIELDS)
+        scenario = payload.get("scenario", "worst-case")
+        if not isinstance(scenario, str) or scenario not in SCENARIO_NAMES:
+            raise ProtocolError(f"scenario must be one of {', '.join(SCENARIO_NAMES)}")
+        request = cls(
+            modules=_require_int(payload, "modules", 0, MAX_FLEET_MODULES),
+            seed=_require_bounded_int(payload, "seed", 0, 0, MAX_FLEET_SEED),
+            offset=_require_bounded_int(payload, "offset", 0, 0, MAX_FLEET_MODULES),
+            serials=_require_serials(payload),
+            scenario=scenario,
+            temperature_c=_require_float(payload, "temperature_c", 85.0, -40.0, 150.0),
+            intervals=_require_intervals(payload),
+            rows=_require_bounded_int(
+                payload, "rows", 64, 2 * GUARDBAND_ROWS + 2, MAX_ROWS
+            ),
+            columns=_require_bounded_int(payload, "columns", 256, 8, MAX_COLUMNS),
+            sigma_retention_die=_require_float(
+                payload, "sigma_retention_die", 0.25, 0.0, MAX_DIE_SIGMA
+            ),
+            sigma_kappa_die=_require_float(
+                payload, "sigma_kappa_die", 0.35, 0.0, MAX_DIE_SIGMA
+            ),
+        )
+        try:
+            request.spec  # FleetSpec invariants (sorted intervals, ...)
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from None
+        return request
+
+    def to_json(self) -> dict:
+        return {
+            "modules": self.modules,
+            "seed": self.seed,
+            "offset": self.offset,
+            "serials": list(self.serials),
+            "scenario": self.scenario,
+            "temperature_c": self.temperature_c,
+            "intervals": list(self.intervals),
+            "rows": self.rows,
+            "columns": self.columns,
+            "sigma_retention_die": self.sigma_retention_die,
+            "sigma_kappa_die": self.sigma_kappa_die,
+        }
+
+    @property
+    def spec(self) -> FleetSpec:
+        return FleetSpec(
+            modules=self.modules,
+            seed=self.seed,
+            offset=self.offset,
+            serials=self.serials,
+            scenario=self.scenario,
+            temperature_c=self.temperature_c,
+            intervals=self.intervals,
+            rows=self.rows,
+            columns=self.columns,
+            sigma_retention_die=self.sigma_retention_die,
+            sigma_kappa_die=self.sigma_kappa_die,
+        )
+
+    def shard(self, offset: int, modules: int) -> "FleetRiskRequest":
+        """A sub-range of this campaign (instance identity unchanged)."""
+        return dataclasses.replace(self, offset=offset, modules=modules)
+
+    def cache_key(self) -> str:
+        """Campaign identity — the fleet-level job id derives from it."""
+        return content_key(
+            (
+                "serve.fleet-risk",
+                PROTOCOL_VERSION,
+                self.modules,
+                self.seed,
+                self.offset,
+                self.serials,
+                self.scenario,
+                self.temperature_c,
+                self.intervals,
+                self.rows,
+                self.columns,
+                self.sigma_retention_die,
+                self.sigma_kappa_die,
+            )
         )
 
 

@@ -10,6 +10,8 @@ Routes:
 ====================  =====================================================
 ``POST /v1/characterize``  run (or coalesce onto) a characterization
 ``POST /v1/risk``          refresh-window risk for one module
+``POST /v1/fleet-risk``    submit an async fleet-scale risk campaign
+``GET /v1/fleet-risk/<id>``  poll a campaign's percentile snapshot
 ``GET /v1/catalog``        the module catalog the service can characterize
 ``GET /healthz``           liveness (always 200 while the process runs)
 ``GET /readyz``            readiness (503 once draining)
@@ -38,6 +40,7 @@ from pathlib import Path
 
 from repro import obs
 from repro.chip.catalog import CATALOG
+from repro.fleet.jobs import FleetBusyError, FleetJobManager
 from repro.obs import logs as obs_logs
 from repro.obs.export import prometheus_text
 from repro.serve.protocol import (
@@ -45,6 +48,7 @@ from repro.serve.protocol import (
     REQUEST_ID_HEADER,
     REQUEST_ID_RESPONSE_HEADER,
     CharacterizeRequest,
+    FleetRiskRequest,
     ProtocolError,
     RiskRequest,
 )
@@ -91,6 +95,8 @@ class ServeConfig:
     executor: str | None = None
     trace_dir: str | None = None
     slow_trace_ms: float = 1000.0
+    fleet_checkpoint_every: int = 500
+    fleet_max_jobs: int = 4
 
 
 def capture_slow_trace(
@@ -144,6 +150,19 @@ class ReproServer(AsyncHttpServer):
             kernel=config.kernel,
             executor=config.executor,
         )
+        # Fleet campaigns get their own cache handle (job threads must not
+        # share the scheduler's memory tier) over the same disk directory,
+        # and checkpoint under <cache_dir>/fleet-jobs — a restarted server
+        # on the same directories resumes killed campaigns.
+        self.fleet_jobs = FleetJobManager(
+            checkpoint_root=(
+                Path(config.cache_dir) / "fleet-jobs" if config.cache_dir else None
+            ),
+            cache=OutcomeCache(directory=config.cache_dir),
+            workers=config.workers,
+            checkpoint_every=config.fleet_checkpoint_every,
+            max_running=config.fleet_max_jobs,
+        )
         self._started = time.monotonic()
 
     # ------------------------------------------------------------------
@@ -154,8 +173,14 @@ class ReproServer(AsyncHttpServer):
         self.config.port = self.port
 
     async def shutdown(self) -> None:
-        """Graceful drain: stop accepting, finish queued work."""
+        """Graceful drain: stop accepting, finish queued work.
+
+        Running fleet campaigns are stopped cooperatively — each flushes
+        a checkpoint first, so a re-submitted job resumes where the
+        drain cut it off.
+        """
         await self.close_listener()
+        await asyncio.to_thread(self.fleet_jobs.stop_all)
         await self.scheduler.drain()
         # Drained work still needs its responses flushed; give handlers a
         # moment, then drop idle keep-alive connections.
@@ -225,8 +250,15 @@ class ReproServer(AsyncHttpServer):
             ("GET", "/v1/catalog"): self._catalog,
             ("POST", "/v1/characterize"): self._characterize,
             ("POST", "/v1/risk"): self._risk,
+            ("POST", "/v1/fleet-risk"): self._fleet_risk_submit,
         }
         handler = handlers.get((request.method, route))
+        if handler is None and route.startswith("/v1/fleet-risk/"):
+            if request.method != "GET":
+                return error_response(
+                    405, f"method {request.method} not allowed on {route}"
+                )
+            handler = self._fleet_risk_poll
         if handler is None:
             if any(path == route for _, path in handlers):
                 return error_response(
@@ -239,6 +271,8 @@ class ReproServer(AsyncHttpServer):
             return error_response(
                 429, str(exc), **{"Retry-After": f"{exc.retry_after:g}"}
             )
+        except FleetBusyError as exc:
+            return error_response(429, str(exc), **{"Retry-After": "5"})
         except DrainingError as exc:
             return error_response(503, str(exc))
         except ProtocolError as exc:
@@ -263,6 +297,34 @@ class ReproServer(AsyncHttpServer):
         parsed = RiskRequest.from_json(self._parse_body(request))
         result = await self.scheduler.submit(parsed)
         return json_response(200, result)
+
+    async def _fleet_risk_submit(self, request: HttpRequest) -> HttpResponse:
+        """Submit (or attach to / resume) an async fleet campaign.
+
+        Idempotent on the request body: the job id is the content digest
+        of the spec, so re-POSTing the same body after a crash resumes
+        the campaign from its on-disk checkpoint.  202 on a fresh start,
+        200 when attaching to a running or finished job.
+        """
+        if self.scheduler.draining:
+            return error_response(503, "draining")
+        parsed = FleetRiskRequest.from_json(self._parse_body(request))
+        job, started = await asyncio.to_thread(self.fleet_jobs.submit, parsed.spec)
+        return json_response(202 if started else 200, job.snapshot())
+
+    async def _fleet_risk_poll(self, request: HttpRequest) -> HttpResponse:
+        """Poll one campaign's live percentile snapshot.
+
+        ``?state=1`` includes the exact aggregator state — the fleet
+        front door merges shard states through this.
+        """
+        route, _, query = request.path.partition("?")
+        job_id = route.rsplit("/", 1)[-1]
+        job = self.fleet_jobs.get(job_id)
+        if job is None:
+            return error_response(404, f"no such fleet job: {job_id}")
+        include_state = "state=1" in query.split("&")
+        return json_response(200, job.snapshot(include_state=include_state))
 
     async def _catalog(self, request: HttpRequest) -> HttpResponse:
         modules = [
