@@ -39,7 +39,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: Every writer must go through :func:`merge_bench_block` so one bench
 #: refreshing its own numbers can never clobber another bench's block
 #: (the failure mode that once erased the committed ``serve`` block).
-BENCH_BLOCKS = ("kernels", "serve", "obs", "fleet_risk")
+BENCH_BLOCKS = ("kernels", "serve", "obs", "fleet_risk", "memsys")
 
 
 def merge_bench_block(

@@ -25,7 +25,7 @@ COPIES = (
 
 
 def main(argv: list[str]) -> int:
-    blocks = argv or ["serve", "kernels", "fleet_risk"]
+    blocks = argv or ["serve", "kernels", "fleet_risk", "memsys"]
     problems: list[str] = []
     contents: list[str] = []
     for path in COPIES:

@@ -1,0 +1,203 @@
+"""Memsys smoke: SIGKILL a multi-channel sim mid-run, resume, assert identity.
+
+The memsys snapshot contract is "a killed simulation loses wall-clock,
+never answers": snapshots carry the exact event heap, core progress, and
+bank/rank/channel trackers, so a run killed with SIGKILL (no handler, no
+flush beyond the last snapshot) and rerun with the same configuration
+must produce a result JSON byte-for-byte identical to a never-interrupted
+run.  This script is that contract as an executable check:
+
+1. start ``repro sim run`` (multi-channel, timing-enforced, periodic
+   snapshots) as a real subprocess, wait until a snapshot file exists,
+   and SIGKILL it;
+2. rerun the identical command — it must resume from the newest snapshot
+   (the "resumed from snapshot" line proves it) and finish;
+3. run the same configuration uninterrupted into a separate result file;
+4. assert the two result JSONs are byte-identical, that the enforced run
+   reports zero timing violations, and that the surviving snapshot files
+   pass their content-digest check.
+
+Artifacts (both result JSONs plus the surviving snapshots) land under
+``--artifacts-dir`` for CI upload, so a red run can be diffed without
+reproducing it locally.
+
+Usage::
+
+    PYTHONPATH=src python scripts/memsys_smoke.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _sim_cmd(
+    args: argparse.Namespace, snapshot_dir: Path | None, out: Path
+) -> list[str]:
+    cmd = [
+        sys.executable, "-m", "repro", "sim", "run",
+        "--cores", str(args.cores),
+        "--mpki", "40",
+        "--locality", "0.4",
+        "--length", str(args.length),
+        "--banks", "16",
+        "--channels", "2",
+        "--ranks", "2",
+        "--enforce-timing",
+        "--out", str(out),
+    ]
+    if snapshot_dir is not None:
+        cmd += [
+            "--snapshot-dir", str(snapshot_dir),
+            "--snapshot-every", str(args.snapshot_every),
+        ]
+    return cmd
+
+
+def _run(cmd: list[str], env: dict) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        cmd, cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+        timeout=600,
+    )
+
+
+def _fail(message: str) -> None:
+    print(f"memsys smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cores", type=int, default=4)
+    parser.add_argument(
+        "--length", type=int, default=20000,
+        help="requests per core (long enough to be killed mid-run)",
+    )
+    parser.add_argument("--snapshot-every", type=int, default=2000)
+    parser.add_argument(
+        "--artifacts-dir", default=None,
+        help="copy result JSONs and surviving snapshots here for upload",
+    )
+    args = parser.parse_args()
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+
+    workdir = Path(tempfile.mkdtemp(prefix="memsys-smoke-"))
+    snapshot_dir = workdir / "snapshots"
+    resumed_out = workdir / "resumed.json"
+    straight_out = workdir / "uninterrupted.json"
+
+    try:
+        # 1. Start, wait for a snapshot, SIGKILL.
+        cmd = _sim_cmd(args, snapshot_dir, resumed_out)
+        process = subprocess.Popen(
+            cmd, cwd=REPO_ROOT, env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        deadline = time.monotonic() + 300
+        killed = False
+        while time.monotonic() < deadline:
+            if list(snapshot_dir.glob("snapshot-*.json")):
+                process.send_signal(signal.SIGKILL)
+                process.wait(timeout=60)
+                killed = True
+                break
+            if process.poll() is not None:
+                break
+            time.sleep(0.05)
+        if not killed:
+            _fail(
+                "run finished before any snapshot appeared — raise "
+                "--length or lower --snapshot-every"
+            )
+        survivors = sorted(snapshot_dir.glob("snapshot-*.json"))
+        if not survivors:
+            _fail("no snapshot survived the kill")
+        print(
+            f"memsys smoke: killed mid-run with {len(survivors)} "
+            f"snapshot(s) on disk"
+        )
+
+        # Surviving snapshots must pass their content-digest check.
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+        from repro.sim.memsys import SnapshotStore
+
+        store = SnapshotStore(snapshot_dir)
+        if store.latest() is None:
+            _fail("surviving snapshots failed digest verification")
+        print("memsys smoke: surviving snapshot digest-valid")
+
+        # 2. Rerun identically: must resume and finish.
+        resumed = _run(_sim_cmd(args, snapshot_dir, resumed_out), env)
+        if resumed.returncode != 0:
+            _fail(f"resumed run exited {resumed.returncode}: {resumed.stderr}")
+        if "resumed from snapshot" not in resumed.stdout:
+            _fail(
+                "resumed run did not report resuming from a snapshot:\n"
+                + resumed.stdout
+            )
+        print("memsys smoke: resumed run completed")
+
+        # 3. Uninterrupted reference run (no snapshotting at all).
+        straight = _run(_sim_cmd(args, None, straight_out), env)
+        if straight.returncode != 0:
+            _fail(
+                f"uninterrupted run exited {straight.returncode}: "
+                f"{straight.stderr}"
+            )
+
+        # 4. Byte-for-byte identity + zero violations under enforcement.
+        resumed_bytes = resumed_out.read_bytes()
+        straight_bytes = straight_out.read_bytes()
+        if resumed_bytes != straight_bytes:
+            _fail(
+                "resumed result differs from uninterrupted run "
+                f"({resumed_out} vs {straight_out})"
+            )
+        result = json.loads(resumed_bytes)
+        timing = result.get("timing", {})
+        if not timing.get("checked") or not timing.get("enforced"):
+            _fail("run was not timing-checked/enforced as requested")
+        violations = timing.get("violations", [])
+        if violations:
+            _fail(
+                f"enforced run reported {len(violations)} timing "
+                f"violation(s); first: {violations[0]}"
+            )
+        channels = result.get("channel_report", [])
+        if len(channels) != 2 or any(
+            entry["requests"] == 0 for entry in channels
+        ):
+            _fail(f"unexpected channel report: {channels}")
+        print(
+            "memsys smoke: PASS — resumed result byte-identical, "
+            f"0 violations over {result['requests']} requests on "
+            f"{len(channels)} channels"
+        )
+    finally:
+        if args.artifacts_dir:
+            artifacts = Path(args.artifacts_dir)
+            artifacts.mkdir(parents=True, exist_ok=True)
+            for path in (resumed_out, straight_out):
+                if path.exists():
+                    shutil.copy2(path, artifacts / path.name)
+            if snapshot_dir.is_dir():
+                for path in snapshot_dir.glob("snapshot-*.json"):
+                    shutil.copy2(path, artifacts / path.name)
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -470,6 +470,8 @@ def _cmd_fleet_risk(args: argparse.Namespace) -> str:
         columns=args.columns,
         sigma_retention_die=args.sigma_retention,
         sigma_kappa_die=args.sigma_kappa,
+        channels=args.channels,
+        ranks=args.ranks,
     )
     campaign = FleetCampaign(
         spec=spec,
@@ -524,6 +526,190 @@ def _cmd_fleet_risk(args: argparse.Namespace) -> str:
         footer += f"; resumed from instance {result.resumed_from}"
     if args.out:
         footer += f"\npercentile snapshot written to {args.out}"
+    return body + footer
+
+
+def _cmd_sim(args: argparse.Namespace) -> str:
+    if args.sim_command == "run":
+        return _sim_run(args)
+    if args.sim_command == "report":
+        return _sim_report(args)
+    raise ValueError(f"unknown sim command {args.sim_command!r}")
+
+
+def _parse_per_core(text: str, cores: int, what: str) -> list[float]:
+    """Parse a float or comma-separated per-core float list."""
+    try:
+        values = [float(part) for part in text.split(",")]
+    except ValueError:
+        raise ValueError(
+            f"--{what} must be a number or comma-separated numbers"
+        ) from None
+    if len(values) == 1:
+        return values * cores
+    if len(values) != cores:
+        raise ValueError(
+            f"--{what} lists one value or one per core "
+            f"({cores}), got {len(values)}"
+        )
+    return values
+
+
+def _parse_timing(text: str | None):
+    """`MEMSYS_DDR4_3200` with ``key=value,...`` overrides applied."""
+    import dataclasses
+
+    from repro.sim.timing import MEMSYS_DDR4_3200, MemsysTiming
+
+    if not text:
+        return MEMSYS_DDR4_3200
+    known = {f.name for f in dataclasses.fields(MemsysTiming)}
+    overrides: dict[str, int] = {}
+    for part in text.split(","):
+        name, sep, value = part.partition("=")
+        name = name.strip()
+        if not sep or name not in known:
+            raise ValueError(
+                f"--timing expects key=value pairs over {sorted(known)}, "
+                f"got {part!r}"
+            )
+        try:
+            overrides[name] = int(value)
+        except ValueError:
+            raise ValueError(
+                f"--timing {name} must be an integer cycle count, "
+                f"got {value!r}"
+            ) from None
+    return dataclasses.replace(MEMSYS_DDR4_3200, **overrides)
+
+
+def _sim_run(args: argparse.Namespace) -> str:
+    import json
+    from pathlib import Path
+
+    from repro.sim.memsys import MemsysSimulation, MemsysTopology, SnapshotStore
+    from repro.sim.refreshpolicy import NoRefresh, PeriodicRefresh
+    from repro.workloads.trace import WorkloadTrace
+
+    if args.cores < 1:
+        raise ValueError("--cores must be at least 1")
+    topology = MemsysTopology(channels=args.channels, ranks=args.ranks)
+    timing = _parse_timing(args.timing)
+    mpkis = _parse_per_core(args.mpki, args.cores, "mpki")
+    localities = _parse_per_core(args.locality, args.cores, "locality")
+    traces = [
+        WorkloadTrace(
+            name=f"sim-core{i}", mpki=mpkis[i], locality=localities[i],
+            banks=args.banks, length=args.length,
+        )
+        for i in range(args.cores)
+    ]
+    if args.policy == "no-refresh":
+        policy = NoRefresh()
+    else:
+        policy = PeriodicRefresh(timing)
+    simulation = MemsysSimulation(
+        traces,
+        policy,
+        banks=args.banks,
+        topology=topology,
+        timing=timing,
+        window=args.window,
+        check_timing=args.check_timing or args.enforce_timing,
+        enforce_timing=args.enforce_timing,
+    )
+    store = None
+    resumed_at = None
+    if args.snapshot_dir:
+        store = SnapshotStore(args.snapshot_dir)
+        state = store.latest()
+        if state is not None:
+            try:
+                simulation.restore(state)
+                resumed_at = simulation.events_processed
+            except ValueError as exc:
+                # A snapshot from some other configuration: start fresh
+                # rather than silently diverging from it.
+                print(
+                    f"repro sim: ignoring snapshot ({exc})", file=sys.stderr
+                )
+    result = simulation.run(store=store, snapshot_every=args.snapshot_every)
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(result.to_json(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    body = _render_sim_result(result.to_json())
+    if resumed_at is not None:
+        body += f"\nresumed from snapshot at event {resumed_at}"
+    if args.out:
+        body += f"\nresult written to {args.out}"
+    return body
+
+
+def _sim_report(args: argparse.Namespace) -> str:
+    import json
+
+    try:
+        with open(args.file, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{args.file} is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict) or "channel_report" not in payload:
+        raise ValueError(
+            f"{args.file} is not a `repro sim run --out` result "
+            "(missing channel_report)"
+        )
+    return _render_sim_result(payload)
+
+
+def _render_sim_result(payload: dict) -> str:
+    """Render a `SystemResult.to_json` payload as the sim report table."""
+    topology = payload.get("topology", {})
+    rows = [
+        [
+            str(entry["channel"]),
+            str(entry["requests"]),
+            f"{entry['utilization']:.1%}",
+            f"{entry['row_hit_ratio']:.1%}",
+            f"{entry['command_bus_efficiency']:.1%}",
+            str(entry["rank_turnarounds"]),
+            "/".join(str(b) for b in entry["rank_busy_cycles"]),
+        ]
+        for entry in payload["channel_report"]
+    ]
+    body = table(
+        ["channel", "requests", "data-bus util", "row hits",
+         "cmd-bus eff", "turnarounds", "busy/rank"],
+        rows,
+    )
+    ipcs = ", ".join(f"{ipc:.3f}" for ipc in payload.get("ipcs", []))
+    footer = (
+        f"\n{payload.get('policy')} policy, "
+        f"{topology.get('channels')}ch x {topology.get('ranks')}rk x "
+        f"{topology.get('banks_total')} banks: "
+        f"{payload.get('requests')} requests in {payload.get('cycles')} "
+        f"cycles (IPC {ipcs})"
+    )
+    energy = payload.get("energy", {})
+    if energy.get("total_mj"):
+        footer += f"\nenergy: {energy['total_mj']:.3f} mJ total"
+    timing = payload.get("timing", {})
+    if timing.get("checked"):
+        violations = timing.get("violations", [])
+        mode = "enforced" if timing.get("enforced") else "modeled"
+        footer += (
+            f"\ntiming ({mode}): {len(violations)} violation(s)"
+        )
+        by_constraint: dict[str, int] = {}
+        for violation in violations:
+            name = violation.get("constraint", "?")
+            by_constraint[name] = by_constraint.get(name, 0) + 1
+        if by_constraint:
+            footer += " — " + ", ".join(
+                f"{name}: {count}"
+                for name, count in sorted(by_constraint.items())
+            )
     return body + footer
 
 
@@ -717,6 +903,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-die lognormal sigma on median coupling strength",
     )
     fleet_risk.add_argument(
+        "--channels", type=int, default=1, metavar="C",
+        help="deployed memory channels (attacker bandwidth dilutes over "
+             "channels x ranks; default 1)",
+    )
+    fleet_risk.add_argument(
+        "--ranks", type=int, default=1, metavar="R",
+        help="deployed ranks per channel (default 1)",
+    )
+    fleet_risk.add_argument(
         "--checkpoint-dir", default=None, metavar="DIR",
         help="write periodic resume checkpoints under DIR; rerunning with "
              "the same spec resumes from the newest one",
@@ -738,6 +933,88 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the percentile snapshot as JSON to FILE",
     )
     _add_observability_args(fleet_risk)
+
+    sim_parser = sub.add_parser(
+        "sim",
+        help="multi-rank/multi-channel memory-system simulation "
+             "(repro.sim.memsys)",
+    )
+    sim_sub = sim_parser.add_subparsers(dest="sim_command", required=True)
+    sim_run = sim_sub.add_parser(
+        "run",
+        help="run a multiprogrammed mix over a channels x ranks topology",
+    )
+    sim_run.add_argument(
+        "--cores", type=int, default=4, metavar="N",
+        help="cores in the mix (default 4)",
+    )
+    sim_run.add_argument(
+        "--mpki", default="30", metavar="M[,M,...]",
+        help="LLC MPKI, one value or one per core (default 30)",
+    )
+    sim_run.add_argument(
+        "--locality", default="0.5", metavar="L[,L,...]",
+        help="row-buffer locality in [0,1], one value or per core",
+    )
+    sim_run.add_argument(
+        "--length", type=int, default=2000, metavar="N",
+        help="requests per core trace (default 2000)",
+    )
+    sim_run.add_argument(
+        "--banks", type=int, default=16, metavar="N",
+        help="global banks, interleaved over channels x ranks (default 16)",
+    )
+    sim_run.add_argument(
+        "--channels", type=int, default=1, metavar="C",
+        help="memory channels (default 1)",
+    )
+    sim_run.add_argument(
+        "--ranks", type=int, default=1, metavar="R",
+        help="ranks per channel (default 1)",
+    )
+    sim_run.add_argument(
+        "--window", type=int, default=4, metavar="N",
+        help="per-core MLP window (default 4)",
+    )
+    sim_run.add_argument(
+        "--policy", choices=("no-refresh", "periodic"), default="periodic",
+        help="refresh policy (default periodic)",
+    )
+    sim_run.add_argument(
+        "--timing", default=None, metavar="KEY=VAL,...",
+        help="override MEMSYS_DDR4_3200 timing fields, e.g. "
+             "t_rtrs=6,t_ccd=8",
+    )
+    sim_run.add_argument(
+        "--check-timing", action="store_true",
+        help="check the implied command stream against JEDEC-class "
+             "constraints and report violations",
+    )
+    sim_run.add_argument(
+        "--enforce-timing", action="store_true",
+        help="delay accesses until their implied commands are legal "
+             "(implies --check-timing; changes schedules)",
+    )
+    sim_run.add_argument(
+        "--snapshot-dir", default=None, metavar="DIR",
+        help="digest-stamped snapshots under DIR; rerunning with the same "
+             "configuration resumes from the newest valid one",
+    )
+    sim_run.add_argument(
+        "--snapshot-every", type=int, default=0, metavar="N",
+        help="snapshot cadence in processed events (0 disables)",
+    )
+    sim_run.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the full result JSON to FILE",
+    )
+    _add_observability_args(sim_run)
+    sim_report = sim_sub.add_parser(
+        "report",
+        help="render a `sim run --out` result file as the per-channel "
+             "bandwidth table",
+    )
+    sim_report.add_argument("file", help="a `repro sim run --out` JSON file")
 
     obs_parser = sub.add_parser("obs", help="observability utilities")
     obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
@@ -776,6 +1053,7 @@ _HANDLERS = {
     "run-program": _cmd_run_program,
     "datasheet": _cmd_datasheet,
     "serve": _cmd_serve,
+    "sim": _cmd_sim,
     "obs": _cmd_obs,
 }
 

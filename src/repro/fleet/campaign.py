@@ -104,6 +104,8 @@ class FleetResult:
         out["scenario"] = self.spec.scenario
         out["seed"] = self.spec.seed
         out["offset"] = self.spec.offset
+        out["channels"] = self.spec.channels
+        out["ranks"] = self.spec.ranks
         out["wall_s"] = self.wall_s
         out["cache_hits"] = self.cache_hits
         out["cache_misses"] = self.cache_misses
@@ -186,8 +188,11 @@ class FleetCampaign:
             summary = characterize_instance(instance, horizon)
             if self.cache is not None and key is not None:
                 self.cache.put(key, summary)
+        # Topology dilution: an attacker interleaved over channels*ranks
+        # devices exposes each column for 1/dilution of every interval.
+        dilution = self.spec.topology_dilution
         rates = [
-            summary.flip_count(interval) / summary.cells
+            summary.flip_count(interval / dilution) / summary.cells
             for interval in self.spec.intervals
         ]
         return rates, hit

@@ -158,6 +158,13 @@ class FleetSpec:
             multiplier.
         sigma_kappa_die: lognormal sigma of the per-die coupling
             multiplier.
+        channels / ranks: memory-system topology of the deployed modules
+            (`repro.sim.memsys` axes).  A fixed-bandwidth attacker
+            interleaved over ``channels * ranks`` independently-buffered
+            devices disturbs each column for only ``1/(channels*ranks)``
+            of every refresh window, so risk is evaluated at that
+            *effective* exposure interval — 1x1 reproduces the historic
+            single-device campaign exactly.
     """
 
     modules: int
@@ -171,6 +178,8 @@ class FleetSpec:
     columns: int = 256
     sigma_retention_die: float = 0.25
     sigma_kappa_die: float = 0.35
+    channels: int = 1
+    ranks: int = 1
 
     def __post_init__(self) -> None:
         if self.modules < 1:
@@ -198,6 +207,14 @@ class FleetSpec:
             raise ValueError("die sigmas must be non-negative")
         if self.temperature_c < -40 or self.temperature_c > 150:
             raise ValueError("temperature_c out of range")
+        from repro.sim.memsys.topology import MAX_CHANNELS, MAX_RANKS
+
+        if not 1 <= self.channels <= MAX_CHANNELS:
+            raise ValueError(
+                f"channels must be in [1, {MAX_CHANNELS}], got {self.channels}"
+            )
+        if not 1 <= self.ranks <= MAX_RANKS:
+            raise ValueError(f"ranks must be in [1, {MAX_RANKS}], got {self.ranks}")
 
     @property
     def resolved_serials(self) -> tuple[str, ...]:
@@ -208,6 +225,13 @@ class FleetSpec:
     def horizon(self) -> float:
         """Summary horizon: the largest reported interval."""
         return max(self.intervals)
+
+    @property
+    def topology_dilution(self) -> int:
+        """Attacker-bandwidth dilution factor of the topology: reported
+        intervals are evaluated at ``interval / topology_dilution``
+        effective exposure (always >= 1; 1 for the 1x1 topology)."""
+        return self.channels * self.ranks
 
     def digest(self) -> str:
         """Content hash of the spec (checkpoint/spec binding)."""

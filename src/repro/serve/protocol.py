@@ -33,6 +33,7 @@ from repro.core.campaign import CampaignScale, SubarrayRecord
 from repro.core.config import WORST_CASE, DisturbConfig
 from repro.core.risk import RefreshWindowRisk
 from repro.fleet.scenario import SCENARIO_NAMES, FleetSpec
+from repro.sim.memsys.topology import MAX_CHANNELS, MAX_RANKS
 
 #: Stamped into every request key; bump when request semantics change so
 #: stale coalescing identities can never alias new ones.
@@ -332,6 +333,11 @@ class FleetRiskRequest:
     ``(seed, i)``, so ``offset`` shards a larger campaign exactly).
     The response carries a job id; poll ``GET /v1/fleet-risk/<id>`` for
     streamed percentile snapshots until ``status`` is ``done``.
+
+    ``channels``/``ranks`` sweep the deployed memory-system topology
+    (`repro.sim.memsys` axes): attacker bandwidth dilutes over
+    ``channels * ranks`` devices, so risk is evaluated at the effective
+    per-device exposure interval (see `FleetSpec.topology_dilution`).
     """
 
     FIELDS = frozenset(
@@ -347,6 +353,8 @@ class FleetRiskRequest:
             "columns",
             "sigma_retention_die",
             "sigma_kappa_die",
+            "channels",
+            "ranks",
         )
     )
 
@@ -361,6 +369,8 @@ class FleetRiskRequest:
     columns: int = 256
     sigma_retention_die: float = 0.25
     sigma_kappa_die: float = 0.35
+    channels: int = 1
+    ranks: int = 1
 
     @classmethod
     def from_json(cls, payload: object) -> "FleetRiskRequest":
@@ -388,6 +398,8 @@ class FleetRiskRequest:
             sigma_kappa_die=_require_float(
                 payload, "sigma_kappa_die", 0.35, 0.0, MAX_DIE_SIGMA
             ),
+            channels=_require_bounded_int(payload, "channels", 1, 1, MAX_CHANNELS),
+            ranks=_require_bounded_int(payload, "ranks", 1, 1, MAX_RANKS),
         )
         try:
             request.spec  # FleetSpec invariants (sorted intervals, ...)
@@ -408,6 +420,8 @@ class FleetRiskRequest:
             "columns": self.columns,
             "sigma_retention_die": self.sigma_retention_die,
             "sigma_kappa_die": self.sigma_kappa_die,
+            "channels": self.channels,
+            "ranks": self.ranks,
         }
 
     @property
@@ -424,6 +438,8 @@ class FleetRiskRequest:
             columns=self.columns,
             sigma_retention_die=self.sigma_retention_die,
             sigma_kappa_die=self.sigma_kappa_die,
+            channels=self.channels,
+            ranks=self.ranks,
         )
 
     def shard(self, offset: int, modules: int) -> "FleetRiskRequest":
@@ -447,6 +463,8 @@ class FleetRiskRequest:
                 self.columns,
                 self.sigma_retention_die,
                 self.sigma_kappa_die,
+                self.channels,
+                self.ranks,
             )
         )
 

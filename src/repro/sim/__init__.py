@@ -8,7 +8,7 @@ from repro.sim.cmdlevel import (
 )
 from repro.sim.controller import ControllerStats, MemoryController, MemoryRequest
 from repro.sim.cpu import PEAK_IPC_PER_CYCLE, Core
-from repro.sim.energy import EnergyBreakdown, estimate_energy
+from repro.sim.energy import EnergyBreakdown, estimate_energy, estimate_system_energy
 from repro.sim.mechanism import (
     ActivationMechanism,
     DynamicPrvr,
@@ -28,10 +28,24 @@ from repro.sim.refreshpolicy import (
     raidr_policy,
     smd_raidr_policy,
 )
+from repro.sim.memsys import (
+    SINGLE_CHANNEL,
+    MemorySystem,
+    MemsysSimulation,
+    MemsysTopology,
+    SnapshotStore,
+    SystemCounters,
+    TimingChecker,
+    TimingViolation,
+    TimingViolationError,
+)
+from repro.sim.results import SystemResult
 from repro.sim.system import SimulationResult, simulate_mix
 from repro.sim.timing import (
     CONTROLLER_HZ,
     DDR4_3200,
+    MEMSYS_DDR4_3200,
+    MemsysTiming,
     SimTiming,
     cycles_to_seconds,
     seconds_to_cycles,
@@ -54,6 +68,7 @@ __all__ = [
     "Core",
     "EnergyBreakdown",
     "estimate_energy",
+    "estimate_system_energy",
     "CompositePolicy",
     "NoRefresh",
     "PeriodicBlocker",
@@ -65,9 +80,21 @@ __all__ = [
     "raidr_policy",
     "smd_raidr_policy",
     "SimulationResult",
+    "SystemResult",
     "simulate_mix",
+    "SINGLE_CHANNEL",
+    "MemorySystem",
+    "MemsysSimulation",
+    "MemsysTopology",
+    "SnapshotStore",
+    "SystemCounters",
+    "TimingChecker",
+    "TimingViolation",
+    "TimingViolationError",
     "CONTROLLER_HZ",
     "DDR4_3200",
+    "MEMSYS_DDR4_3200",
+    "MemsysTiming",
     "SimTiming",
     "cycles_to_seconds",
     "seconds_to_cycles",

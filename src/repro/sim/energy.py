@@ -5,14 +5,30 @@ from manufacturer IDD figures the way DRAMPower-style tools do).  Absolute
 joules are approximate; the reproduction targets are *relative* energies
 across refresh configurations (e.g. Fig. 23's energy-benefit reductions),
 which depend only on the ratios between these constants.
+
+`estimate_energy` is the historic flat (one-rank) estimate;
+`estimate_system_energy` accounts per (channel, rank) from the *same*
+`repro.sim.memsys.counters.SystemCounters` objects that feed the
+bandwidth gauges — energy and bandwidth can never disagree about how
+many activations a rank performed.  With one channel and one rank the
+system estimate equals the flat estimate exactly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
+from repro.obs import state as _obs_state
+from repro.sim.memsys.counters import SystemCounters
 from repro.sim.system import SimulationResult
 from repro.sim.timing import cycles_to_seconds
+
+_ENERGY = obs.gauge(
+    "sim_energy_mj",
+    "DRAM energy of the most recent completed simulation, by component.",
+    labelnames=("component", "channel", "rank"),
+)
 
 #: Per-event energies (nanojoules) and background power (milliwatts) for a
 #: DDR4 x8 device rank.
@@ -56,4 +72,105 @@ def estimate_energy(result: SimulationResult, activations: int) -> EnergyBreakdo
         read_mj=result.requests * READ_ENERGY_NJ * 1e-6,
         refresh_mj=refreshed_rows * ROW_REFRESH_ENERGY_NJ * 1e-6,
         background_mj=BACKGROUND_POWER_MW * duration_s,
+    )
+
+
+@dataclass
+class SystemEnergy:
+    """Per-(channel, rank) energy of one memory-system run.
+
+    ``per_rank[c][r]`` is the `EnergyBreakdown` of rank ``r`` on channel
+    ``c``.  Background power and refresh work are per-rank costs (every
+    rank burns standby current and refreshes its own rows), so system
+    totals grow with the rank count — with one channel and one rank the
+    total equals `estimate_energy` exactly.
+    """
+
+    per_rank: list[list[EnergyBreakdown]]
+
+    @property
+    def total_mj(self) -> float:
+        return sum(b.total_mj for channel in self.per_rank for b in channel)
+
+    @property
+    def refresh_fraction(self) -> float:
+        total = self.total_mj
+        refresh = sum(b.refresh_mj for channel in self.per_rank for b in channel)
+        return refresh / total if total else 0.0
+
+    def channel_total_mj(self, channel: int) -> float:
+        return sum(b.total_mj for b in self.per_rank[channel])
+
+    def report(self) -> list[dict]:
+        """One JSON-able row per (channel, rank)."""
+        return [
+            {
+                "channel": c,
+                "rank": r,
+                "activation_mj": breakdown.activation_mj,
+                "read_mj": breakdown.read_mj,
+                "refresh_mj": breakdown.refresh_mj,
+                "background_mj": breakdown.background_mj,
+                "total_mj": breakdown.total_mj,
+            }
+            for c, channel in enumerate(self.per_rank)
+            for r, breakdown in enumerate(channel)
+        ]
+
+    def publish(self) -> None:
+        """Push per-rank component gauges onto the obs registry (the same
+        place the bandwidth counters publish, see `SystemCounters`)."""
+        if not _obs_state.enabled:
+            return
+        for c, channel in enumerate(self.per_rank):
+            for r, breakdown in enumerate(channel):
+                labels = {"channel": str(c), "rank": str(r)}
+                _ENERGY.labels(component="activation", **labels).set(
+                    breakdown.activation_mj
+                )
+                _ENERGY.labels(component="read", **labels).set(breakdown.read_mj)
+                _ENERGY.labels(component="refresh", **labels).set(
+                    breakdown.refresh_mj
+                )
+                _ENERGY.labels(component="background", **labels).set(
+                    breakdown.background_mj
+                )
+
+
+def estimate_system_energy(
+    counters: SystemCounters,
+    cycles: int,
+    refresh_rows_per_second: float,
+) -> SystemEnergy:
+    """Per-(channel, rank) energy from the memory system's own counters.
+
+    Args:
+        counters: the run's `SystemCounters` — the single source of truth
+            shared with the bandwidth gauges.
+        cycles: simulated cycles (background-power window).
+        refresh_rows_per_second: the policy's aggregate row-refresh rate,
+            spread evenly over the system's ranks.
+    """
+    duration_s = cycles_to_seconds(cycles)
+    ranks_total = counters.channel_count * counters.rank_count
+    refreshed_rows_per_rank = (
+        refresh_rows_per_second * duration_s / ranks_total if ranks_total else 0.0
+    )
+    return SystemEnergy(
+        per_rank=[
+            [
+                EnergyBreakdown(
+                    activation_mj=(
+                        rank.activations * ACT_PRE_ENERGY_NJ * 1e-6
+                    ),
+                    read_mj=rank.requests * READ_ENERGY_NJ * 1e-6,
+                    refresh_mj=(
+                        refreshed_rows_per_rank * ROW_REFRESH_ENERGY_NJ * 1e-6
+                    ),
+                    background_mj=BACKGROUND_POWER_MW * duration_s,
+                )
+                for rank in channel
+            ]
+            for channel in counters.ranks
+        ]
     )

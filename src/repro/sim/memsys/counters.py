@@ -1,0 +1,216 @@
+"""Per-channel / per-rank bandwidth and utilization accounting.
+
+One `SystemCounters` object is the single source of truth for everything
+the memory system measures about itself: data-bus occupancy, row-buffer
+outcomes, and synthesized command counts, all split per channel and per
+(channel, rank).  The energy model (`repro.sim.energy`) computes from the
+*same* counter objects, and the obs gauges are published from them in one
+place (`publish`), so bandwidth, energy, and the metrics endpoint can
+never disagree about how many activations a rank performed.
+
+Counter catalog (see docs/MEMSYS.md):
+
+* ``sim_data_bus_busy_cycles_total{channel,rank}`` — burst cycles moving
+  data (counter; ``rank="all"`` is the channel total).
+* ``sim_channel_utilization{channel}`` — busy cycles / simulated cycles
+  of the most recent completed run (gauge).
+* ``sim_row_hit_ratio{channel}`` — row-buffer hit ratio (gauge).
+* ``sim_command_bus_efficiency{channel}`` — column commands / all
+  commands: the fraction of command traffic that moves data (gauge).
+* ``sim_rank_turnarounds_total{channel}`` — rank-to-rank data-bus
+  switches paid on the channel (counter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.obs import state as _obs_state
+
+_BUS_BUSY = obs.counter(
+    "sim_data_bus_busy_cycles_total",
+    "Data-bus busy cycles simulated, by channel and rank.",
+    labelnames=("channel", "rank"),
+)
+_UTILIZATION = obs.gauge(
+    "sim_channel_utilization",
+    "Data-bus utilization of the most recent completed simulation.",
+    labelnames=("channel",),
+)
+_HIT_RATIO = obs.gauge(
+    "sim_row_hit_ratio",
+    "Row-buffer hit ratio of the most recent completed simulation.",
+    labelnames=("channel",),
+)
+_CMD_EFFICIENCY = obs.gauge(
+    "sim_command_bus_efficiency",
+    "Column-command fraction of command traffic (most recent run).",
+    labelnames=("channel",),
+)
+_TURNAROUNDS = obs.counter(
+    "sim_rank_turnarounds_total",
+    "Rank-to-rank data-bus turnarounds paid, by channel.",
+    labelnames=("channel",),
+)
+
+
+@dataclass
+class RankCounters:
+    """Event counts of one (channel, rank): the energy-model unit."""
+
+    requests: int = 0
+    row_hits: int = 0
+    row_closed: int = 0
+    row_conflicts: int = 0
+    busy_cycles: int = 0
+
+    @property
+    def activations(self) -> int:
+        """ACT commands issued (every non-hit opens a row)."""
+        return self.row_closed + self.row_conflicts
+
+    def to_json(self) -> dict:
+        return {
+            "requests": self.requests,
+            "row_hits": self.row_hits,
+            "row_closed": self.row_closed,
+            "row_conflicts": self.row_conflicts,
+            "busy_cycles": self.busy_cycles,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "RankCounters":
+        return cls(**{name: int(payload[name]) for name in payload})
+
+
+@dataclass
+class ChannelCounters:
+    """Per-channel aggregates derived alongside the per-rank counts."""
+
+    commands: int = 0
+    column_commands: int = 0
+    turnarounds: int = 0
+
+    def to_json(self) -> dict:
+        return {
+            "commands": self.commands,
+            "column_commands": self.column_commands,
+            "turnarounds": self.turnarounds,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "ChannelCounters":
+        return cls(**{name: int(payload[name]) for name in payload})
+
+
+@dataclass
+class SystemCounters:
+    """Bandwidth/utilization state of one `MemorySystem` run.
+
+    ``ranks[c][r]`` is the `RankCounters` of rank ``r`` on channel ``c``;
+    ``channels[c]`` the channel-level command accounting.
+    """
+
+    channel_count: int
+    rank_count: int
+    ranks: list[list[RankCounters]] = field(default_factory=list)
+    channels: list[ChannelCounters] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.ranks:
+            self.ranks = [
+                [RankCounters() for _ in range(self.rank_count)]
+                for _ in range(self.channel_count)
+            ]
+        if not self.channels:
+            self.channels = [ChannelCounters() for _ in range(self.channel_count)]
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def channel_busy_cycles(self, channel: int) -> int:
+        return sum(rank.busy_cycles for rank in self.ranks[channel])
+
+    def channel_requests(self, channel: int) -> int:
+        return sum(rank.requests for rank in self.ranks[channel])
+
+    def channel_hits(self, channel: int) -> int:
+        return sum(rank.row_hits for rank in self.ranks[channel])
+
+    def utilization(self, channel: int, cycles: int) -> float:
+        """Data-bus occupancy fraction over ``cycles`` simulated cycles."""
+        return self.channel_busy_cycles(channel) / cycles if cycles else 0.0
+
+    def hit_ratio(self, channel: int) -> float:
+        requests = self.channel_requests(channel)
+        return self.channel_hits(channel) / requests if requests else 0.0
+
+    def command_bus_efficiency(self, channel: int) -> float:
+        commands = self.channels[channel].commands
+        if not commands:
+            return 0.0
+        return self.channels[channel].column_commands / commands
+
+    # ------------------------------------------------------------------
+    # Publication and serialization
+    # ------------------------------------------------------------------
+    def publish(self, cycles: int) -> None:
+        """Push this run's counters onto the obs registry (no-op when
+        observability is disabled)."""
+        if not _obs_state.enabled:
+            return
+        for c in range(self.channel_count):
+            label = str(c)
+            for r in range(self.rank_count):
+                busy = self.ranks[c][r].busy_cycles
+                if busy:
+                    _BUS_BUSY.labels(channel=label, rank=str(r)).inc(busy)
+            channel_busy = self.channel_busy_cycles(c)
+            if channel_busy:
+                _BUS_BUSY.labels(channel=label, rank="all").inc(channel_busy)
+            _UTILIZATION.labels(channel=label).set(self.utilization(c, cycles))
+            _HIT_RATIO.labels(channel=label).set(self.hit_ratio(c))
+            _CMD_EFFICIENCY.labels(channel=label).set(self.command_bus_efficiency(c))
+            if self.channels[c].turnarounds:
+                _TURNAROUNDS.labels(channel=label).inc(self.channels[c].turnarounds)
+
+    def report(self, cycles: int) -> list[dict]:
+        """One JSON-able row per channel (the ``repro sim`` report shape)."""
+        return [
+            {
+                "channel": c,
+                "requests": self.channel_requests(c),
+                "busy_cycles": self.channel_busy_cycles(c),
+                "utilization": self.utilization(c, cycles),
+                "row_hit_ratio": self.hit_ratio(c),
+                "command_bus_efficiency": self.command_bus_efficiency(c),
+                "rank_turnarounds": self.channels[c].turnarounds,
+                "rank_busy_cycles": [
+                    self.ranks[c][r].busy_cycles for r in range(self.rank_count)
+                ],
+            }
+            for c in range(self.channel_count)
+        ]
+
+    def to_json(self) -> dict:
+        return {
+            "channel_count": self.channel_count,
+            "rank_count": self.rank_count,
+            "ranks": [[rank.to_json() for rank in channel] for channel in self.ranks],
+            "channels": [channel.to_json() for channel in self.channels],
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "SystemCounters":
+        return cls(
+            channel_count=int(payload["channel_count"]),
+            rank_count=int(payload["rank_count"]),
+            ranks=[
+                [RankCounters.from_json(rank) for rank in channel]
+                for channel in payload["ranks"]
+            ],
+            channels=[
+                ChannelCounters.from_json(channel) for channel in payload["channels"]
+            ],
+        )

@@ -1,0 +1,85 @@
+"""Memory-system topology: how the flat bank space maps onto channels and ranks.
+
+The workload traces address a flat global bank space (``banks_total``
+banks).  A `MemsysTopology` interleaves that space over ``channels``
+independent channels (each with its own command/data bus) and ``ranks``
+ranks per channel (sharing their channel's data bus, separated by the
+rank-to-rank turnaround ``t_rtrs``):
+
+    channel = bank %  channels
+    rank    = (bank // channels) % ranks
+    local   = bank // (channels * ranks)
+
+Channel-interleaving the low bits is the standard controller mapping —
+consecutive bank indices land on different channels, so a bank-striding
+workload spreads over every bus.  With ``channels == ranks == 1`` every
+bank maps to (0, 0, bank) and the system degenerates to today's
+single-channel `repro.sim.controller.MemoryController` exactly (the
+parity suite pins this bit-for-bit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Validation ceilings: generous for real topologies, tight enough that a
+#: request cannot instantiate absurd controller state.
+MAX_CHANNELS = 16
+MAX_RANKS = 8
+
+
+@dataclass(frozen=True)
+class MemsysTopology:
+    """R ranks x C channels over a flat global bank space.
+
+    Attributes:
+        channels: independent channels (own command + data bus each).
+        ranks: ranks per channel (shared data bus, tRTRS turnaround).
+    """
+
+    channels: int = 1
+    ranks: int = 1
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.channels <= MAX_CHANNELS:
+            raise ValueError(
+                f"channels must be in [1, {MAX_CHANNELS}], got {self.channels}"
+            )
+        if not 1 <= self.ranks <= MAX_RANKS:
+            raise ValueError(f"ranks must be in [1, {MAX_RANKS}], got {self.ranks}")
+
+    @property
+    def ranks_total(self) -> int:
+        """Ranks across the whole system."""
+        return self.channels * self.ranks
+
+    def validate_banks(self, banks_total: int) -> None:
+        """Check that ``banks_total`` divides evenly over the topology."""
+        if banks_total < 1:
+            raise ValueError("need at least one bank")
+        if banks_total % self.ranks_total != 0:
+            raise ValueError(
+                f"banks ({banks_total}) must divide evenly over "
+                f"{self.channels} channel(s) x {self.ranks} rank(s)"
+            )
+
+    def banks_per_rank(self, banks_total: int) -> int:
+        """Banks each rank holds when ``banks_total`` spread over the system."""
+        self.validate_banks(banks_total)
+        return banks_total // self.ranks_total
+
+    def locate(self, bank: int) -> tuple[int, int]:
+        """(channel, rank-within-channel) of global bank index ``bank``."""
+        return bank % self.channels, (bank // self.channels) % self.ranks
+
+    def channel_of(self, bank: int) -> int:
+        return bank % self.channels
+
+    def rank_of(self, bank: int) -> int:
+        """System-wide rank index (channel-major) of global bank ``bank``."""
+        channel, rank = self.locate(bank)
+        return channel * self.ranks + rank
+
+
+#: The degenerate topology: one channel, one rank — today's controller.
+SINGLE_CHANNEL = MemsysTopology()

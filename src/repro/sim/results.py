@@ -1,0 +1,81 @@
+"""Simulation result types shared by the sim backends.
+
+`SimulationResult` is the historic per-mix outcome (`simulate_mix`'s
+return type); `SystemResult` extends it with the memory-system view the
+`repro.sim.memsys` model adds — topology, per-channel bandwidth report,
+and timing-violation records.  Both live here (not in ``system.py``) so
+the memsys simulation loop and the legacy front end can share them
+without an import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one mix under one refresh policy."""
+
+    policy_name: str
+    ipcs: list[float]
+    cycles: int
+    requests: int
+    row_hit_rate: float
+    refresh_events_per_second: float
+    refresh_rows_per_second: float = 0.0
+
+    def weighted_speedup(self, baseline: "SimulationResult") -> float:
+        """Weighted speedup against a baseline run of the same mix,
+        normalized to the core count (1.0 = no slowdown)."""
+        if len(self.ipcs) != len(baseline.ipcs):
+            raise ValueError("core counts differ")
+        total = sum(ipc / base for ipc, base in zip(self.ipcs, baseline.ipcs))
+        return total / len(self.ipcs)
+
+
+@dataclass
+class SystemResult(SimulationResult):
+    """A `SimulationResult` plus the memory-system accounting.
+
+    Every added field is derived deterministically from the run, so the
+    JSON form is byte-stable across reruns and resumptions (the
+    snapshot/restore identity gate compares it byte-for-byte).
+    """
+
+    channels: int = 1
+    ranks: int = 1
+    banks_total: int = 16
+    channel_report: list[dict] = field(default_factory=list)
+    energy_report: list[dict] = field(default_factory=list)
+    energy_total_mj: float = 0.0
+    violations: list[dict] = field(default_factory=list)
+    timing_checked: bool = False
+    timing_enforced: bool = False
+
+    def to_json(self) -> dict:
+        """Deterministic JSON image (no wall-clock, no object identity)."""
+        return {
+            "policy": self.policy_name,
+            "ipcs": list(self.ipcs),
+            "cycles": self.cycles,
+            "requests": self.requests,
+            "row_hit_rate": self.row_hit_rate,
+            "refresh_events_per_second": self.refresh_events_per_second,
+            "refresh_rows_per_second": self.refresh_rows_per_second,
+            "topology": {
+                "channels": self.channels,
+                "ranks": self.ranks,
+                "banks_total": self.banks_total,
+            },
+            "channel_report": self.channel_report,
+            "energy": {
+                "total_mj": self.energy_total_mj,
+                "per_rank": self.energy_report,
+            },
+            "timing": {
+                "checked": self.timing_checked,
+                "enforced": self.timing_enforced,
+                "violations": self.violations,
+            },
+        }

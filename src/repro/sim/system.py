@@ -1,9 +1,16 @@
 """Multi-core memory-system simulation: the Fig. 23 engine.
 
-Discrete-event loop coupling N cores (`repro.sim.cpu.Core`) to one memory
-controller (`repro.sim.controller.MemoryController`).  Cores issue requests
-subject to their MLP window; the controller arbitrates FR-FCFS around the
-refresh policy's blocking windows; completions unblock further issues.
+Discrete-event loop coupling N cores (`repro.sim.cpu.Core`) to a memory
+controller.  Cores issue requests subject to their MLP window; the
+controller arbitrates FR-FCFS around the refresh policy's blocking
+windows; completions unblock further issues.
+
+The ``"simple"`` (three-latency) backend runs on the memory-system model
+(`repro.sim.memsys`): with the default single-channel topology it is
+bit-identical to the historic `MemoryController` loop (pinned by the
+parity suite), and a ``topology`` argument scales the same mix over
+R ranks x C channels.  The ``"command"`` backend keeps the explicit DDR4
+command scheduler (`repro.sim.cmdlevel`, single-channel).
 
 Outputs per-core IPC, from which weighted speedups against a baseline
 configuration (the paper normalizes to a hypothetical No Refresh system)
@@ -12,16 +19,19 @@ are computed.
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
-from dataclasses import dataclass
 
 from repro import obs
 from repro.obs import state as _obs_state
-from repro.sim.controller import MemoryController, MemoryRequest
+from repro.sim.controller import MemoryRequest
 from repro.sim.cpu import Core
 from repro.sim.refreshpolicy import RefreshPolicy
-from repro.sim.timing import CONTROLLER_HZ, DDR4_3200, SimTiming
+from repro.sim.results import SimulationResult, SystemResult
+from repro.sim.timing import CONTROLLER_HZ, DDR4_3200, MemsysTiming, SimTiming
 from repro.workloads.trace import WorkloadTrace
+
+__all__ = ["SimulationResult", "SystemResult", "simulate_mix"]
 
 _CYCLES = obs.counter(
     "sim_cycles_total", "Controller cycles simulated across completed mixes."
@@ -36,27 +46,15 @@ _ARRIVE = 0
 _BANK_FREE = 1
 
 
-@dataclass
-class SimulationResult:
-    """Outcome of one mix under one refresh policy."""
-
-    policy_name: str
-    ipcs: list[float]
-    cycles: int
-    requests: int
-    row_hit_rate: float
-    refresh_events_per_second: float
-    refresh_rows_per_second: float = 0.0
-
-    def weighted_speedup(self, baseline: "SimulationResult") -> float:
-        """Weighted speedup against a baseline run of the same mix,
-        normalized to the core count (1.0 = no slowdown)."""
-        if len(self.ipcs) != len(baseline.ipcs):
-            raise ValueError("core counts differ")
-        total = sum(
-            ipc / base for ipc, base in zip(self.ipcs, baseline.ipcs)
-        )
-        return total / len(self.ipcs)
+def _memsys_timing(timing: SimTiming) -> MemsysTiming:
+    """Lift a plain `SimTiming` to `MemsysTiming` (memsys defaults for the
+    rank/channel constraints it does not carry)."""
+    if isinstance(timing, MemsysTiming):
+        return timing
+    fields = {
+        f.name: getattr(timing, f.name) for f in dataclasses.fields(SimTiming)
+    }
+    return MemsysTiming(**fields)
 
 
 def simulate_mix(
@@ -68,27 +66,55 @@ def simulate_mix(
     fr_fcfs: bool = True,
     mechanism=None,
     backend: str = "simple",
+    topology=None,
+    check_timing: bool = False,
+    enforce_timing: bool = False,
 ) -> SimulationResult:
     """Run one multiprogrammed mix to completion under ``policy`` (plus an
     optional reactive mitigation mechanism, see `repro.sim.mechanism`).
 
     ``backend`` selects the controller fidelity: ``"simple"`` (three-latency
-    model) or ``"command"`` (explicit DDR4 command scheduling with
-    tRRD/tFAW/tWTR constraints, `repro.sim.cmdlevel`).
+    model over `repro.sim.memsys`) or ``"command"`` (explicit DDR4 command
+    scheduling with tRRD/tFAW/tWTR constraints, `repro.sim.cmdlevel`).
+
+    ``topology`` (simple backend only) spreads the bank space over a
+    `repro.sim.memsys.MemsysTopology`; ``check_timing``/``enforce_timing``
+    engage the memsys `TimingChecker` (see docs/MEMSYS.md).
     """
     if backend == "simple":
-        controller = MemoryController(
-            banks=banks, timing=timing, policy=policy, fr_fcfs=fr_fcfs,
-            mechanism=mechanism,
-        )
-    elif backend == "command":
-        from repro.sim.cmdlevel import CommandLevelController
+        from repro.sim.memsys.simulation import MemsysSimulation
+        from repro.sim.memsys.topology import SINGLE_CHANNEL
 
-        controller = CommandLevelController(
-            banks=banks, policy=policy, fr_fcfs=fr_fcfs, mechanism=mechanism,
+        simulation = MemsysSimulation(
+            traces,
+            policy,
+            banks=banks,
+            topology=topology if topology is not None else SINGLE_CHANNEL,
+            timing=_memsys_timing(timing),
+            window=window,
+            fr_fcfs=fr_fcfs,
+            mechanism=mechanism,
+            check_timing=check_timing,
+            enforce_timing=enforce_timing,
         )
-    else:
+        return simulation.run(backend_label="simple")
+    if backend != "command":
         raise ValueError(f"unknown backend {backend!r}")
+    if topology is not None and (topology.channels, topology.ranks) != (1, 1):
+        raise ValueError(
+            "the command backend is single-channel; use backend='simple' "
+            "for multi-channel/multi-rank topologies"
+        )
+    if check_timing or enforce_timing:
+        raise ValueError(
+            "check_timing/enforce_timing apply to the simple backend; the "
+            "command backend already schedules legal command streams"
+        )
+    from repro.sim.cmdlevel import CommandLevelController
+
+    controller = CommandLevelController(
+        banks=banks, policy=policy, fr_fcfs=fr_fcfs, mechanism=mechanism,
+    )
     cores = [Core(core_id=i, trace=t, window=window) for i, t in enumerate(traces)]
     events: list[tuple[int, int, int, tuple]] = []
     sequence = 0

@@ -69,3 +69,35 @@ class SimTiming:
 
 
 DDR4_3200 = SimTiming()
+
+
+@dataclass(frozen=True)
+class MemsysTiming(SimTiming):
+    """`SimTiming` extended with the rank- and channel-level constraints
+    the multi-rank/multi-channel memory system (`repro.sim.memsys`) models
+    and its `TimingChecker` asserts.
+
+    Attributes:
+        t_rrd: ACT -> ACT across banks of one rank.
+        t_faw: rolling four-activate window per rank.
+        t_ccd: column command -> column command on one channel.
+        t_rtp: read -> PRE recovery.
+        t_rtrs: rank-to-rank data-bus turnaround on one channel.
+    """
+
+    t_rrd: int = 8
+    t_faw: int = 34
+    t_ccd: int = 8
+    t_rtp: int = 12
+    t_rtrs: int = 4
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        for name in ("t_rrd", "t_faw", "t_ccd", "t_rtp", "t_rtrs"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.t_faw < self.t_rrd:
+            raise ValueError("t_faw must be at least t_rrd")
+
+
+MEMSYS_DDR4_3200 = MemsysTiming()

@@ -109,4 +109,4 @@ def test_first_writer_creates_both_copies(bench_dirs):
 
 
 def test_block_registry_covers_every_known_writer():
-    assert set(BENCH_BLOCKS) == {"kernels", "serve", "obs", "fleet_risk"}
+    assert set(BENCH_BLOCKS) == {"kernels", "serve", "obs", "fleet_risk", "memsys"}

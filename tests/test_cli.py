@@ -241,3 +241,58 @@ def test_characterize_trace_still_prints_run_summary(tmp_path, capsys):
               "64", "--columns", "128", "--trace",
               str(tmp_path / "t.jsonl"))
     assert "cache hit ratio" in out
+
+def test_sim_run_prints_channel_table(capsys):
+    out = run(capsys, "sim", "run", "--cores", "1", "--length", "50")
+    assert "channel" in out and "data-bus util" in out
+    assert "no-refresh" not in out  # default policy is periodic
+
+
+def test_sim_run_out_then_report_round_trip(tmp_path, capsys):
+    result = tmp_path / "sim.json"
+    first = run(capsys, "sim", "run", "--cores", "2", "--length", "80",
+                "--channels", "2", "--out", str(result))
+    assert f"result written to {result}" in first
+    second = run(capsys, "sim", "report", str(result))
+    assert "data-bus util" in second
+
+
+def test_sim_run_rejects_bad_topology(capsys):
+    err = assert_clean_error(capsys, "sim", "run", "--cores", "1",
+                             "--length", "50", "--channels", "99")
+    assert "channels" in err
+    err = assert_clean_error(capsys, "sim", "run", "--cores", "1",
+                             "--length", "50", "--ranks", "0")
+    assert "ranks" in err
+    err = assert_clean_error(capsys, "sim", "run", "--cores", "1",
+                             "--length", "50", "--banks", "10",
+                             "--channels", "2", "--ranks", "2")
+    assert "divide evenly" in err
+
+
+def test_sim_run_rejects_bad_timing_overrides(capsys):
+    err = assert_clean_error(capsys, "sim", "run", "--cores", "1",
+                             "--length", "50", "--timing", "t_nope=5")
+    assert "--timing" in err
+    err = assert_clean_error(capsys, "sim", "run", "--cores", "1",
+                             "--length", "50", "--timing", "t_rcd=fast")
+    assert "integer cycle count" in err
+
+
+def test_sim_run_rejects_mismatched_per_core_lists(capsys):
+    err = assert_clean_error(capsys, "sim", "run", "--cores", "2",
+                             "--length", "50", "--mpki", "40,50,60")
+    assert "--mpki" in err and "per core" in err
+    err = assert_clean_error(capsys, "sim", "run", "--cores", "1",
+                             "--length", "50", "--locality", "high")
+    assert "--locality" in err
+
+
+def test_sim_report_rejects_bad_files(tmp_path, capsys):
+    err = assert_clean_error(capsys, "sim", "report",
+                             str(tmp_path / "missing.json"))
+    assert "missing.json" in err
+    not_a_result = tmp_path / "other.json"
+    not_a_result.write_text("{\"rows\": []}")
+    err = assert_clean_error(capsys, "sim", "report", str(not_a_result))
+    assert "channel_report" in err
